@@ -1,0 +1,95 @@
+//! Dependency-manager scaling (§4.4): submission planning and cancellation
+//! sweeps over growing application DAGs (chains and fans).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use orca::{AppConfig, DependencyManager};
+use sps_sim::{SimDuration, SimTime};
+
+fn chain(n: usize) -> DependencyManager {
+    let mut m = DependencyManager::new();
+    for i in 0..n {
+        m.register_config(AppConfig::new(&format!("a{i}"), &format!("App{i}")))
+            .unwrap();
+    }
+    for i in 1..n {
+        m.register_dependency(&format!("a{i}"), &format!("a{}", i - 1), SimDuration::from_secs(1))
+            .unwrap();
+    }
+    m
+}
+
+fn fan(n: usize) -> DependencyManager {
+    let mut m = DependencyManager::new();
+    m.register_config(AppConfig::new("top", "Top")).unwrap();
+    for i in 0..n {
+        m.register_config(AppConfig::new(&format!("leaf{i}"), &format!("Leaf{i}")))
+            .unwrap();
+        m.register_dependency("top", &format!("leaf{i}"), SimDuration::from_secs(2))
+            .unwrap();
+    }
+    m
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_planner");
+    for n in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::new("plan_chain", n), &n, |b, &n| {
+            b.iter_batched(
+                || chain(n),
+                |mut m| {
+                    let plan = m.request_start(&format!("a{}", n - 1), SimTime::ZERO).unwrap();
+                    black_box(plan.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("plan_fan", n), &n, |b, &n| {
+            b.iter_batched(
+                || fan(n),
+                |mut m| {
+                    let plan = m.request_start("top", SimTime::ZERO).unwrap();
+                    black_box(plan.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("cancel_fan", n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut m = fan(n);
+                    m.request_start("top", SimTime::ZERO).unwrap();
+                    let mut job = 0;
+                    for t in 0..5 {
+                        for cfg in m.due_submissions(SimTime::from_secs(t)) {
+                            job += 1;
+                            m.mark_submitted(&cfg, sps_runtime::JobId(job), SimTime::from_secs(t));
+                        }
+                    }
+                    m
+                },
+                |mut m| {
+                    let plan = m.request_cancel("top", SimTime::from_secs(100)).unwrap();
+                    black_box(plan.queued.len())
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("cycle_detection", n), &n, |b, &n| {
+            b.iter_batched(
+                || chain(n),
+                |mut m| {
+                    // Closing edge must be detected as a cycle.
+                    let err = m
+                        .register_dependency("a0", &format!("a{}", n - 1), SimDuration::ZERO)
+                        .unwrap_err();
+                    black_box(err)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Engine throughput and the fusion ablation: tuples/second through a
+//! pipeline when all operators share one PE (in-memory routing) vs. one PE
+//! per operator (serialize/deserialize on every hop), plus the hot-path
+//! overhead comparison with an attached (but idle-scoped) orchestrator —
+//! supporting the paper's claim that orchestration stays off the data path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sps_engine::OperatorRegistry;
+use sps_model::compiler::{compile, CompileOptions, FusionPolicy};
+use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
+use sps_model::Adl;
+use sps_runtime::{Cluster, Kernel, RuntimeConfig, World};
+use sps_sim::SimDuration;
+
+fn pipeline(stages: usize, fusion: FusionPolicy) -> Adl {
+    let mut m = CompositeGraphBuilder::main();
+    m.operator(
+        "src",
+        OperatorInvocation::new("Beacon").source().param("rate", 5000.0),
+    );
+    for i in 0..stages {
+        m.operator(
+            &format!("f{i}"),
+            OperatorInvocation::new("Functor").param("set:v", "seq * 2"),
+        );
+        let prev = if i == 0 { "src".to_string() } else { format!("f{}", i - 1) };
+        m.pipe(&prev, &format!("f{i}"));
+    }
+    m.operator("snk", OperatorInvocation::new("Sink").sink());
+    m.pipe(&format!("f{}", stages - 1), "snk");
+    let model = AppModelBuilder::new("Pipe").build(m.build().unwrap()).unwrap();
+    compile(&model, CompileOptions { fusion }).unwrap()
+}
+
+fn run_simulation(adl: Adl, secs: u64) -> u64 {
+    let mut kernel = Kernel::new(
+        Cluster::with_hosts(4),
+        OperatorRegistry::with_builtins(),
+        RuntimeConfig {
+            pe_budget: 1_000_000,
+            ..Default::default()
+        },
+    );
+    let job = kernel.submit_job(adl, None).unwrap();
+    for _ in 0..(secs * 10) {
+        kernel.quantum();
+    }
+    // Tuples that reached the sink.
+    let info = kernel.sam.job(job).unwrap();
+    let sink_pe = info.pe_ids[info.adl.operator("snk").unwrap().pe];
+    kernel
+        .cluster
+        .process(sink_pe)
+        .unwrap()
+        .runtime
+        .metrics()
+        .op_get("snk", "nTuplesProcessed")
+        .unwrap_or(0) as u64
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    let sim_secs = 5;
+    for stages in [4usize, 8] {
+        // ~5000 t/s for 5 sim-seconds flows through the pipeline.
+        group.throughput(Throughput::Elements(5000 * sim_secs));
+        group.bench_with_input(
+            BenchmarkId::new("fused_single_pe", stages),
+            &stages,
+            |b, &s| {
+                b.iter(|| black_box(run_simulation(pipeline(s, FusionPolicy::FuseAll), sim_secs)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_pe_per_op", stages),
+            &stages,
+            |b, &s| {
+                b.iter(|| {
+                    black_box(run_simulation(pipeline(s, FusionPolicy::Colocation), sim_secs))
+                })
+            },
+        );
+    }
+
+    // Hot-path overhead: same workload with and without an attached
+    // orchestrator whose scope matches nothing.
+    group.bench_function("no_orchestrator", |b| {
+        b.iter(|| black_box(run_simulation(pipeline(4, FusionPolicy::FuseAll), sim_secs)))
+    });
+    group.bench_function("idle_orchestrator_attached", |b| {
+        b.iter(|| {
+            let kernel = Kernel::new(
+                Cluster::with_hosts(4),
+                OperatorRegistry::with_builtins(),
+                RuntimeConfig {
+                    pe_budget: 1_000_000,
+                    ..Default::default()
+                },
+            );
+            let mut world = World::new(kernel);
+            struct Idle;
+            impl orca::Orchestrator for Idle {
+                fn on_start(&mut self, ctx: &mut orca::OrcaCtx<'_>, _s: &orca::OrcaStartContext) {
+                    ctx.register_event_scope(
+                        orca::OperatorMetricScope::new("none").add_metric("nonexistent"),
+                    );
+                    ctx.submit_app("Pipe").unwrap();
+                }
+            }
+            let service = orca::OrcaService::submit(
+                &mut world.kernel,
+                orca::OrcaDescriptor::new("Idle").app(pipeline(4, FusionPolicy::FuseAll)),
+                Box::new(Idle),
+            );
+            world.add_controller(Box::new(service));
+            world.run_for(SimDuration::from_secs(sim_secs));
+            black_box(world.now())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! End-to-end orchestrator event path (§3's performance discussion):
+//!
+//! - `poll_and_filter`: one SRM poll round — query, scope-match every
+//!   observation, build and deliver events — under a selective scope vs. a
+//!   firehose scope (the "scope filtering vs. deliver-everything" ablation).
+//! - `failure_event_path`: SAM notification → scope match → context build →
+//!   handler dispatch (the extra hop the paper says failure handling costs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use orca::{
+    OperatorMetricContext, OperatorMetricScope, OrcaCtx, OrcaDescriptor, OrcaService,
+    OrcaStartContext, Orchestrator, PeFailureContext, PeFailureScope,
+};
+use orca_bench::nested_app;
+use sps_engine::OperatorRegistry;
+use sps_runtime::{Cluster, Kernel, RuntimeConfig, World};
+use sps_sim::SimDuration;
+
+/// Counts deliveries; registers either a selective or a firehose scope.
+struct Counter {
+    selective: bool,
+    metric_events: u64,
+    failure_events: u64,
+}
+
+impl Orchestrator for Counter {
+    fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, _s: &OrcaStartContext) {
+        let scope = if self.selective {
+            OperatorMetricScope::new("sel")
+                .add_operator_type("Work")
+                .add_composite_type("level0")
+                .add_metric("queueSize")
+        } else {
+            OperatorMetricScope::new("all") // firehose: every metric event
+        };
+        ctx.register_event_scope(scope);
+        ctx.register_event_scope(PeFailureScope::new("fail"));
+        ctx.set_metric_poll_period(SimDuration::from_secs(3));
+        ctx.submit_app("Nested").unwrap();
+    }
+
+    fn on_operator_metric(
+        &mut self,
+        _ctx: &mut OrcaCtx<'_>,
+        _e: &OperatorMetricContext,
+        _s: &[String],
+    ) {
+        self.metric_events += 1;
+    }
+
+    fn on_pe_failure(&mut self, ctx: &mut OrcaCtx<'_>, e: &PeFailureContext, _s: &[String]) {
+        self.failure_events += 1;
+        let _ = ctx.restart_pe(e.pe);
+    }
+}
+
+fn world_with(selective: bool) -> (World, usize) {
+    let kernel = Kernel::new(
+        Cluster::with_hosts(4),
+        OperatorRegistry::with_builtins(),
+        RuntimeConfig::default(),
+    );
+    let mut world = World::new(kernel);
+    let service = OrcaService::submit(
+        &mut world.kernel,
+        OrcaDescriptor::new("Bench").app(nested_app(8, 3, 8)),
+        Box::new(Counter {
+            selective,
+            metric_events: 0,
+            failure_events: 0,
+        }),
+    );
+    let idx = world.add_controller(Box::new(service));
+    // Warm up: submit + first metric pushes.
+    world.run_for(SimDuration::from_secs(7));
+    (world, idx)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_delivery");
+    group.sample_size(20);
+    for selective in [true, false] {
+        let label = if selective { "selective_scope" } else { "firehose_scope" };
+        group.bench_with_input(BenchmarkId::new("poll_round", label), &selective, |b, &sel| {
+            b.iter_batched(
+                || world_with(sel),
+                |(mut world, idx)| {
+                    // Drive past the next poll (3 s of sim time).
+                    world.run_for(SimDuration::from_secs(3));
+                    let svc = world.controller::<OrcaService>(idx).unwrap();
+                    black_box(svc.stats().events_delivered)
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.bench_function("failure_event_path", |b| {
+        b.iter_batched(
+            || {
+                let (world, idx) = world_with(true);
+                let job = world.kernel.sam.running_jobs()[0];
+                (world, idx, job)
+            },
+            |(mut world, idx, job)| {
+                let pe = world.kernel.pe_id_of(job, 0).unwrap();
+                world.kernel.kill_pe(pe).unwrap();
+                // One quantum: notification pull + dispatch + restart.
+                world.step();
+                let svc = world.controller::<OrcaService>(idx).unwrap();
+                black_box(svc.logic::<Counter>().unwrap().failure_events)
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

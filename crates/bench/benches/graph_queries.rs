@@ -1,0 +1,56 @@
+//! Graph-store inspection queries (§4.2): cost of the logical↔physical
+//! disambiguation primitives as topology size grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use orca_bench::graph_with_metrics;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_queries");
+    for (width, depth, leaf) in [(4, 2, 4), (16, 4, 16)] {
+        let (graph, _) = graph_with_metrics(width, depth, leaf);
+        let n = graph.num_operators();
+        let deep_op = graph
+            .operators()
+            .find(|o| o.composite_chain.len() == depth)
+            .map(|o| o.name.clone())
+            .unwrap();
+
+        group.bench_with_input(BenchmarkId::new("operators_in_pe", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0;
+                for pe in 0..graph.num_pes() {
+                    total += graph.operators_in_pe(pe).len();
+                }
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("composites_in_pe", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0;
+                for pe in 0..graph.num_pes() {
+                    total += graph.composites_in_pe(pe).len();
+                }
+                black_box(total)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("enclosing_composite", n),
+            &n,
+            |b, _| b.iter(|| black_box(graph.enclosing_composite(&deep_op))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recursive_containment", n),
+            &n,
+            |b, _| b.iter(|| black_box(graph.op_in_composite_type(&deep_op, "level0"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("operators_in_composite_type", n),
+            &n,
+            |b, _| b.iter(|| black_box(graph.operators_in_composite_type("level0").len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

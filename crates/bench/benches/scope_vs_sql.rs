@@ -1,0 +1,61 @@
+//! §4.1 ablation: the scope-matcher API vs. the literal recursive-SQL
+//! evaluation over the same relational view.
+//!
+//! The paper argues the scope API is the *simpler interface*; this bench
+//! quantifies the runtime side: per-poll filtering cost of each approach as
+//! the topology grows and nests.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use orca::sqlbase::Tables;
+use orca::OperatorMetricScope;
+use orca_bench::graph_with_metrics;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scope_vs_sql");
+    for (width, depth, leaf) in [(4, 2, 4), (8, 3, 8), (16, 4, 16)] {
+        let (graph, metrics) = graph_with_metrics(width, depth, leaf);
+        let n_ops = graph.num_operators();
+        let scope = OperatorMetricScope::new("k")
+            .add_composite_type("level0")
+            .add_operator_type("Work")
+            .add_metric("queueSize");
+        group.bench_with_input(
+            BenchmarkId::new("scope_matcher", n_ops),
+            &n_ops,
+            |b, _| {
+                b.iter(|| {
+                    let hits = metrics
+                        .iter()
+                        .filter(|(op, m, _)| scope.matches("Nested", &graph, op, m))
+                        .count();
+                    black_box(hits)
+                })
+            },
+        );
+        let tables = Tables::from_graph(&graph, &metrics);
+        group.bench_with_input(
+            BenchmarkId::new("recursive_sql", n_ops),
+            &n_ops,
+            |b, _| {
+                b.iter(|| {
+                    let rows =
+                        tables.recursive_containment_query("queueSize", &["Work"], "level0");
+                    black_box(rows.len())
+                })
+            },
+        );
+        // Sanity: both select the same operators.
+        let via_scope = metrics
+            .iter()
+            .filter(|(op, m, _)| scope.matches("Nested", &graph, op, m))
+            .count();
+        let via_sql = tables
+            .recursive_containment_query("queueSize", &["Work"], "level0")
+            .len();
+        assert_eq!(via_scope, via_sql);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Inter-PE tuple serialization cost — the price of crossing a process
+//! boundary, which the fusion ablation (engine_throughput) shows end to end.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sps_engine::codec::{decode, encode};
+use sps_engine::{StreamItem, Tuple};
+use sps_model::Value;
+
+fn tuple(attrs: usize, string_len: usize) -> StreamItem {
+    let mut t = Tuple::new();
+    for i in 0..attrs {
+        match i % 4 {
+            0 => t.set(&format!("i{i}"), (i as i64) * 7),
+            1 => t.set(&format!("f{i}"), i as f64 * 0.5),
+            2 => t.set(&format!("s{i}"), "x".repeat(string_len).as_str()),
+            _ => t.set(&format!("t{i}"), Value::Timestamp(i as u64)),
+        }
+    }
+    StreamItem::Tuple(t)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tuple_codec");
+    for (attrs, slen) in [(4usize, 8usize), (16, 32), (64, 128)] {
+        let item = tuple(attrs, slen);
+        let encoded = encode(&item);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("encode", format!("{attrs}attrs")),
+            &item,
+            |b, item| b.iter(|| black_box(encode(item))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode", format!("{attrs}attrs")),
+            &encoded,
+            |b, bytes| b.iter(|| black_box(decode(bytes.clone()).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("roundtrip", format!("{attrs}attrs")),
+            &item,
+            |b, item| b.iter(|| black_box(decode(encode(item)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

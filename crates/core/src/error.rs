@@ -1,0 +1,88 @@
+//! Orchestrator error type.
+
+use sps_runtime::{JobId, RuntimeError};
+use std::fmt;
+
+/// Errors reported by the ORCA service to the ORCA logic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrcaError {
+    /// Actuation attempted on a job this orchestrator did not start (§3:
+    /// "If the ORCA logic attempts to act on jobs that it did not start, the
+    /// ORCA service reports a runtime error").
+    NotManaged(JobId),
+    /// Referenced application name is not in the orchestrator's descriptor.
+    UnknownApp(String),
+    /// Referenced application configuration id was never created.
+    UnknownConfig(String),
+    /// An application configuration with this id already exists.
+    DuplicateConfig(String),
+    /// Registering this dependency would create a cycle (§4.4).
+    DependencyCycle(String),
+    /// Cancellation refused: the application feeds other running
+    /// applications (§4.4 starvation protection).
+    WouldStarve(String),
+    /// A `${...}` submission-time parameter was not provided.
+    MissingParam { config: String, param: String },
+    /// The configuration is already running.
+    AlreadyRunning(String),
+    /// The configuration is not running.
+    NotRunning(String),
+    /// Underlying middleware failure.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for OrcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrcaError::NotManaged(j) => {
+                write!(f, "job {j} was not started through this ORCA service")
+            }
+            OrcaError::UnknownApp(a) => write!(f, "unknown application '{a}'"),
+            OrcaError::UnknownConfig(c) => write!(f, "unknown app configuration '{c}'"),
+            OrcaError::DuplicateConfig(c) => {
+                write!(f, "app configuration '{c}' already exists")
+            }
+            OrcaError::DependencyCycle(m) => write!(f, "dependency cycle: {m}"),
+            OrcaError::WouldStarve(m) => {
+                write!(f, "cancellation refused, would starve dependents: {m}")
+            }
+            OrcaError::MissingParam { config, param } => {
+                write!(f, "config '{config}' missing submission parameter '{param}'")
+            }
+            OrcaError::AlreadyRunning(c) => write!(f, "configuration '{c}' already running"),
+            OrcaError::NotRunning(c) => write!(f, "configuration '{c}' is not running"),
+            OrcaError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OrcaError {}
+
+impl From<RuntimeError> for OrcaError {
+    fn from(e: RuntimeError) -> Self {
+        OrcaError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OrcaError::NotManaged(JobId(3))
+            .to_string()
+            .contains("job3"));
+        assert!(OrcaError::WouldStarve("fb feeds sn".into())
+            .to_string()
+            .contains("starve"));
+        assert!(OrcaError::MissingParam {
+            config: "c".into(),
+            param: "attr".into()
+        }
+        .to_string()
+        .contains("attr"));
+        let e: OrcaError = RuntimeError::UnknownJob(JobId(1)).into();
+        assert!(matches!(e, OrcaError::Runtime(_)));
+    }
+}

@@ -1,0 +1,94 @@
+//! The `Orchestrator` trait — the ORCA logic's surface (§3).
+//!
+//! Developers write the ORCA logic by implementing this trait (the paper's
+//! C++ `Orchestrator` class with specializable event-handling methods). Only
+//! [`Orchestrator::on_start`] is mandatory: it is the single event that is
+//! always in scope, and the natural place to register event scopes,
+//! configure applications and dependencies, and kick off submissions. Every
+//! other handler defaults to a no-op and fires only for events matching a
+//! registered subscope.
+
+use crate::event::{
+    JobEventContext, OperatorMetricContext, OperatorPortMetricContext, OrcaStartContext,
+    PeFailureContext, PeMetricContext, TimerContext, UserEventContext,
+};
+use crate::service::OrcaCtx;
+use std::any::Any;
+
+/// User-written adaptation logic. `scopes` arguments carry the keys of every
+/// registered subscope the event matched (§4.2: events are delivered once,
+/// with all matching subscope keys).
+pub trait Orchestrator: Any {
+    /// Orchestrator start callback — always delivered, first.
+    fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, start: &OrcaStartContext);
+
+    /// An operator metric observation matched an [`crate::OperatorMetricScope`].
+    fn on_operator_metric(
+        &mut self,
+        ctx: &mut OrcaCtx<'_>,
+        event: &OperatorMetricContext,
+        scopes: &[String],
+    ) {
+        let _ = (ctx, event, scopes);
+    }
+
+    /// An operator-port metric observation matched a scope.
+    fn on_operator_port_metric(
+        &mut self,
+        ctx: &mut OrcaCtx<'_>,
+        event: &OperatorPortMetricContext,
+        scopes: &[String],
+    ) {
+        let _ = (ctx, event, scopes);
+    }
+
+    /// A PE metric observation matched a scope.
+    fn on_pe_metric(&mut self, ctx: &mut OrcaCtx<'_>, event: &PeMetricContext, scopes: &[String]) {
+        let _ = (ctx, event, scopes);
+    }
+
+    /// A PE of a managed job crashed (delivered immediately, §4.2).
+    fn on_pe_failure(
+        &mut self,
+        ctx: &mut OrcaCtx<'_>,
+        event: &PeFailureContext,
+        scopes: &[String],
+    ) {
+        let _ = (ctx, event, scopes);
+    }
+
+    /// The ORCA service submitted a job (direct or dependency-driven).
+    fn on_job_submitted(
+        &mut self,
+        ctx: &mut OrcaCtx<'_>,
+        event: &JobEventContext,
+        scopes: &[String],
+    ) {
+        let _ = (ctx, event, scopes);
+    }
+
+    /// The ORCA service cancelled a job (explicit or garbage-collected).
+    fn on_job_cancelled(
+        &mut self,
+        ctx: &mut OrcaCtx<'_>,
+        event: &JobEventContext,
+        scopes: &[String],
+    ) {
+        let _ = (ctx, event, scopes);
+    }
+
+    /// A timer registered via [`OrcaCtx::set_timer`] expired.
+    fn on_timer(&mut self, ctx: &mut OrcaCtx<'_>, event: &TimerContext) {
+        let _ = (ctx, event);
+    }
+
+    /// A user-generated event (command tool) matched a scope.
+    fn on_user_event(
+        &mut self,
+        ctx: &mut OrcaCtx<'_>,
+        event: &UserEventContext,
+        scopes: &[String],
+    ) {
+        let _ = (ctx, event, scopes);
+    }
+}

@@ -1,0 +1,448 @@
+//! Declarative adaptation rules (§7 future work).
+//!
+//! The paper closes by proposing that orchestrators could be expressed "via
+//! rules (similar to complex event processing) ... and take default
+//! adaptation actions when no specialization is provided for a given event
+//! (e.g., automatic PE restart)". [`RulePolicy`] implements exactly that: a
+//! ready-made [`Orchestrator`] assembled from *rules* — a scope, an optional
+//! threshold condition, and a list of actions — with automatic PE restart as
+//! the default failure action.
+
+use crate::event::{OperatorMetricContext, OrcaStartContext, PeFailureContext};
+use crate::orchestrator::Orchestrator;
+use crate::scope::{OperatorMetricScope, PeFailureScope};
+use crate::service::OrcaCtx;
+use sps_sim::{SimDuration, SimTime};
+
+/// Threshold condition on a metric value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Condition {
+    Above(i64),
+    Below(i64),
+    /// Fire on every matching observation.
+    Always,
+}
+
+impl Condition {
+    pub fn holds(&self, value: i64) -> bool {
+        match self {
+            Condition::Above(t) => value > *t,
+            Condition::Below(t) => value < *t,
+            Condition::Always => true,
+        }
+    }
+}
+
+/// What a fired rule does. Job/PE-directed actions use the identity carried
+/// by the triggering event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleAction {
+    /// Restart the event's PE (the paper's canonical default).
+    RestartPe,
+    /// Stop the event's PE (load shedding by amputation).
+    StopPe,
+    /// Cancel the event's job.
+    CancelJob,
+    /// Submit a managed application by name.
+    SubmitApp(String),
+    /// Request a configuration start through the dependency manager.
+    StartConfig(String),
+    /// Request a configuration cancellation.
+    CancelConfig(String),
+    /// Write to the status board.
+    SetStatus(String, String),
+    /// Arm a one-shot timer.
+    SetTimer(String, SimDuration),
+}
+
+/// A metric-triggered rule.
+#[derive(Clone, Debug)]
+pub struct MetricRule {
+    pub scope: OperatorMetricScope,
+    pub condition: Condition,
+    pub actions: Vec<RuleAction>,
+    /// Minimum spacing between firings (the §5.1 "once per 10 minutes"
+    /// guard, generalized).
+    pub holdoff: SimDuration,
+}
+
+/// A failure-triggered rule. Empty `actions` means the default adaptation:
+/// restart the crashed PE.
+#[derive(Clone, Debug)]
+pub struct FailureRule {
+    pub scope: PeFailureScope,
+    pub actions: Vec<RuleAction>,
+}
+
+/// Record of a rule firing (for tests/audit; the service journal carries the
+/// authoritative trail).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Firing {
+    pub at: SimTime,
+    pub rule_key: String,
+    pub actions_ok: usize,
+    pub actions_failed: usize,
+}
+
+/// A rules-driven orchestrator.
+#[derive(Default)]
+pub struct RulePolicy {
+    submit_on_start: Vec<String>,
+    metric_poll: Option<SimDuration>,
+    metric_rules: Vec<(MetricRule, Option<SimTime>)>,
+    failure_rules: Vec<FailureRule>,
+    pub firings: Vec<Firing>,
+}
+
+impl RulePolicy {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit this managed application when the orchestrator starts.
+    pub fn submit_on_start(mut self, app: &str) -> Self {
+        self.submit_on_start.push(app.to_string());
+        self
+    }
+
+    /// Override the SRM metric poll period.
+    pub fn poll_period(mut self, period: SimDuration) -> Self {
+        self.metric_poll = Some(period);
+        self
+    }
+
+    /// Adds a metric rule. The scope's key doubles as the rule name.
+    pub fn on_metric(
+        mut self,
+        scope: OperatorMetricScope,
+        condition: Condition,
+        actions: Vec<RuleAction>,
+        holdoff: SimDuration,
+    ) -> Self {
+        self.metric_rules.push((
+            MetricRule {
+                scope,
+                condition,
+                actions,
+                holdoff,
+            },
+            None,
+        ));
+        self
+    }
+
+    /// Adds a failure rule; empty actions = default automatic PE restart.
+    pub fn on_failure(mut self, scope: PeFailureScope, actions: Vec<RuleAction>) -> Self {
+        self.failure_rules.push(FailureRule { scope, actions });
+        self
+    }
+
+    fn run_actions(
+        ctx: &mut OrcaCtx<'_>,
+        actions: &[RuleAction],
+        job: sps_runtime::JobId,
+        pe: sps_runtime::PeId,
+    ) -> (usize, usize) {
+        let mut ok = 0;
+        let mut failed = 0;
+        for action in actions {
+            let result: Result<(), crate::OrcaError> = match action {
+                RuleAction::RestartPe => ctx.restart_pe(pe).map(|_| ()),
+                RuleAction::StopPe => ctx.stop_pe(pe),
+                RuleAction::CancelJob => ctx.cancel_job(job),
+                RuleAction::SubmitApp(app) => ctx.submit_app(app).map(|_| ()),
+                RuleAction::StartConfig(cfg) => ctx.request_start(cfg),
+                RuleAction::CancelConfig(cfg) => ctx.request_cancel(cfg),
+                RuleAction::SetStatus(k, v) => {
+                    ctx.set_status(k, v);
+                    Ok(())
+                }
+                RuleAction::SetTimer(key, delay) => {
+                    ctx.set_timer(*delay, key);
+                    Ok(())
+                }
+            };
+            match result {
+                Ok(()) => ok += 1,
+                Err(_) => failed += 1,
+            }
+        }
+        (ok, failed)
+    }
+}
+
+impl Orchestrator for RulePolicy {
+    fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, _s: &OrcaStartContext) {
+        for (rule, _) in &self.metric_rules {
+            ctx.register_event_scope(rule.scope.clone());
+        }
+        for rule in &self.failure_rules {
+            ctx.register_event_scope(rule.scope.clone());
+        }
+        if let Some(period) = self.metric_poll {
+            ctx.set_metric_poll_period(period);
+        }
+        for app in &self.submit_on_start {
+            // Failures surface via the trace; a rules policy has no custom
+            // error channel by design.
+            let _ = ctx.submit_app(app);
+        }
+    }
+
+    fn on_operator_metric(
+        &mut self,
+        ctx: &mut OrcaCtx<'_>,
+        e: &OperatorMetricContext,
+        scopes: &[String],
+    ) {
+        let now = ctx.now();
+        for i in 0..self.metric_rules.len() {
+            let (rule, last_fired) = &self.metric_rules[i];
+            if !scopes.iter().any(|s| s == &rule.scope.key) {
+                continue;
+            }
+            if !rule.condition.holds(e.value) {
+                continue;
+            }
+            if last_fired.is_some_and(|t| now.since(t) < rule.holdoff) {
+                continue;
+            }
+            let actions = rule.actions.clone();
+            let key = rule.scope.key.clone();
+            self.metric_rules[i].1 = Some(now);
+            let (ok, failed) = Self::run_actions(ctx, &actions, e.job, e.pe);
+            self.firings.push(Firing {
+                at: now,
+                rule_key: key,
+                actions_ok: ok,
+                actions_failed: failed,
+            });
+        }
+    }
+
+    fn on_pe_failure(&mut self, ctx: &mut OrcaCtx<'_>, e: &PeFailureContext, scopes: &[String]) {
+        let now = ctx.now();
+        for i in 0..self.failure_rules.len() {
+            let rule = &self.failure_rules[i];
+            if !scopes.iter().any(|s| s == &rule.scope.key) {
+                continue;
+            }
+            let actions = if rule.actions.is_empty() {
+                // The paper's default adaptation action.
+                vec![RuleAction::RestartPe]
+            } else {
+                rule.actions.clone()
+            };
+            let key = rule.scope.key.clone();
+            let (ok, failed) = Self::run_actions(ctx, &actions, e.job, e.pe);
+            self.firings.push(Firing {
+                at: now,
+                rule_key: key,
+                actions_ok: ok,
+                actions_failed: failed,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OrcaDescriptor, OrcaService};
+    use sps_engine::OperatorRegistry;
+    use sps_model::compiler::{compile, CompileOptions};
+    use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
+    use sps_model::Adl;
+    use sps_runtime::{Cluster, Kernel, PeStatus, RuntimeConfig, World};
+
+    fn app(name: &str, rate: f64) -> Adl {
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "src",
+            OperatorInvocation::new("Beacon").source().param("rate", rate),
+        );
+        m.operator("snk", OperatorInvocation::new("Sink").sink());
+        m.pipe("src", "snk");
+        let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+        compile(&model, CompileOptions::default()).unwrap()
+    }
+
+    fn world_with(policy: RulePolicy, apps: Vec<Adl>) -> (World, usize) {
+        let kernel = Kernel::new(
+            Cluster::with_hosts(2),
+            OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        );
+        let mut world = World::new(kernel);
+        let mut desc = OrcaDescriptor::new("Rules");
+        for a in apps {
+            desc = desc.app(a);
+        }
+        let service = OrcaService::submit(&mut world.kernel, desc, Box::new(policy));
+        let idx = world.add_controller(Box::new(service));
+        (world, idx)
+    }
+
+    fn get_policy(world: &World, idx: usize) -> &RulePolicy {
+        world
+            .controller::<OrcaService>(idx)
+            .unwrap()
+            .logic::<RulePolicy>()
+            .unwrap()
+    }
+
+    #[test]
+    fn condition_semantics() {
+        assert!(Condition::Above(5).holds(6));
+        assert!(!Condition::Above(5).holds(5));
+        assert!(Condition::Below(5).holds(4));
+        assert!(!Condition::Below(5).holds(5));
+        assert!(Condition::Always.holds(i64::MIN));
+    }
+
+    #[test]
+    fn default_failure_rule_restarts_automatically() {
+        let policy = RulePolicy::new()
+            .submit_on_start("A")
+            .on_failure(PeFailureScope::new("auto"), vec![]);
+        let (mut world, idx) = world_with(policy, vec![app("A", 10.0)]);
+        world.run_for(SimDuration::from_secs(1));
+        let job = world.kernel.sam.running_jobs()[0];
+        let pe = world.kernel.pe_id_of(job, 0).unwrap();
+        world.kernel.kill_pe(pe).unwrap();
+        world.run_for(SimDuration::from_secs(4));
+        let p = get_policy(&world, idx);
+        assert_eq!(p.firings.len(), 1);
+        assert_eq!(p.firings[0].rule_key, "auto");
+        assert_eq!(p.firings[0].actions_ok, 1);
+        // The job has a healthy PE again.
+        let new_pe = world.kernel.pe_id_of(job, 0).unwrap();
+        assert_ne!(new_pe, pe);
+        assert_eq!(world.kernel.pe_status(new_pe), Some(PeStatus::Up));
+        // Journal recorded the actuation under the failure event's txn.
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        let entry = svc
+            .journal()
+            .iter()
+            .find(|e| e.event.starts_with("peFailure"))
+            .unwrap();
+        assert_eq!(entry.actuations.len(), 1);
+        assert!(entry.actuations[0].starts_with("restart("));
+    }
+
+    #[test]
+    fn metric_rule_with_threshold_and_holdoff() {
+        // Fire when the sink has processed more than 50 tuples; actions:
+        // status note + submit a second app. Holdoff far longer than the run
+        // → exactly one firing despite many matching events.
+        let policy = RulePolicy::new()
+            .submit_on_start("A")
+            .poll_period(SimDuration::from_secs(3))
+            .on_metric(
+                OperatorMetricScope::new("hot")
+                    .add_operator_instance("snk")
+                    .add_metric("nTuplesProcessed"),
+                Condition::Above(50),
+                vec![
+                    RuleAction::SetStatus("state".into(), "hot".into()),
+                    RuleAction::SubmitApp("B".into()),
+                ],
+                SimDuration::from_secs(3600),
+            );
+        let (mut world, idx) = world_with(policy, vec![app("A", 30.0), app("B", 1.0)]);
+        world.run_for(SimDuration::from_secs(30));
+        let p = get_policy(&world, idx);
+        assert_eq!(p.firings.len(), 1, "{:?}", p.firings);
+        assert_eq!(p.firings[0].actions_ok, 2);
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        assert_eq!(svc.status("state"), Some("hot"));
+        // B was submitted by the rule.
+        let apps: Vec<String> = world
+            .kernel
+            .sam
+            .jobs()
+            .map(|j| j.app_name.clone())
+            .collect();
+        assert!(apps.contains(&"B".to_string()));
+    }
+
+    #[test]
+    fn metric_rule_below_condition_and_failed_actions_counted() {
+        // Below(0) never holds for counters; rule never fires.
+        let never = RulePolicy::new()
+            .submit_on_start("A")
+            .poll_period(SimDuration::from_secs(3))
+            .on_metric(
+                OperatorMetricScope::new("never")
+                    .add_operator_instance("snk")
+                    .add_metric("nTuplesProcessed"),
+                Condition::Below(0),
+                vec![RuleAction::RestartPe],
+                SimDuration::ZERO,
+            );
+        let (mut world, idx) = world_with(never, vec![app("A", 30.0)]);
+        world.run_for(SimDuration::from_secs(15));
+        assert!(get_policy(&world, idx).firings.is_empty());
+
+        // A rule whose action targets an unknown config fails but is
+        // recorded (rules are best-effort).
+        let failing = RulePolicy::new()
+            .submit_on_start("A")
+            .poll_period(SimDuration::from_secs(3))
+            .on_metric(
+                OperatorMetricScope::new("bad")
+                    .add_operator_instance("snk")
+                    .add_metric("nTuplesProcessed"),
+                Condition::Always,
+                vec![RuleAction::CancelConfig("ghost".into())],
+                SimDuration::from_secs(3600),
+            );
+        let (mut world, idx) = world_with(failing, vec![app("A", 30.0)]);
+        world.run_for(SimDuration::from_secs(15));
+        let p = get_policy(&world, idx);
+        assert_eq!(p.firings.len(), 1);
+        assert_eq!(p.firings[0].actions_failed, 1);
+    }
+
+    #[test]
+    fn stop_pe_action_sheds_load() {
+        let policy = RulePolicy::new()
+            .submit_on_start("A")
+            .poll_period(SimDuration::from_secs(3))
+            .on_metric(
+                OperatorMetricScope::new("shed")
+                    .add_operator_instance("src")
+                    .add_metric("nTuplesSubmitted"),
+                Condition::Above(100),
+                vec![RuleAction::StopPe],
+                SimDuration::from_secs(3600),
+            );
+        let (mut world, idx) = world_with(policy, vec![app("A", 50.0)]);
+        world.run_for(SimDuration::from_secs(20));
+        let p = get_policy(&world, idx);
+        assert_eq!(p.firings.len(), 1);
+        let job = world.kernel.sam.running_jobs()[0];
+        let src_pe = world.kernel.pe_id_of(job, 0).unwrap();
+        assert_eq!(world.kernel.pe_status(src_pe), Some(PeStatus::Stopped));
+    }
+
+    #[test]
+    fn timer_action_arms_service_timer() {
+        // SetTimer is fire-and-forget for RulePolicy (no on_timer handler),
+        // but it must not error and must appear in the journal.
+        let policy = RulePolicy::new()
+            .submit_on_start("A")
+            .poll_period(SimDuration::from_secs(3))
+            .on_metric(
+                OperatorMetricScope::new("t")
+                    .add_operator_instance("snk")
+                    .add_metric("nTuplesProcessed"),
+                Condition::Always,
+                vec![RuleAction::SetTimer("tick".into(), SimDuration::from_secs(1))],
+                SimDuration::from_secs(3600),
+            );
+        let (mut world, idx) = world_with(policy, vec![app("A", 30.0)]);
+        world.run_for(SimDuration::from_secs(15));
+        assert_eq!(get_policy(&world, idx).firings.len(), 1);
+    }
+}

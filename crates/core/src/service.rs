@@ -1,0 +1,1509 @@
+//! The ORCA service: event detection, scope filtering, one-at-a-time
+//! delivery, graph inspection, and actuation (§3, §4).
+//!
+//! The service runs as a [`Controller`] of the simulated runtime world
+//! (standing in for the separate orchestrator process SAM forks in System
+//! S). Each quantum it:
+//!
+//! 1. delivers the start callback (first quantum only),
+//! 2. converts SAM failure notifications into PE-failure events,
+//! 3. converts injected user events,
+//! 4. fires due timers,
+//! 5. advances the dependency manager (ordered submissions / GC
+//!    cancellations),
+//! 6. polls SRM for metrics when the poll period elapsed (default 15 s,
+//!    changeable at runtime — §4.2),
+//! 7. drains the event queue, dispatching to the ORCA logic one event at a
+//!    time.
+
+use crate::deps::{AppConfig, DependencyManager};
+use crate::error::OrcaError;
+use crate::event::*;
+use crate::orchestrator::Orchestrator;
+use crate::scope::EventScope;
+use sps_engine::{MetricKey, StreamItem, Tuple};
+use sps_model::adl::Adl;
+use sps_model::value::ParamMap;
+use sps_model::{GraphStore, Value};
+use sps_runtime::{
+    Controller, JobId, Kernel, OrcaId, OrcaNotification, PeId, RuntimeError,
+};
+use sps_sim::{SimDuration, SimTime};
+use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Safety cap on events dispatched per quantum (guards against handler ↔
+/// event feedback loops).
+const MAX_EVENTS_PER_QUANTUM: usize = 10_000;
+
+/// Journal retention (most recent entries kept).
+const JOURNAL_CAP: usize = 100_000;
+
+/// Human-readable one-liner for a queued event (journal rendering).
+fn describe_event(event: &QueuedEvent) -> String {
+    match event {
+        QueuedEvent::OperatorMetric(c, _) => format!(
+            "operatorMetric {}@{} {}={} epoch={}",
+            c.instance_name, c.app_name, c.metric, c.value, c.epoch
+        ),
+        QueuedEvent::OperatorPortMetric(c, _) => format!(
+            "portMetric {}:{}@{} {}={}",
+            c.instance_name, c.port, c.app_name, c.metric, c.value
+        ),
+        QueuedEvent::PeMetric(c, _) => {
+            format!("peMetric {}@{} {}={}", c.pe, c.app_name, c.metric, c.value)
+        }
+        QueuedEvent::PeFailure(c, _) => format!(
+            "peFailure {}@{} reason={} epoch={}",
+            c.pe,
+            c.app_name,
+            c.reason.class(),
+            c.epoch
+        ),
+        QueuedEvent::JobSubmitted(c, _) => format!("jobSubmitted {} ({})", c.job, c.app_name),
+        QueuedEvent::JobCancelled(c, _) => format!("jobCancelled {} ({})", c.job, c.app_name),
+        QueuedEvent::Timer(c) => format!("timer {}", c.key),
+        QueuedEvent::User(c, _) => format!("userEvent {}", c.name),
+    }
+}
+
+/// The orchestrator description submitted to SAM (the paper's `MyORCA.xml`):
+/// a name plus the applications the orchestrator may manage, each with its
+/// compiled ADL.
+#[derive(Clone, Debug)]
+pub struct OrcaDescriptor {
+    pub name: String,
+    pub apps: Vec<(String, Adl)>,
+}
+
+impl OrcaDescriptor {
+    pub fn new(name: &str) -> Self {
+        OrcaDescriptor {
+            name: name.to_string(),
+            apps: Vec::new(),
+        }
+    }
+
+    /// Registers an application under its ADL's application name.
+    pub fn app(mut self, adl: Adl) -> Self {
+        self.apps.push((adl.app_name.clone(), adl));
+        self
+    }
+}
+
+/// A managed application: its ADL and the in-memory stream-graph
+/// representation built from it (§3).
+#[derive(Clone, Debug)]
+pub struct ManagedApp {
+    pub name: String,
+    pub adl: Adl,
+    pub graph: GraphStore,
+}
+
+/// Record of a job the service started.
+#[derive(Clone, Debug)]
+struct JobRecord {
+    app_name: String,
+    config_id: Option<String>,
+}
+
+/// Delivery/bookkeeping counters (observability + benches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    pub events_delivered: u64,
+    pub metric_observations_seen: u64,
+    pub metric_events_matched: u64,
+    pub polls: u64,
+    pub failures_seen: u64,
+}
+
+/// One entry of the event/actuation journal (paper §7 future work:
+/// "adding transaction IDs to delivered events, and associating actuations
+/// taking place via the ORCA service to the event transaction ID", enabling
+/// reliable delivery and actuation replay).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Transaction id: one per delivered event, monotonically increasing.
+    pub txn: u64,
+    pub at: SimTime,
+    /// Event summary (type + identifying fields).
+    pub event: String,
+    /// Actuations the handler performed under this transaction.
+    pub actuations: Vec<String>,
+}
+
+/// Internal state shared between the service loop and handler contexts.
+pub(crate) struct ServiceCore {
+    orca_id: OrcaId,
+    name: String,
+    apps: BTreeMap<String, ManagedApp>,
+    scopes: Vec<EventScope>,
+    queue: VecDeque<QueuedEvent>,
+    deps: DependencyManager,
+    jobs: BTreeMap<JobId, JobRecord>,
+    poll_period: SimDuration,
+    last_poll: Option<SimTime>,
+    metric_epoch: u64,
+    failure_epochs: BTreeMap<(String, u64), u64>,
+    next_failure_epoch: u64,
+    timers: Vec<(SimTime, String)>,
+    pending_user_events: VecDeque<(String, ParamMap)>,
+    status: BTreeMap<String, String>,
+    exclusive_uniquifier: u64,
+    stats: ServiceStats,
+    next_txn: u64,
+    current_txn: Option<u64>,
+    journal: Vec<JournalEntry>,
+}
+
+impl ServiceCore {
+    /// Enqueues a job lifecycle event if any JobEvent scope matches.
+    fn enqueue_job_event(&mut self, submitted: bool, ctx: JobEventContext) {
+        let keys: Vec<String> = self
+            .scopes
+            .iter()
+            .filter_map(|s| match s {
+                EventScope::JobEvent(js)
+                    if js.matches(&ctx.app_name, ctx.config_id.as_deref()) =>
+                {
+                    Some(js.key.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        if keys.is_empty() {
+            return;
+        }
+        self.queue.push_back(if submitted {
+            QueuedEvent::JobSubmitted(ctx, keys)
+        } else {
+            QueuedEvent::JobCancelled(ctx, keys)
+        });
+    }
+
+    /// Epoch for a PE failure: failures sharing (reason class, detection
+    /// time) correlate to one physical event (§4.2).
+    fn failure_epoch(&mut self, class: &str, detected_at: SimTime) -> u64 {
+        let key = (class.to_string(), detected_at.as_millis());
+        if let Some(&e) = self.failure_epochs.get(&key) {
+            return e;
+        }
+        self.next_failure_epoch += 1;
+        let e = self.next_failure_epoch;
+        self.failure_epochs.insert(key, e);
+        e
+    }
+
+    /// ADL ready for submission for a config: parameter substitution plus
+    /// the exclusive-host-pool rewrite.
+    fn prepare_adl(&mut self, app_name: &str, config: Option<&AppConfig>) -> Result<Adl, OrcaError> {
+        let app = self
+            .apps
+            .get(app_name)
+            .ok_or_else(|| OrcaError::UnknownApp(app_name.to_string()))?;
+        let mut adl = app.adl.clone();
+        if let Some(cfg) = config {
+            for op in &mut adl.operators {
+                for value in op.params.values_mut() {
+                    if let Value::Str(s) = value {
+                        if let Some(key) = s.strip_prefix("${").and_then(|r| r.strip_suffix('}'))
+                        {
+                            let replacement = cfg.params.get(key).cloned().ok_or_else(|| {
+                                OrcaError::MissingParam {
+                                    config: cfg.id.clone(),
+                                    param: key.to_string(),
+                                }
+                            })?;
+                            *value = replacement;
+                        }
+                    }
+                }
+            }
+            if cfg.exclusive_hosts {
+                self.exclusive_uniquifier += 1;
+                let tag = format!("{}#{}", cfg.id, self.exclusive_uniquifier);
+                adl.make_host_pools_exclusive(&tag);
+            }
+        }
+        Ok(adl)
+    }
+
+    fn require_managed(&self, job: JobId) -> Result<&JobRecord, OrcaError> {
+        self.jobs.get(&job).ok_or(OrcaError::NotManaged(job))
+    }
+
+    /// Associates an actuation description with the transaction of the
+    /// event being handled (no-op outside event handling).
+    fn record_actuation(&mut self, description: String) {
+        if let Some(txn) = self.current_txn {
+            if let Some(entry) = self.journal.iter_mut().rev().find(|e| e.txn == txn) {
+                entry.actuations.push(description);
+            }
+        }
+    }
+}
+
+/// Handler-facing API: actuation, inspection, and service configuration.
+///
+/// Borrowing both the runtime kernel (the simulated SAM/SRM RPC surface) and
+/// the service core, so handlers can act synchronously — the paper's ORCA
+/// service proxies these calls to the middleware (§3).
+pub struct OrcaCtx<'a> {
+    kernel: &'a mut Kernel,
+    core: &'a mut ServiceCore,
+}
+
+impl<'a> OrcaCtx<'a> {
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    pub fn orca_id(&self) -> OrcaId {
+        self.core.orca_id
+    }
+
+    // ---- event scope management (§4.1) -----------------------------------
+
+    /// Registers a subscope with the ORCA service event scope.
+    pub fn register_event_scope(&mut self, scope: impl Into<EventScope>) {
+        self.core.scopes.push(scope.into());
+    }
+
+    /// Changes the SRM metric poll period (§4.2: "developers can change it
+    /// at any point of the execution").
+    pub fn set_metric_poll_period(&mut self, period: SimDuration) {
+        self.core.poll_period = period;
+    }
+
+    /// Registers a one-shot timer; [`Orchestrator::on_timer`] fires with the
+    /// given key.
+    pub fn set_timer(&mut self, delay: SimDuration, key: &str) {
+        let due = self.now() + delay;
+        self.core.timers.push((due, key.to_string()));
+        self.core.timers.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    }
+
+    // ---- application registry --------------------------------------------
+
+    /// Dynamically registers an additional manageable application (listed as
+    /// future work in the paper's §7; supported here directly).
+    pub fn register_app(&mut self, adl: Adl) {
+        let graph = GraphStore::from_adl(&adl);
+        self.core.apps.insert(
+            adl.app_name.clone(),
+            ManagedApp {
+                name: adl.app_name.clone(),
+                adl,
+                graph,
+            },
+        );
+    }
+
+    /// The in-memory stream-graph representation of a managed application.
+    pub fn graph(&self, app_name: &str) -> Option<&GraphStore> {
+        self.core.apps.get(app_name).map(|a| &a.graph)
+    }
+
+    /// Graph of the application a managed job runs.
+    pub fn graph_of_job(&self, job: JobId) -> Option<&GraphStore> {
+        let rec = self.core.jobs.get(&job)?;
+        self.graph(&rec.app_name)
+    }
+
+    // ---- direct actuation (§4) --------------------------------------------
+
+    /// Submits a managed application directly (no configuration). The job is
+    /// owned by this orchestrator.
+    pub fn submit_app(&mut self, app_name: &str) -> Result<JobId, OrcaError> {
+        let adl = self.core.prepare_adl(app_name, None)?;
+        self.do_submit(adl, app_name, None)
+    }
+
+    /// Submits a managed application with its host pools rewritten to be
+    /// exclusive (§4.3) — the replica-manager pattern of §5.2.
+    pub fn submit_app_exclusive(&mut self, app_name: &str) -> Result<JobId, OrcaError> {
+        let mut adl = self.core.prepare_adl(app_name, None)?;
+        self.core.exclusive_uniquifier += 1;
+        let tag = format!("{app_name}#{}", self.core.exclusive_uniquifier);
+        adl.make_host_pools_exclusive(&tag);
+        self.do_submit(adl, app_name, None)
+    }
+
+    fn do_submit(
+        &mut self,
+        adl: Adl,
+        app_name: &str,
+        config_id: Option<String>,
+    ) -> Result<JobId, OrcaError> {
+        let job = self
+            .kernel
+            .submit_job(adl, Some(self.core.orca_id))
+            .map_err(OrcaError::Runtime)?;
+        self.core
+            .record_actuation(format!("submit({app_name}) -> {job}"));
+        self.core.jobs.insert(
+            job,
+            JobRecord {
+                app_name: app_name.to_string(),
+                config_id: config_id.clone(),
+            },
+        );
+        if let Some(cfg) = &config_id {
+            self.core.deps.mark_submitted(cfg, job, self.kernel.now());
+        }
+        let at = self.kernel.now();
+        self.core.enqueue_job_event(
+            true,
+            JobEventContext {
+                job,
+                app_name: app_name.to_string(),
+                config_id,
+                at,
+            },
+        );
+        Ok(job)
+    }
+
+    /// Cancels a job started through this ORCA service.
+    pub fn cancel_job(&mut self, job: JobId) -> Result<(), OrcaError> {
+        let rec = self.core.require_managed(job)?.clone();
+        self.kernel.cancel_job(job).map_err(OrcaError::Runtime)?;
+        self.core.record_actuation(format!("cancel({job})"));
+        self.core.jobs.remove(&job);
+        if let Some(cfg) = &rec.config_id {
+            self.core.deps.mark_cancelled(cfg);
+        }
+        let at = self.kernel.now();
+        self.core.enqueue_job_event(
+            false,
+            JobEventContext {
+                job,
+                app_name: rec.app_name,
+                config_id: rec.config_id,
+                at,
+            },
+        );
+        Ok(())
+    }
+
+    /// Restarts a PE of a managed job (fresh operator state). Returns the
+    /// replacement PE id.
+    pub fn restart_pe(&mut self, pe: PeId) -> Result<PeId, OrcaError> {
+        let (job, _) = self
+            .kernel
+            .sam
+            .pe_lookup(pe)
+            .ok_or(OrcaError::Runtime(RuntimeError::UnknownPe(pe)))?;
+        self.core.require_managed(job)?;
+        let new_pe = self.kernel.restart_pe(pe).map_err(OrcaError::Runtime)?;
+        self.core
+            .record_actuation(format!("restart({pe}) -> {new_pe}"));
+        Ok(new_pe)
+    }
+
+    /// Stops a PE of a managed job.
+    pub fn stop_pe(&mut self, pe: PeId) -> Result<(), OrcaError> {
+        let (job, _) = self
+            .kernel
+            .sam
+            .pe_lookup(pe)
+            .ok_or(OrcaError::Runtime(RuntimeError::UnknownPe(pe)))?;
+        self.core.require_managed(job)?;
+        self.kernel.stop_pe(pe).map_err(OrcaError::Runtime)?;
+        self.core.record_actuation(format!("stop({pe})"));
+        Ok(())
+    }
+
+    /// Sends a control item directly into an operator of a managed job (the
+    /// "dynamic filter receiving a control command" pattern of §3).
+    pub fn inject(
+        &mut self,
+        job: JobId,
+        op: &str,
+        port: usize,
+        item: StreamItem,
+    ) -> Result<(), OrcaError> {
+        self.core.require_managed(job)?;
+        self.kernel
+            .inject(job, op, port, item)
+            .map_err(OrcaError::Runtime)
+    }
+
+    /// Reads a sink-like operator's recent output (managed jobs only).
+    pub fn tap(&self, job: JobId, op: &str) -> Option<Vec<Tuple>> {
+        self.core.jobs.get(&job)?;
+        self.kernel.tap(job, op)
+    }
+
+    // ---- application configurations & dependencies (§4.4) -----------------
+
+    /// Creates an application configuration for later dependency-driven
+    /// submission.
+    pub fn create_app_config(&mut self, config: AppConfig) -> Result<(), OrcaError> {
+        if !self.core.apps.contains_key(&config.app_name) {
+            return Err(OrcaError::UnknownApp(config.app_name.clone()));
+        }
+        self.core.deps.register_config(config)
+    }
+
+    /// Registers `dependent` → `dependency` with an uptime requirement;
+    /// rejects cycles.
+    pub fn register_dependency(
+        &mut self,
+        dependent: &str,
+        dependency: &str,
+        uptime: SimDuration,
+    ) -> Result<(), OrcaError> {
+        self.core.deps.register_dependency(dependent, dependency, uptime)
+    }
+
+    /// Requests a configuration start: the ORCA service submits its
+    /// not-yet-running dependencies in order, honouring uptime requirements,
+    /// then the target.
+    pub fn request_start(&mut self, config_id: &str) -> Result<(), OrcaError> {
+        let now = self.kernel.now();
+        self.core.deps.request_start(config_id, now)?;
+        Ok(())
+    }
+
+    /// Requests a configuration cancellation, with starvation protection and
+    /// garbage collection of unused upstream applications.
+    pub fn request_cancel(&mut self, config_id: &str) -> Result<(), OrcaError> {
+        let now = self.kernel.now();
+        let plan = self.core.deps.request_cancel(config_id, now)?;
+        // The target is cancelled immediately.
+        if let Some(job) = self.core.jobs.iter().find_map(|(j, r)| {
+            (r.config_id.as_deref() == Some(plan.immediate.as_str())).then_some(*j)
+        }) {
+            let rec = self.core.jobs.remove(&job).expect("record exists");
+            self.kernel.cancel_job(job).map_err(OrcaError::Runtime)?;
+            let at = self.kernel.now();
+            self.core.enqueue_job_event(
+                false,
+                JobEventContext {
+                    job,
+                    app_name: rec.app_name,
+                    config_id: rec.config_id,
+                    at,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Job currently running a configuration.
+    pub fn job_of_config(&self, config_id: &str) -> Option<JobId> {
+        self.core.deps.job_of(config_id)
+    }
+
+    /// Configuration a managed job was started from (None for direct
+    /// submissions).
+    pub fn config_of_job(&self, job: JobId) -> Option<String> {
+        self.core
+            .jobs
+            .get(&job)
+            .and_then(|r| r.config_id.clone())
+    }
+
+    /// Configs currently running under the dependency manager.
+    pub fn running_configs(&self) -> Vec<String> {
+        self.core
+            .deps
+            .running_configs()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+
+    // ---- graph inspection by PE (§4.2 inspection queries) ------------------
+
+    /// "Which stream operators reside in PE with id x?"
+    pub fn operators_in_pe(&self, pe: PeId) -> Vec<String> {
+        let Some((job, adl_index)) = self.kernel.sam.pe_lookup(pe) else {
+            return Vec::new();
+        };
+        let Some(graph) = self.graph_of_job(job) else {
+            return Vec::new();
+        };
+        graph
+            .operators_in_pe(adl_index)
+            .into_iter()
+            .map(|o| o.name.clone())
+            .collect()
+    }
+
+    /// "Which composites reside in PE with id x?"
+    pub fn composites_in_pe(&self, pe: PeId) -> Vec<String> {
+        let Some((job, adl_index)) = self.kernel.sam.pe_lookup(pe) else {
+            return Vec::new();
+        };
+        let Some(graph) = self.graph_of_job(job) else {
+            return Vec::new();
+        };
+        graph
+            .composites_in_pe(adl_index)
+            .into_iter()
+            .map(|c| c.path.clone())
+            .collect()
+    }
+
+    /// "What is the PE id for operator instance y?"
+    pub fn pe_of_operator(&self, job: JobId, op: &str) -> Option<PeId> {
+        let graph = self.graph_of_job(job)?;
+        let adl_index = graph.pe_of_operator(op)?;
+        self.kernel.pe_id_of(job, adl_index)
+    }
+
+    /// "What is the enclosing composite operator instance name for operator
+    /// instance y?"
+    pub fn enclosing_composite(&self, job: JobId, op: &str) -> Option<String> {
+        self.graph_of_job(job)?
+            .enclosing_composite(op)
+            .map(|c| c.path.clone())
+    }
+
+    /// Jobs this orchestrator manages for an application.
+    pub fn jobs_of_app(&self, app_name: &str) -> Vec<JobId> {
+        self.core
+            .jobs
+            .iter()
+            .filter(|(_, r)| r.app_name == app_name)
+            .map(|(&j, _)| j)
+            .collect()
+    }
+
+    /// Application name of a managed job.
+    pub fn app_of_job(&self, job: JobId) -> Option<&str> {
+        self.core.jobs.get(&job).map(|r| r.app_name.as_str())
+    }
+
+    // ---- status board (the §5.2 "status file" read by the GUI) -------------
+
+    pub fn set_status(&mut self, key: &str, value: &str) {
+        self.core.status.insert(key.to_string(), value.to_string());
+    }
+
+    pub fn status(&self, key: &str) -> Option<&str> {
+        self.core.status.get(key).map(String::as_str)
+    }
+
+    /// Direct kernel access for advanced inspection (simulation-only
+    /// capability; real deployments would use dedicated RPCs).
+    pub fn kernel(&mut self) -> &mut Kernel {
+        self.kernel
+    }
+}
+
+/// The ORCA service runtime component.
+pub struct OrcaService {
+    core: ServiceCore,
+    logic: Box<dyn Orchestrator>,
+    started: bool,
+}
+
+impl OrcaService {
+    /// Submits an orchestrator to SAM: registers it as a manageable entity
+    /// and builds the in-memory graphs of its applications. Attach the
+    /// returned service to the [`sps_runtime::World`] as a controller.
+    pub fn submit(
+        kernel: &mut Kernel,
+        descriptor: OrcaDescriptor,
+        logic: Box<dyn Orchestrator>,
+    ) -> OrcaService {
+        let orca_id = kernel.sam.register_orchestrator();
+        let mut apps = BTreeMap::new();
+        for (name, adl) in descriptor.apps {
+            let graph = GraphStore::from_adl(&adl);
+            apps.insert(name.clone(), ManagedApp { name, adl, graph });
+        }
+        kernel.trace.push(
+            kernel.now(),
+            "orca",
+            format!("orchestrator '{}' registered as {orca_id}", descriptor.name),
+        );
+        OrcaService {
+            core: ServiceCore {
+                orca_id,
+                name: descriptor.name,
+                apps,
+                scopes: Vec::new(),
+                queue: VecDeque::new(),
+                deps: DependencyManager::new(),
+                jobs: BTreeMap::new(),
+                poll_period: SimDuration::from_secs(15),
+                last_poll: None,
+                metric_epoch: 0,
+                failure_epochs: BTreeMap::new(),
+                next_failure_epoch: 0,
+                timers: Vec::new(),
+                pending_user_events: VecDeque::new(),
+                status: BTreeMap::new(),
+                exclusive_uniquifier: 0,
+                stats: ServiceStats::default(),
+                next_txn: 0,
+                current_txn: None,
+                journal: Vec::new(),
+            },
+            logic,
+            started: false,
+        }
+    }
+
+    pub fn orca_id(&self) -> OrcaId {
+        self.core.orca_id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    pub fn stats(&self) -> ServiceStats {
+        self.core.stats
+    }
+
+    /// Status board read access (what the paper's GUI polls from the status
+    /// file, §5.2).
+    pub fn status(&self, key: &str) -> Option<&str> {
+        self.core.status.get(key).map(String::as_str)
+    }
+
+    /// Injects a user-generated event (the §4.1 command tool). Delivered on
+    /// the next quantum if it matches a registered [`crate::UserEventScope`].
+    pub fn inject_user_event(&mut self, name: &str, payload: ParamMap) {
+        self.core
+            .pending_user_events
+            .push_back((name.to_string(), payload));
+    }
+
+    /// Downcast access to the ORCA logic (test/harness inspection).
+    pub fn logic<T: Orchestrator>(&self) -> Option<&T> {
+        let any: &dyn Any = self.logic.as_ref();
+        any.downcast_ref::<T>()
+    }
+
+    /// Current number of queued, undelivered events.
+    pub fn queued_events(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// The event/actuation journal (§7 extension): one entry per delivered
+    /// event, carrying its transaction id and the actuations the handler
+    /// performed — sufficient to audit or replay adaptation decisions.
+    pub fn journal(&self) -> &[JournalEntry] {
+        &self.core.journal
+    }
+
+    // ---- event generation ---------------------------------------------------
+
+    fn pull_failures(&mut self, kernel: &mut Kernel) {
+        for n in kernel.sam.drain_notifications(self.core.orca_id) {
+            let OrcaNotification::PeFailure {
+                job,
+                pe,
+                adl_index,
+                reason,
+                detected_at,
+            } = n;
+            self.core.stats.failures_seen += 1;
+            let Some(rec) = self.core.jobs.get(&job) else {
+                continue;
+            };
+            let app_name = rec.app_name.clone();
+            let keys: Vec<String> = self
+                .core
+                .scopes
+                .iter()
+                .filter_map(|s| match s {
+                    EventScope::PeFailure(fs) if fs.matches(&app_name, reason.class()) => {
+                        Some(fs.key.clone())
+                    }
+                    _ => None,
+                })
+                .collect();
+            if keys.is_empty() {
+                continue;
+            }
+            let epoch = self.core.failure_epoch(reason.class(), detected_at);
+            self.core.queue.push_back(QueuedEvent::PeFailure(
+                PeFailureContext {
+                    job,
+                    app_name,
+                    pe,
+                    adl_index,
+                    reason,
+                    detected_at,
+                    epoch,
+                },
+                keys,
+            ));
+        }
+    }
+
+    fn pull_user_events(&mut self, kernel: &Kernel) {
+        while let Some((name, payload)) = self.core.pending_user_events.pop_front() {
+            let keys: Vec<String> = self
+                .core
+                .scopes
+                .iter()
+                .filter_map(|s| match s {
+                    EventScope::UserEvent(us) if us.matches(&name) => Some(us.key.clone()),
+                    _ => None,
+                })
+                .collect();
+            if keys.is_empty() {
+                continue;
+            }
+            self.core.queue.push_back(QueuedEvent::User(
+                UserEventContext {
+                    name,
+                    payload,
+                    at: kernel.now(),
+                },
+                keys,
+            ));
+        }
+    }
+
+    fn fire_timers(&mut self, kernel: &Kernel) {
+        let now = kernel.now();
+        while let Some((due, _)) = self.core.timers.first() {
+            if *due > now {
+                break;
+            }
+            let (_, key) = self.core.timers.remove(0);
+            self.core
+                .queue
+                .push_back(QueuedEvent::Timer(TimerContext { key, fired_at: now }));
+        }
+    }
+
+    fn advance_dependencies(&mut self, kernel: &mut Kernel) {
+        let now = kernel.now();
+        // Ordered submissions.
+        for config_id in self.core.deps.due_submissions(now) {
+            let cfg = self
+                .core
+                .deps
+                .config(&config_id)
+                .expect("pending config exists")
+                .clone();
+            match self.core.prepare_adl(&cfg.app_name, Some(&cfg)) {
+                Ok(adl) => match kernel.submit_job(adl, Some(self.core.orca_id)) {
+                    Ok(job) => {
+                        self.core.jobs.insert(
+                            job,
+                            JobRecord {
+                                app_name: cfg.app_name.clone(),
+                                config_id: Some(config_id.clone()),
+                            },
+                        );
+                        self.core.deps.mark_submitted(&config_id, job, now);
+                        self.core.enqueue_job_event(
+                            true,
+                            JobEventContext {
+                                job,
+                                app_name: cfg.app_name.clone(),
+                                config_id: Some(config_id.clone()),
+                                at: now,
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        kernel.trace.push(
+                            now,
+                            "orca",
+                            format!("submission of config '{config_id}' failed: {e}"),
+                        );
+                        self.core.deps.abandon_dependents_of(&config_id);
+                    }
+                },
+                Err(e) => {
+                    kernel.trace.push(
+                        now,
+                        "orca",
+                        format!("ADL preparation for '{config_id}' failed: {e}"),
+                    );
+                    self.core.deps.abandon_dependents_of(&config_id);
+                }
+            }
+        }
+        // Garbage-collection cancellations.
+        for config_id in self.core.deps.due_cancellations(now) {
+            let Some(job) = self.core.deps.job_of(&config_id) else {
+                continue;
+            };
+            if kernel.cancel_job(job).is_ok() {
+                let rec = self.core.jobs.remove(&job);
+                self.core.deps.mark_cancelled(&config_id);
+                let app_name = rec.map(|r| r.app_name).unwrap_or_default();
+                self.core.enqueue_job_event(
+                    false,
+                    JobEventContext {
+                        job,
+                        app_name,
+                        config_id: Some(config_id.clone()),
+                        at: now,
+                    },
+                );
+                kernel
+                    .trace
+                    .push(now, "orca", format!("garbage-collected config '{config_id}'"));
+            }
+        }
+    }
+
+    fn poll_metrics(&mut self, kernel: &Kernel) {
+        let now = kernel.now();
+        let due = match self.core.last_poll {
+            None => true,
+            Some(last) => now.since(last) >= self.core.poll_period,
+        };
+        if !due {
+            return;
+        }
+        self.core.last_poll = Some(now);
+        self.core.stats.polls += 1;
+        let jobs: Vec<JobId> = self.core.jobs.keys().copied().collect();
+        if jobs.is_empty() {
+            return;
+        }
+        // One epoch per SRM query round (§4.2).
+        self.core.metric_epoch += 1;
+        let epoch = self.core.metric_epoch;
+        let snapshots = kernel.srm.query_jobs(&jobs);
+        for (job, snapshot) in snapshots {
+            let rec = &self.core.jobs[&job];
+            let app_name = rec.app_name.clone();
+            let Some(app) = self.core.apps.get(&app_name) else {
+                continue;
+            };
+            let graph = &app.graph;
+            let job_info = kernel.sam.job(job);
+            for (key, value) in &snapshot.values {
+                self.core.stats.metric_observations_seen += 1;
+                match key {
+                    MetricKey::Operator(op_name, metric) => {
+                        let keys: Vec<String> = self
+                            .core
+                            .scopes
+                            .iter()
+                            .filter_map(|s| match s {
+                                EventScope::OperatorMetric(ms)
+                                    if ms.matches(&app_name, graph, op_name, metric) =>
+                                {
+                                    Some(ms.key.clone())
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        if keys.is_empty() {
+                            continue;
+                        }
+                        let Some(op) = graph.operator(op_name) else {
+                            continue;
+                        };
+                        let pe = job_info
+                            .and_then(|ji| ji.pe_ids.get(op.pe).copied())
+                            .unwrap_or(PeId(0));
+                        self.core.stats.metric_events_matched += 1;
+                        self.core.queue.push_back(QueuedEvent::OperatorMetric(
+                            OperatorMetricContext {
+                                job,
+                                app_name: app_name.clone(),
+                                instance_name: op_name.clone(),
+                                operator_kind: op.kind.clone(),
+                                metric: metric.clone(),
+                                value: *value,
+                                epoch,
+                                pe,
+                                collected_at: snapshot.collected_at,
+                            },
+                            keys,
+                        ));
+                    }
+                    MetricKey::OperatorPort(op_name, port, metric) => {
+                        let keys: Vec<String> = self
+                            .core
+                            .scopes
+                            .iter()
+                            .filter_map(|s| match s {
+                                EventScope::OperatorPortMetric(ps)
+                                    if ps.matches(&app_name, op_name, *port, metric) =>
+                                {
+                                    Some(ps.key.clone())
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        if keys.is_empty() {
+                            continue;
+                        }
+                        let Some(op) = graph.operator(op_name) else {
+                            continue;
+                        };
+                        let pe = job_info
+                            .and_then(|ji| ji.pe_ids.get(op.pe).copied())
+                            .unwrap_or(PeId(0));
+                        self.core.stats.metric_events_matched += 1;
+                        self.core.queue.push_back(QueuedEvent::OperatorPortMetric(
+                            OperatorPortMetricContext {
+                                job,
+                                app_name: app_name.clone(),
+                                instance_name: op_name.clone(),
+                                operator_kind: op.kind.clone(),
+                                port: *port,
+                                metric: metric.clone(),
+                                value: *value,
+                                epoch,
+                                pe,
+                                collected_at: snapshot.collected_at,
+                            },
+                            keys,
+                        ));
+                    }
+                    MetricKey::Pe(adl_index, metric) => {
+                        let keys: Vec<String> = self
+                            .core
+                            .scopes
+                            .iter()
+                            .filter_map(|s| match s {
+                                EventScope::PeMetric(ps) if ps.matches(&app_name, metric) => {
+                                    Some(ps.key.clone())
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        if keys.is_empty() {
+                            continue;
+                        }
+                        let pe = job_info
+                            .and_then(|ji| ji.pe_ids.get(*adl_index).copied())
+                            .unwrap_or(PeId(0));
+                        self.core.stats.metric_events_matched += 1;
+                        self.core.queue.push_back(QueuedEvent::PeMetric(
+                            PeMetricContext {
+                                job,
+                                app_name: app_name.clone(),
+                                pe,
+                                adl_index: *adl_index,
+                                metric: metric.clone(),
+                                value: *value,
+                                epoch,
+                                collected_at: snapshot.collected_at,
+                            },
+                            keys,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_queue(&mut self, kernel: &mut Kernel) {
+        let mut delivered = 0;
+        while let Some(event) = self.core.queue.pop_front() {
+            self.core.stats.events_delivered += 1;
+            // Open a transaction for this delivery (§7 extension): the
+            // journal ties every actuation to the event that caused it.
+            self.core.next_txn += 1;
+            let txn = self.core.next_txn;
+            self.core.current_txn = Some(txn);
+            self.core.journal.push(JournalEntry {
+                txn,
+                at: kernel.now(),
+                event: describe_event(&event),
+                actuations: Vec::new(),
+            });
+            if self.core.journal.len() > JOURNAL_CAP {
+                self.core.journal.remove(0);
+            }
+            let mut ctx = OrcaCtx {
+                kernel,
+                core: &mut self.core,
+            };
+            match &event {
+                QueuedEvent::OperatorMetric(c, keys) => {
+                    self.logic.on_operator_metric(&mut ctx, c, keys)
+                }
+                QueuedEvent::OperatorPortMetric(c, keys) => {
+                    self.logic.on_operator_port_metric(&mut ctx, c, keys)
+                }
+                QueuedEvent::PeMetric(c, keys) => self.logic.on_pe_metric(&mut ctx, c, keys),
+                QueuedEvent::PeFailure(c, keys) => self.logic.on_pe_failure(&mut ctx, c, keys),
+                QueuedEvent::JobSubmitted(c, keys) => {
+                    self.logic.on_job_submitted(&mut ctx, c, keys)
+                }
+                QueuedEvent::JobCancelled(c, keys) => {
+                    self.logic.on_job_cancelled(&mut ctx, c, keys)
+                }
+                QueuedEvent::Timer(c) => self.logic.on_timer(&mut ctx, c),
+                QueuedEvent::User(c, keys) => self.logic.on_user_event(&mut ctx, c, keys),
+            }
+            self.core.current_txn = None;
+            delivered += 1;
+            if delivered >= MAX_EVENTS_PER_QUANTUM {
+                kernel.trace.push(
+                    kernel.now(),
+                    "orca",
+                    "event delivery cap hit; deferring remainder to next quantum",
+                );
+                break;
+            }
+        }
+    }
+}
+
+impl Controller for OrcaService {
+    fn on_quantum(&mut self, kernel: &mut Kernel) {
+        if !self.started {
+            self.started = true;
+            let start = OrcaStartContext {
+                orca_id: self.core.orca_id,
+                now: kernel.now(),
+            };
+            let mut ctx = OrcaCtx {
+                kernel,
+                core: &mut self.core,
+            };
+            self.logic.on_start(&mut ctx, &start);
+        }
+        self.pull_failures(kernel);
+        self.pull_user_events(kernel);
+        self.fire_timers(kernel);
+        self.advance_dependencies(kernel);
+        self.poll_metrics(kernel);
+        self.drain_queue(kernel);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::{
+        JobEventScope, OperatorMetricScope, PeFailureScope, UserEventScope,
+    };
+    use sps_model::compiler::{compile, CompileOptions};
+    use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
+    use sps_runtime::{Cluster, RuntimeConfig, World};
+
+    /// beacon → filter (queueSize-heavy) → sink.
+    fn pipeline_adl(name: &str) -> Adl {
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "src",
+            OperatorInvocation::new("Beacon").source().param("rate", 100.0),
+        );
+        m.operator(
+            "flt",
+            OperatorInvocation::new("Filter").param("predicate", "seq % 2 == 0"),
+        );
+        m.operator("snk", OperatorInvocation::new("Sink").sink());
+        m.pipe("src", "flt");
+        m.pipe("flt", "snk");
+        let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+        compile(&model, CompileOptions::default()).unwrap()
+    }
+
+    /// Scripted ORCA logic recording everything it sees.
+    #[derive(Default)]
+    struct Recorder {
+        started: bool,
+        metric_events: Vec<(String, String, i64, u64)>,
+        failures: Vec<(PeId, String, u64)>,
+        submissions: Vec<String>,
+        cancellations: Vec<String>,
+        timers: Vec<String>,
+        user_events: Vec<String>,
+        submit_on_start: Vec<&'static str>,
+        act_on_failure_restart: bool,
+        restart_results: Vec<Result<PeId, OrcaError>>,
+    }
+
+    impl Orchestrator for Recorder {
+        fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, _s: &OrcaStartContext) {
+            self.started = true;
+            ctx.register_event_scope(
+                OperatorMetricScope::new("procScope")
+                    .add_operator_instance("flt")
+                    .add_metric("nTuplesProcessed"),
+            );
+            ctx.register_event_scope(PeFailureScope::new("failScope"));
+            ctx.register_event_scope(JobEventScope::new("jobScope"));
+            ctx.register_event_scope(UserEventScope::new("userScope").add_name("go"));
+            ctx.set_metric_poll_period(SimDuration::from_secs(5));
+            for app in self.submit_on_start.clone() {
+                ctx.submit_app(app).unwrap();
+            }
+        }
+
+        fn on_operator_metric(
+            &mut self,
+            _ctx: &mut OrcaCtx<'_>,
+            e: &OperatorMetricContext,
+            scopes: &[String],
+        ) {
+            assert_eq!(scopes, ["procScope".to_string()]);
+            self.metric_events
+                .push((e.instance_name.clone(), e.metric.clone(), e.value, e.epoch));
+        }
+
+        fn on_pe_failure(
+            &mut self,
+            ctx: &mut OrcaCtx<'_>,
+            e: &PeFailureContext,
+            scopes: &[String],
+        ) {
+            assert_eq!(scopes, ["failScope".to_string()]);
+            self.failures
+                .push((e.pe, e.reason.class().to_string(), e.epoch));
+            if self.act_on_failure_restart {
+                self.restart_results.push(ctx.restart_pe(e.pe));
+            }
+        }
+
+        fn on_job_submitted(&mut self, _ctx: &mut OrcaCtx<'_>, e: &JobEventContext, _s: &[String]) {
+            self.submissions.push(e.app_name.clone());
+        }
+
+        fn on_job_cancelled(&mut self, _ctx: &mut OrcaCtx<'_>, e: &JobEventContext, _s: &[String]) {
+            self.cancellations.push(e.app_name.clone());
+        }
+
+        fn on_timer(&mut self, _ctx: &mut OrcaCtx<'_>, e: &TimerContext) {
+            self.timers.push(e.key.clone());
+        }
+
+        fn on_user_event(&mut self, _ctx: &mut OrcaCtx<'_>, e: &UserEventContext, _s: &[String]) {
+            self.user_events.push(e.name.clone());
+        }
+    }
+
+    fn world_with(recorder: Recorder, apps: Vec<Adl>) -> (World, usize) {
+        let kernel = Kernel::new(
+            Cluster::with_hosts(3),
+            sps_engine::OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        );
+        let mut world = World::new(kernel);
+        let mut desc = OrcaDescriptor::new("TestOrca");
+        for adl in apps {
+            desc = desc.app(adl);
+        }
+        let service = OrcaService::submit(&mut world.kernel, desc, Box::new(recorder));
+        let idx = world.add_controller(Box::new(service));
+        (world, idx)
+    }
+
+    fn recorder(world: &World, idx: usize) -> &Recorder {
+        world
+            .controller::<OrcaService>(idx)
+            .unwrap()
+            .logic::<Recorder>()
+            .unwrap()
+    }
+
+    #[test]
+    fn start_event_fires_once_and_submissions_deliver_job_events() {
+        let rec = Recorder {
+            submit_on_start: vec!["App"],
+            ..Default::default()
+        };
+        let (mut world, idx) = world_with(rec, vec![pipeline_adl("App")]);
+        world.run_for(SimDuration::from_millis(300));
+        let r = recorder(&world, idx);
+        assert!(r.started);
+        assert_eq!(r.submissions, vec!["App".to_string()]);
+        // The job actually runs.
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        assert_eq!(svc.stats().events_delivered, 1);
+        assert_eq!(world.kernel.sam.running_jobs().len(), 1);
+    }
+
+    #[test]
+    fn metric_events_flow_with_shared_epoch() {
+        let rec = Recorder {
+            submit_on_start: vec!["App"],
+            ..Default::default()
+        };
+        let (mut world, idx) = world_with(rec, vec![pipeline_adl("App")]);
+        // Poll period 5 s; metrics push every 3 s. Run 11 s → at least one
+        // poll with data (polls at ~0.1 s [empty], ~5.1 s, ~10.1 s).
+        world.run_for(SimDuration::from_secs(11));
+        let r = recorder(&world, idx);
+        assert!(!r.metric_events.is_empty());
+        // Only the scoped (flt, nTuplesProcessed) pairs got through.
+        for (op, metric, value, _) in &r.metric_events {
+            assert_eq!(op, "flt");
+            assert_eq!(metric, "nTuplesProcessed");
+            assert!(*value > 0);
+        }
+        // Values grow over successive polls (epochs increase).
+        let epochs: Vec<u64> = r.metric_events.iter().map(|(_, _, _, e)| *e).collect();
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(epochs.last().unwrap() > epochs.first().unwrap());
+        // Unscoped metrics were filtered service-side.
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        let stats = svc.stats();
+        assert!(stats.metric_observations_seen > stats.metric_events_matched);
+    }
+
+    #[test]
+    fn pe_failure_event_delivery_and_restart_actuation() {
+        let rec = Recorder {
+            submit_on_start: vec!["App"],
+            act_on_failure_restart: true,
+            ..Default::default()
+        };
+        let (mut world, idx) = world_with(rec, vec![pipeline_adl("App")]);
+        world.run_for(SimDuration::from_secs(1));
+        let job = world.kernel.sam.running_jobs()[0];
+        let pe = world.kernel.pe_id_of(job, 1).unwrap();
+        world.kernel.kill_pe(pe).unwrap();
+        world.run_for(SimDuration::from_secs(3)); // covers the restart delay
+        let r = recorder(&world, idx);
+        assert_eq!(r.failures.len(), 1);
+        assert_eq!(r.failures[0].0, pe);
+        assert_eq!(r.failures[0].1, "killed");
+        // The handler's restart succeeded and produced a fresh PE.
+        assert_eq!(r.restart_results.len(), 1);
+        let new_pe = *r.restart_results[0].as_ref().unwrap();
+        assert_ne!(new_pe, pe);
+        assert_eq!(
+            world.kernel.pe_status(new_pe),
+            Some(sps_runtime::PeStatus::Up)
+        );
+    }
+
+    #[test]
+    fn host_failure_groups_epochs() {
+        let rec = Recorder {
+            submit_on_start: vec!["App"],
+            ..Default::default()
+        };
+        // One host → all three PEs on it; host kill crashes all at once.
+        let kernel = Kernel::new(
+            Cluster::with_hosts(1),
+            sps_engine::OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        );
+        let mut world = World::new(kernel);
+        let service = OrcaService::submit(
+            &mut world.kernel,
+            OrcaDescriptor::new("O").app(pipeline_adl("App")),
+            Box::new(rec),
+        );
+        let idx = world.add_controller(Box::new(service));
+        world.run_for(SimDuration::from_secs(1));
+        world.kernel.kill_host("host0").unwrap();
+        world.run_for(SimDuration::from_secs(1));
+        let r = recorder(&world, idx);
+        assert_eq!(r.failures.len(), 3);
+        let epochs: Vec<u64> = r.failures.iter().map(|(_, _, e)| *e).collect();
+        assert!(
+            epochs.windows(2).all(|w| w[0] == w[1]),
+            "one physical event must share an epoch: {epochs:?}"
+        );
+        assert!(r.failures.iter().all(|(_, c, _)| c == "hostFailure"));
+    }
+
+    #[test]
+    fn timers_and_user_events() {
+        let rec = Recorder::default();
+        let (mut world, idx) = world_with(rec, vec![]);
+        world.step(); // deliver start (registers scopes)
+        {
+            let svc = world.controller_mut::<OrcaService>(idx).unwrap();
+            svc.inject_user_event("go", ParamMap::new());
+            svc.inject_user_event("ignored", ParamMap::new());
+        }
+        world.run_for(SimDuration::from_millis(200));
+        let r = recorder(&world, idx);
+        assert_eq!(r.user_events, vec!["go".to_string()]);
+
+        // Timer set via a user-event handler? Use a fresh world with a
+        // timer-setting orchestrator instead: reuse Recorder by setting the
+        // timer directly through a scripted controller is overkill — the
+        // sentiment app covers timers; here check service-level plumbing.
+    }
+
+    /// Orchestrator that sets a timer in on_start.
+    struct TimerLogic {
+        fired: Vec<(String, SimTime)>,
+    }
+
+    impl Orchestrator for TimerLogic {
+        fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, _s: &OrcaStartContext) {
+            ctx.set_timer(SimDuration::from_millis(500), "first");
+            ctx.set_timer(SimDuration::from_millis(1500), "second");
+        }
+        fn on_timer(&mut self, _ctx: &mut OrcaCtx<'_>, e: &TimerContext) {
+            self.fired.push((e.key.clone(), e.fired_at));
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_at_due_times() {
+        let kernel = Kernel::new(
+            Cluster::with_hosts(1),
+            sps_engine::OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        );
+        let mut world = World::new(kernel);
+        let service = OrcaService::submit(
+            &mut world.kernel,
+            OrcaDescriptor::new("T"),
+            Box::new(TimerLogic { fired: vec![] }),
+        );
+        let idx = world.add_controller(Box::new(service));
+        world.run_for(SimDuration::from_secs(2));
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        let logic = svc.logic::<TimerLogic>().unwrap();
+        assert_eq!(logic.fired.len(), 2);
+        assert_eq!(logic.fired[0].0, "first");
+        // Start was delivered at the end of the first quantum (t=100ms), so
+        // "first" fires at 600 ms.
+        assert_eq!(logic.fired[0].1, SimTime::from_millis(600));
+        assert_eq!(logic.fired[1].0, "second");
+        assert_eq!(logic.fired[1].1, SimTime::from_millis(1600));
+    }
+
+    /// Orchestrator that tries to act on a job it does not manage.
+    struct Trespasser {
+        victim: JobId,
+        victim_pe: PeId,
+        results: Vec<OrcaError>,
+    }
+
+    impl Orchestrator for Trespasser {
+        fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, _s: &OrcaStartContext) {
+            if let Err(e) = ctx.cancel_job(self.victim) {
+                self.results.push(e);
+            }
+            if let Err(e) = ctx.restart_pe(self.victim_pe) {
+                self.results.push(e);
+            }
+            if let Err(e) = ctx.stop_pe(self.victim_pe) {
+                self.results.push(e);
+            }
+            if let Err(e) =
+                ctx.inject(self.victim, "snk", 0, StreamItem::Tuple(Tuple::new()))
+            {
+                self.results.push(e);
+            }
+        }
+    }
+
+    #[test]
+    fn acting_on_unmanaged_jobs_is_a_runtime_error() {
+        let kernel = Kernel::new(
+            Cluster::with_hosts(1),
+            sps_engine::OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        );
+        let mut world = World::new(kernel);
+        // Victim job submitted outside any orchestrator.
+        let victim = world.kernel.submit_job(pipeline_adl("Victim"), None).unwrap();
+        let victim_pe = world.kernel.pe_id_of(victim, 0).unwrap();
+        let service = OrcaService::submit(
+            &mut world.kernel,
+            OrcaDescriptor::new("T"),
+            Box::new(Trespasser {
+                victim,
+                victim_pe,
+                results: vec![],
+            }),
+        );
+        let idx = world.add_controller(Box::new(service));
+        world.step();
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        let logic = svc.logic::<Trespasser>().unwrap();
+        assert_eq!(logic.results.len(), 4);
+        assert!(logic
+            .results
+            .iter()
+            .all(|e| matches!(e, OrcaError::NotManaged(_))));
+        // The victim is untouched.
+        assert_eq!(world.kernel.sam.running_jobs(), vec![victim]);
+    }
+
+    /// Orchestrator using the graph-inspection API after submitting.
+    struct Inspector {
+        report: Vec<String>,
+    }
+
+    impl Orchestrator for Inspector {
+        fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, _s: &OrcaStartContext) {
+            let job = ctx.submit_app("App").unwrap();
+            let pe = ctx.pe_of_operator(job, "flt").unwrap();
+            self.report.push(format!("flt in {pe}"));
+            for op in ctx.operators_in_pe(pe) {
+                self.report.push(format!("pe has {op}"));
+            }
+            assert!(ctx.enclosing_composite(job, "flt").is_none());
+            assert_eq!(ctx.jobs_of_app("App"), vec![job]);
+            assert_eq!(ctx.app_of_job(job), Some("App"));
+            ctx.set_status("active", "replica0");
+        }
+    }
+
+    #[test]
+    fn inspection_api_and_status_board() {
+        let kernel = Kernel::new(
+            Cluster::with_hosts(1),
+            sps_engine::OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        );
+        let mut world = World::new(kernel);
+        let service = OrcaService::submit(
+            &mut world.kernel,
+            OrcaDescriptor::new("I").app(pipeline_adl("App")),
+            Box::new(Inspector { report: vec![] }),
+        );
+        let idx = world.add_controller(Box::new(service));
+        world.step();
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        let logic = svc.logic::<Inspector>().unwrap();
+        assert_eq!(logic.report.len(), 2);
+        assert!(logic.report[1].contains("flt"));
+        assert_eq!(svc.status("active"), Some("replica0"));
+        assert_eq!(svc.status("ghost"), None);
+    }
+
+    #[test]
+    fn unknown_app_submission_fails() {
+        struct BadSubmit {
+            err: Option<OrcaError>,
+        }
+        impl Orchestrator for BadSubmit {
+            fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, _s: &OrcaStartContext) {
+                self.err = ctx.submit_app("Ghost").err();
+            }
+        }
+        let kernel = Kernel::new(
+            Cluster::with_hosts(1),
+            sps_engine::OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        );
+        let mut world = World::new(kernel);
+        let service = OrcaService::submit(
+            &mut world.kernel,
+            OrcaDescriptor::new("B"),
+            Box::new(BadSubmit { err: None }),
+        );
+        let idx = world.add_controller(Box::new(service));
+        world.step();
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        assert!(matches!(
+            svc.logic::<BadSubmit>().unwrap().err,
+            Some(OrcaError::UnknownApp(_))
+        ));
+    }
+}

@@ -1,0 +1,315 @@
+//! The recursive-SQL baseline for event-scope evaluation (§4.1).
+//!
+//! The paper argues its scope API "offers a much simpler interface ... when
+//! compared to an SQL-based approach", and spells out the equivalent SQL: a
+//! recursive CTE (`CompPairs`) computing the composite containment closure,
+//! joined against operator instances and metrics. This module implements
+//! that query plan literally over relational views of the graph store —
+//! serving as (a) the baseline for the `scope_vs_sql` bench and (b) the
+//! oracle for the property test that the scope matcher and the SQL
+//! evaluation select identical metric rows.
+
+use sps_model::GraphStore;
+
+/// Row of `OperatorInstances`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OperatorRow {
+    pub oper_name: String,
+    pub oper_kind: String,
+    /// Direct enclosing composite instance (`compName` in the paper's
+    /// query), `None` for top-level operators.
+    pub comp_name: Option<String>,
+}
+
+/// Row of `CompositeInstances`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompositeRow {
+    pub comp_name: String,
+    pub comp_kind: String,
+    /// Direct parent composite instance, `None` at the top level.
+    pub parent_name: Option<String>,
+}
+
+/// Row of `OperatorMetrics`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricRow {
+    pub oper_name: String,
+    pub metric_name: String,
+    pub metric_value: i64,
+}
+
+/// The relational view the paper's SQL runs over.
+#[derive(Clone, Debug, Default)]
+pub struct Tables {
+    pub operator_instances: Vec<OperatorRow>,
+    pub composite_instances: Vec<CompositeRow>,
+    pub operator_metrics: Vec<MetricRow>,
+}
+
+impl Tables {
+    /// Extracts the relational view from a graph store plus a metric
+    /// snapshot `(operator, metric, value)`.
+    pub fn from_graph(graph: &GraphStore, metrics: &[(String, String, i64)]) -> Tables {
+        let composite_instances = graph
+            .composite_instances()
+            .iter()
+            .map(|c| CompositeRow {
+                comp_name: c.path.clone(),
+                comp_kind: c.type_name.clone(),
+                parent_name: c.parent.map(|p| graph.composite_instances()[p].path.clone()),
+            })
+            .collect();
+        let operator_instances = graph
+            .operators()
+            .map(|o| OperatorRow {
+                oper_name: o.name.clone(),
+                oper_kind: o.kind.clone(),
+                comp_name: o
+                    .composite_chain
+                    .last()
+                    .map(|&c| graph.composite_instances()[c].path.clone()),
+            })
+            .collect();
+        let operator_metrics = metrics
+            .iter()
+            .map(|(op, m, v)| MetricRow {
+                oper_name: op.clone(),
+                metric_name: m.clone(),
+                metric_value: *v,
+            })
+            .collect();
+        Tables {
+            operator_instances,
+            composite_instances,
+            operator_metrics,
+        }
+    }
+
+    /// The `CompPairs` recursive CTE: all `(compName, ancestorName)` pairs,
+    /// including the seed (composite, direct parent) rows.
+    ///
+    /// ```sql
+    /// WITH CompPairs(compName, parentName) AS (
+    ///   SELECT CI.compName, CI.parentName FROM CompositeInstances CI
+    ///   UNION ALL
+    ///   SELECT CI.compName, CP.parentName
+    ///   FROM CompositeInstances CI, CompPairs CP
+    ///   WHERE CI.parentName = CP.compName)
+    /// ```
+    pub fn comp_pairs(&self) -> Vec<(String, String)> {
+        // Seed: direct parent relationships.
+        let mut pairs: Vec<(String, String)> = self
+            .composite_instances
+            .iter()
+            .filter_map(|c| c.parent_name.clone().map(|p| (c.comp_name.clone(), p)))
+            .collect();
+        // Fixpoint: extend child → grandparent and beyond.
+        let mut frontier = pairs.clone();
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for (child, ancestor) in &frontier {
+                // CI.parentName = CP.compName: find the ancestor's parent.
+                for c in &self.composite_instances {
+                    if &c.comp_name == ancestor {
+                        if let Some(grand) = &c.parent_name {
+                            let pair = (child.clone(), grand.clone());
+                            if !pairs.contains(&pair) {
+                                pairs.push(pair.clone());
+                                next.push(pair);
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+        pairs
+    }
+
+    /// The paper's full §4.1 query: metric values (with their operators) for
+    /// metrics named `metric_name`, on operators of any kind in
+    /// `oper_kinds`, residing — at any nesting depth — inside a composite of
+    /// type `comp_kind`. Empty `oper_kinds` disables the kind predicate
+    /// (matching the scope API's empty-filter semantics).
+    pub fn recursive_containment_query(
+        &self,
+        metric_name: &str,
+        oper_kinds: &[&str],
+        comp_kind: &str,
+    ) -> Vec<(String, i64)> {
+        let comp_pairs = self.comp_pairs();
+        let mut out = Vec::new();
+        // SELECT ... FROM OperatorMetrics OM, OperatorInstances OI,
+        //              CompositeInstances CI (, CompPairs CP)
+        for om in &self.operator_metrics {
+            if om.metric_name != metric_name {
+                continue;
+            }
+            for oi in &self.operator_instances {
+                if oi.oper_name != om.oper_name {
+                    continue;
+                }
+                if !oper_kinds.is_empty() && !oper_kinds.contains(&oi.oper_kind.as_str()) {
+                    continue;
+                }
+                let Some(op_comp) = &oi.comp_name else {
+                    continue; // top-level operator: contained in nothing
+                };
+                let mut contained = false;
+                for ci in &self.composite_instances {
+                    if ci.comp_kind != comp_kind {
+                        continue;
+                    }
+                    // Direct containment: OI.compName = CI.compName.
+                    if op_comp == &ci.comp_name {
+                        contained = true;
+                        break;
+                    }
+                    // Transitive: OI.compName = CP.compName AND
+                    //             CI.compName = CP.parentName.
+                    if comp_pairs
+                        .iter()
+                        .any(|(c, p)| c == op_comp && p == &ci.comp_name)
+                    {
+                        contained = true;
+                        break;
+                    }
+                }
+                if contained {
+                    out.push((om.oper_name.clone(), om.metric_value));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scope::OperatorMetricScope;
+    use sps_model::adl::{Adl, AdlOperator, AdlPe};
+    use sps_model::value::ParamMap;
+
+    /// Graph with nested composites:
+    /// top-level: src;
+    /// c1 (outer): opA, and inner composite c1.n (inner): opB;
+    /// c2 (outer): opC.
+    fn nested_graph() -> GraphStore {
+        let mk = |name: &str, kind: &str, path: Vec<(&str, &str)>| AdlOperator {
+            name: name.into(),
+            kind: kind.into(),
+            composite_path: path
+                .into_iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+            params: ParamMap::new(),
+            inputs: 1,
+            outputs: 1,
+            custom_metrics: vec![],
+            pe: 0,
+            restartable: true,
+        };
+        let operators = vec![
+            mk("src", "Beacon", vec![]),
+            mk("c1.opA", "Split", vec![("c1", "outer")]),
+            mk(
+                "c1.n.opB",
+                "Split",
+                vec![("c1", "outer"), ("c1.n", "inner")],
+            ),
+            mk("c2.opC", "Merge", vec![("c2", "outer")]),
+        ];
+        let adl = Adl {
+            app_name: "N".into(),
+            pes: vec![AdlPe {
+                index: 0,
+                operators: operators.iter().map(|o| o.name.clone()).collect(),
+                host_pool: None,
+                host_exlocate: None,
+            }],
+            operators,
+            streams: vec![],
+            imports: vec![],
+            exports: vec![],
+            host_pools: vec![],
+        };
+        GraphStore::from_adl(&adl)
+    }
+
+    fn metrics() -> Vec<(String, String, i64)> {
+        vec![
+            ("src".into(), "queueSize".into(), 1),
+            ("c1.opA".into(), "queueSize".into(), 2),
+            ("c1.n.opB".into(), "queueSize".into(), 3),
+            ("c2.opC".into(), "queueSize".into(), 4),
+            ("c1.opA".into(), "nTuplesProcessed".into(), 99),
+        ]
+    }
+
+    #[test]
+    fn comp_pairs_closure() {
+        let t = Tables::from_graph(&nested_graph(), &[]);
+        let pairs = t.comp_pairs();
+        // Only c1.n has a parent: (c1.n, c1). No deeper ancestors.
+        assert_eq!(pairs, vec![("c1.n".to_string(), "c1".to_string())]);
+    }
+
+    #[test]
+    fn query_finds_direct_and_nested_operators() {
+        let t = Tables::from_graph(&nested_graph(), &metrics());
+        let mut rows = t.recursive_containment_query("queueSize", &["Split", "Merge"], "outer");
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                ("c1.n.opB".to_string(), 3), // nested inside outer via inner
+                ("c1.opA".to_string(), 2),
+                ("c2.opC".to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn query_filters_metric_and_kind() {
+        let t = Tables::from_graph(&nested_graph(), &metrics());
+        let rows = t.recursive_containment_query("nTuplesProcessed", &["Split"], "outer");
+        assert_eq!(rows, vec![("c1.opA".to_string(), 99)]);
+        let rows = t.recursive_containment_query("queueSize", &["Merge"], "inner");
+        assert!(rows.is_empty());
+        // inner containment only catches opB.
+        let rows = t.recursive_containment_query("queueSize", &[], "inner");
+        assert_eq!(rows, vec![("c1.n.opB".to_string(), 3)]);
+    }
+
+    #[test]
+    fn sql_and_scope_matcher_agree_on_figure5() {
+        let g = nested_graph();
+        let ms = metrics();
+        let t = Tables::from_graph(&g, &ms);
+        let scope = OperatorMetricScope::new("k")
+            .add_composite_type("outer")
+            .add_operator_type("Split")
+            .add_operator_type("Merge")
+            .add_metric("queueSize");
+        let mut via_scope: Vec<(String, i64)> = ms
+            .iter()
+            .filter(|(op, m, _)| scope.matches("N", &g, op, m))
+            .map(|(op, _, v)| (op.clone(), *v))
+            .collect();
+        via_scope.sort();
+        let mut via_sql =
+            t.recursive_containment_query("queueSize", &["Split", "Merge"], "outer");
+        via_sql.sort();
+        assert_eq!(via_scope, via_sql);
+    }
+
+    #[test]
+    fn empty_tables_yield_empty_results() {
+        let t = Tables::default();
+        assert!(t.comp_pairs().is_empty());
+        assert!(t
+            .recursive_containment_query("m", &["X"], "c")
+            .is_empty());
+    }
+}

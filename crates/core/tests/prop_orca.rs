@@ -1,0 +1,288 @@
+//! Property tests for the orchestrator core:
+//!
+//! 1. the §4.1 equivalence: the scope-matcher selects exactly the rows the
+//!    paper's recursive SQL selects, over random composite hierarchies;
+//! 2. dependency-manager invariants: planned due times honour every uptime
+//!    requirement; cycles are always rejected; GC never collects an
+//!    application that still feeds a running one.
+
+use orca::sqlbase::Tables;
+use orca::{AppConfig, DependencyManager, OperatorMetricScope};
+use proptest::prelude::*;
+use sps_model::adl::{Adl, AdlOperator, AdlPe};
+use sps_model::value::ParamMap;
+use sps_model::GraphStore;
+use sps_runtime::JobId;
+use sps_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------------
+// Scope ≡ SQL over random hierarchies
+// ---------------------------------------------------------------------------
+
+/// Random application graph: operators at random nesting levels, with a few
+/// composite types repeating at different levels (the case that forces the
+/// recursive CTE).
+fn arb_graph() -> impl Strategy<Value = (GraphStore, Vec<(String, String, i64)>)> {
+    (
+        prop::collection::vec((0usize..4, 0usize..3, any::<bool>()), 1..24),
+        0usize..3,
+    )
+        .prop_map(|(ops_spec, _salt)| {
+            let mut operators = Vec::new();
+            for (i, (depth, type_salt, has_metric)) in ops_spec.iter().enumerate() {
+                let mut path = Vec::new();
+                let mut prefix = String::new();
+                for l in 0..*depth {
+                    let inst = if prefix.is_empty() {
+                        format!("b{i}l{l}")
+                    } else {
+                        format!("{prefix}.l{l}")
+                    };
+                    // Composite types repeat: ctype0..ctype2, varying by
+                    // level and salt so some nests repeat a type at
+                    // different depths.
+                    let ty = format!("ctype{}", (l + type_salt) % 3);
+                    path.push((inst.clone(), ty));
+                    prefix = inst;
+                }
+                let name = if prefix.is_empty() {
+                    format!("op{i}")
+                } else {
+                    format!("{prefix}.op{i}")
+                };
+                operators.push(AdlOperator {
+                    name,
+                    kind: ["Split", "Merge", "Work"][i % 3].to_string(),
+                    composite_path: path,
+                    params: ParamMap::new(),
+                    inputs: 1,
+                    outputs: 1,
+                    custom_metrics: vec![],
+                    pe: 0,
+                    restartable: true,
+                });
+                let _ = has_metric;
+            }
+            let adl = Adl {
+                app_name: "Rand".into(),
+                pes: vec![AdlPe {
+                    index: 0,
+                    operators: operators.iter().map(|o| o.name.clone()).collect(),
+                    host_pool: None,
+                    host_exlocate: None,
+                }],
+                operators,
+                streams: vec![],
+                imports: vec![],
+                exports: vec![],
+                host_pools: vec![],
+            };
+            let graph = GraphStore::from_adl(&adl);
+            let metrics: Vec<(String, String, i64)> = graph
+                .operators()
+                .enumerate()
+                .flat_map(|(i, o)| {
+                    let mut rows = vec![(o.name.clone(), "queueSize".to_string(), i as i64)];
+                    if i % 2 == 0 {
+                        rows.push((o.name.clone(), "other".to_string(), -1));
+                    }
+                    rows
+                })
+                .collect();
+            (graph, metrics)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scope_matcher_equals_recursive_sql(
+        (graph, metrics) in arb_graph(),
+        comp_kind in 0usize..3,
+        use_kinds in any::<bool>(),
+    ) {
+        let comp_kind = format!("ctype{comp_kind}");
+        let kinds: Vec<&str> = if use_kinds { vec!["Split", "Merge"] } else { vec![] };
+
+        let mut scope = OperatorMetricScope::new("k")
+            .add_composite_type(&comp_kind)
+            .add_metric("queueSize");
+        for k in &kinds {
+            scope = scope.add_operator_type(k);
+        }
+
+        let mut via_scope: Vec<(String, i64)> = metrics
+            .iter()
+            .filter(|(op, m, _)| scope.matches("Rand", &graph, op, m))
+            .map(|(op, _, v)| (op.clone(), *v))
+            .collect();
+        via_scope.sort();
+
+        let tables = Tables::from_graph(&graph, &metrics);
+        let mut via_sql = tables.recursive_containment_query("queueSize", &kinds, &comp_kind);
+        via_sql.sort();
+
+        prop_assert_eq!(via_scope, via_sql);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dependency-manager invariants
+// ---------------------------------------------------------------------------
+
+/// Random DAG: edges only from higher-numbered to lower-numbered configs
+/// (guaranteed acyclic), with random uptimes and GC flags.
+#[derive(Debug, Clone)]
+struct DagSpec {
+    n: usize,
+    edges: Vec<(usize, usize, u64)>, // (dependent, dependency, uptime secs)
+    gc: Vec<bool>,
+}
+
+fn arb_dag() -> impl Strategy<Value = DagSpec> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (1usize..n, 0u64..50),
+            0..(n * 2),
+        )
+        .prop_map(move |pairs| {
+            pairs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (hi, up))| {
+                    let dep = i % hi; // strictly below `hi`
+                    (hi, dep, up)
+                })
+                .collect::<Vec<_>>()
+        });
+        let gc = prop::collection::vec(any::<bool>(), n);
+        (Just(n), edges, gc).prop_map(|(n, edges, gc)| DagSpec { n, edges, gc })
+    })
+}
+
+fn build_manager(spec: &DagSpec) -> DependencyManager {
+    let mut m = DependencyManager::new();
+    for i in 0..spec.n {
+        let mut cfg =
+            AppConfig::new(&format!("c{i}"), &format!("App{i}")).gc_timeout(SimDuration::from_secs(1));
+        if !spec.gc[i] {
+            cfg = cfg.not_garbage_collectable();
+        }
+        m.register_config(cfg).unwrap();
+    }
+    for (a, b, up) in &spec.edges {
+        // Duplicate edges are fine; cycles impossible by construction.
+        m.register_dependency(&format!("c{a}"), &format!("c{b}"), SimDuration::from_secs(*up))
+            .unwrap();
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn planned_due_times_honor_all_uptimes(spec in arb_dag(), target in 0usize..10) {
+        let target = target % spec.n;
+        let mut m = build_manager(&spec);
+        let now = SimTime::from_secs(100);
+        let plan = m.request_start(&format!("c{target}"), now).unwrap();
+        let due: BTreeMap<&str, SimTime> =
+            plan.iter().map(|(t, c)| (c.as_str(), *t)).collect();
+        // Every planned config's due time is ≥ dependency due + uptime, for
+        // every edge inside the plan.
+        for (a, b, up) in &spec.edges {
+            let (ca, cb) = (format!("c{a}"), format!("c{b}"));
+            if let (Some(&ta), Some(&tb)) = (due.get(ca.as_str()), due.get(cb.as_str())) {
+                prop_assert!(
+                    ta >= tb + SimDuration::from_secs(*up),
+                    "edge {ca}->{cb} uptime {up}: {ta:?} vs {tb:?}"
+                );
+            }
+        }
+        // Nothing is due before `now`, and the target is in the plan.
+        for (t, _) in &plan {
+            prop_assert!(*t >= now);
+        }
+        let target_key = format!("c{target}");
+        prop_assert!(due.contains_key(target_key.as_str()));
+    }
+
+    #[test]
+    fn closing_edge_always_detected_as_cycle(spec in arb_dag()) {
+        let mut m = build_manager(&spec);
+        // For any existing transitive path a→b, adding b→a must fail.
+        for (a, _, _) in &spec.edges {
+            // c0 is reachable from the highest-indexed dependent in many
+            // DAGs; more robustly: test reversing each existing edge's
+            // transitive closure head.
+            let from = format!("c{a}");
+            // Find some config reachable from `from` by walking the plan.
+            let mut m2 = build_manager(&spec);
+            let plan = m2.request_start(&from, SimTime::ZERO).unwrap();
+            for (_, c) in &plan {
+                if c != &from {
+                    // c is a (transitive) dependency of `from` → the reverse
+                    // edge closes a cycle.
+                    let r = m.register_dependency(c, &from, SimDuration::ZERO);
+                    prop_assert!(
+                        r.is_err(),
+                        "edge {c}->{from} should close a cycle"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gc_never_collects_apps_feeding_running_ones(spec in arb_dag()) {
+        let mut m = build_manager(&spec);
+        // Start everything (every config explicitly — then clear explicit
+        // marks by cancelling/restarting is complex; instead start only the
+        // sinks: configs nobody depends on).
+        let has_dependent: Vec<bool> = (0..spec.n)
+            .map(|i| spec.edges.iter().any(|(_, b, _)| *b == i))
+            .collect();
+        let sinks: Vec<usize> = (0..spec.n).filter(|i| !has_dependent[*i]).collect();
+        for &s in &sinks {
+            // Ignore AlreadyRunning when a sink is also a dependency of
+            // another sink's closure (can't happen: sinks have no
+            // dependents) — but it may already be planned.
+            let _ = m.request_start(&format!("c{s}"), SimTime::ZERO);
+        }
+        let mut job = 0u64;
+        // Chained uptimes can add up to (n-1) × max_uptime; drive far enough
+        // that everything planned actually submits.
+        for t in 0..=500u64 {
+            for c in m.due_submissions(SimTime::from_secs(t)) {
+                job += 1;
+                m.mark_submitted(&c, JobId(job), SimTime::from_secs(t));
+            }
+        }
+        // Cancel the first sink (it has no dependents, so this succeeds).
+        if let Some(&s) = sinks.first() {
+            let plan = m.request_cancel(&format!("c{s}"), SimTime::from_secs(600)).unwrap();
+            // Invariant: nothing queued for GC is depended upon by a config
+            // that remains running.
+            let queued: Vec<&str> = plan.queued.iter().map(|(_, c)| c.as_str()).collect();
+            for q in &queued {
+                let qi: usize = q[1..].parse().unwrap();
+                for (a, b, _) in &spec.edges {
+                    if *b == qi {
+                        let dependent = format!("c{a}");
+                        let dependent_running = m.job_of(&dependent).is_some()
+                            && !queued.contains(&dependent.as_str());
+                        prop_assert!(
+                            !dependent_running,
+                            "{q} queued for GC but running {dependent} depends on it"
+                        );
+                    }
+                }
+                // And GC'd configs are collectable.
+                prop_assert!(spec.gc[qi], "{q} is marked non-collectable");
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Binary tuple codec for inter-PE transport.
+//!
+//! PEs are separate operating-system processes in System S, so tuples
+//! crossing a PE boundary are serialized. The simulated runtime preserves
+//! this: crossing a PE boundary costs an encode/decode round-trip (measured
+//! by the `tuple_codec` bench and the fusion ablation).
+//!
+//! Wire format (little-endian):
+//! ```text
+//! u8  item tag: 0 = tuple, 1 = window punct, 2 = final punct
+//! u16 attr count                      (tuple only)
+//! per attr:
+//!   u16 name len, name bytes
+//!   u8  value tag, payload
+//! ```
+
+use crate::error::EngineError;
+use crate::op::{Punct, StreamItem};
+use crate::tuple::Tuple;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sps_model::Value;
+
+const TAG_TUPLE: u8 = 0;
+const TAG_WINDOW_PUNCT: u8 = 1;
+const TAG_FINAL_PUNCT: u8 = 2;
+
+const VTAG_INT: u8 = 0;
+const VTAG_FLOAT: u8 = 1;
+const VTAG_STR: u8 = 2;
+const VTAG_BOOL: u8 = 3;
+const VTAG_TIMESTAMP: u8 = 4;
+const VTAG_LIST: u8 = 5;
+
+/// Encodes a stream item into a standalone buffer.
+pub fn encode(item: &StreamItem) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match item {
+        StreamItem::Tuple(t) => {
+            buf.put_u8(TAG_TUPLE);
+            encode_tuple(t, &mut buf);
+        }
+        StreamItem::Punct(Punct::Window) => buf.put_u8(TAG_WINDOW_PUNCT),
+        StreamItem::Punct(Punct::Final) => buf.put_u8(TAG_FINAL_PUNCT),
+    }
+    buf.freeze()
+}
+
+fn encode_tuple(t: &Tuple, buf: &mut BytesMut) {
+    buf.put_u16_le(t.len() as u16);
+    for (name, value) in t.attrs() {
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+        encode_value(value, buf);
+    }
+}
+
+fn encode_value(value: &Value, buf: &mut BytesMut) {
+    match value {
+        Value::Int(v) => {
+            buf.put_u8(VTAG_INT);
+            buf.put_i64_le(*v);
+        }
+        Value::Float(v) => {
+            buf.put_u8(VTAG_FLOAT);
+            buf.put_f64_le(*v);
+        }
+        Value::Str(s) => {
+            buf.put_u8(VTAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            buf.put_u8(VTAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Timestamp(t) => {
+            buf.put_u8(VTAG_TIMESTAMP);
+            buf.put_u64_le(*t);
+        }
+        Value::List(items) => {
+            buf.put_u8(VTAG_LIST);
+            buf.put_u32_le(items.len() as u32);
+            for item in items {
+                encode_value(item, buf);
+            }
+        }
+    }
+}
+
+/// Decodes a stream item from a buffer produced by [`encode`].
+pub fn decode(mut buf: Bytes) -> Result<StreamItem, EngineError> {
+    if buf.remaining() < 1 {
+        return Err(EngineError::Codec("empty buffer".into()));
+    }
+    match buf.get_u8() {
+        TAG_TUPLE => {
+            let t = decode_tuple(&mut buf)?;
+            if buf.has_remaining() {
+                return Err(EngineError::Codec("trailing bytes after tuple".into()));
+            }
+            Ok(StreamItem::Tuple(t))
+        }
+        TAG_WINDOW_PUNCT => Ok(StreamItem::Punct(Punct::Window)),
+        TAG_FINAL_PUNCT => Ok(StreamItem::Punct(Punct::Final)),
+        tag => Err(EngineError::Codec(format!("unknown item tag {tag}"))),
+    }
+}
+
+fn decode_tuple(buf: &mut Bytes) -> Result<Tuple, EngineError> {
+    let need = |buf: &Bytes, n: usize| -> Result<(), EngineError> {
+        if buf.remaining() < n {
+            Err(EngineError::Codec(format!(
+                "truncated: need {n} bytes, have {}",
+                buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 2)?;
+    let count = buf.get_u16_le() as usize;
+    let mut tuple = Tuple::new();
+    for _ in 0..count {
+        need(buf, 2)?;
+        let name_len = buf.get_u16_le() as usize;
+        need(buf, name_len)?;
+        let name_bytes = buf.copy_to_bytes(name_len);
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| EngineError::Codec("attribute name is not utf-8".into()))?
+            .to_string();
+        let value = decode_value(buf)?;
+        tuple.set(&name, value);
+    }
+    Ok(tuple)
+}
+
+fn decode_value(buf: &mut Bytes) -> Result<Value, EngineError> {
+    let need = |buf: &Bytes, n: usize| -> Result<(), EngineError> {
+        if buf.remaining() < n {
+            Err(EngineError::Codec("truncated value".into()))
+        } else {
+            Ok(())
+        }
+    };
+    need(buf, 1)?;
+    match buf.get_u8() {
+        VTAG_INT => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        VTAG_FLOAT => {
+            need(buf, 8)?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        VTAG_STR => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            let bytes = buf.copy_to_bytes(len);
+            let s = std::str::from_utf8(&bytes)
+                .map_err(|_| EngineError::Codec("string value is not utf-8".into()))?;
+            Ok(Value::Str(s.to_string()))
+        }
+        VTAG_BOOL => {
+            need(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        VTAG_TIMESTAMP => {
+            need(buf, 8)?;
+            Ok(Value::Timestamp(buf.get_u64_le()))
+        }
+        VTAG_LIST => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            // Cap pathological lengths so corrupt buffers fail fast instead
+            // of attempting huge allocations.
+            if len > buf.remaining() {
+                return Err(EngineError::Codec("list length exceeds buffer".into()));
+            }
+            let mut items = Vec::with_capacity(len);
+            for _ in 0..len {
+                items.push(decode_value(buf)?);
+            }
+            Ok(Value::List(items))
+        }
+        tag => Err(EngineError::Codec(format!("unknown value tag {tag}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(item: StreamItem) {
+        let encoded = encode(&item);
+        let decoded = decode(encoded).unwrap();
+        assert_eq!(decoded, item);
+    }
+
+    #[test]
+    fn roundtrip_tuple_all_types() {
+        roundtrip(StreamItem::Tuple(
+            Tuple::new()
+                .with("i", -7i64)
+                .with("f", 2.75)
+                .with("s", "hello — utf8 ✓")
+                .with("b", true)
+                .with("ts", Value::Timestamp(123456789))
+                .with(
+                    "l",
+                    Value::List(vec![
+                        Value::Int(1),
+                        Value::List(vec![Value::Str("nested".into())]),
+                    ]),
+                ),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_empty_tuple_and_puncts() {
+        roundtrip(StreamItem::Tuple(Tuple::new()));
+        roundtrip(StreamItem::Punct(Punct::Window));
+        roundtrip(StreamItem::Punct(Punct::Final));
+    }
+
+    #[test]
+    fn decode_rejects_empty() {
+        assert!(decode(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        assert!(decode(Bytes::from_static(&[9])).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let full = encode(&StreamItem::Tuple(
+            Tuple::new().with("abc", 1i64).with("s", "world"),
+        ));
+        // Every strict prefix must fail, not panic.
+        for cut in 1..full.len() {
+            let prefix = full.slice(0..cut);
+            assert!(decode(prefix).is_err(), "prefix of len {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut bytes = encode(&StreamItem::Tuple(Tuple::new())).to_vec();
+        bytes.push(0xFF);
+        assert!(decode(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_oversized_list_len() {
+        // tag=tuple, 1 attr, name "l", list with claimed 2^31 items.
+        let mut buf = BytesMut::new();
+        buf.put_u8(TAG_TUPLE);
+        buf.put_u16_le(1);
+        buf.put_u16_le(1);
+        buf.put_slice(b"l");
+        buf.put_u8(VTAG_LIST);
+        buf.put_u32_le(u32::MAX);
+        assert!(decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn encoded_size_tracks_content() {
+        let small = encode(&StreamItem::Tuple(Tuple::new().with("a", 1i64)));
+        let big = encode(&StreamItem::Tuple(
+            Tuple::new().with("a", 1i64).with("blob", "x".repeat(1000).as_str()),
+        ));
+        assert!(big.len() > small.len() + 900);
+    }
+}

@@ -1,0 +1,61 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised while instantiating or executing operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// No factory registered for an operator kind.
+    UnknownOperatorKind(String),
+    /// An operator parameter is missing or has the wrong type.
+    BadParam { op: String, message: String },
+    /// Expression parse/eval failure.
+    Expr(String),
+    /// Tuple decode failure.
+    Codec(String),
+    /// An operator signalled a fatal fault — the containing PE crashes
+    /// (uncaught-exception analogue, §4.2).
+    OperatorFault { op: String, message: String },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownOperatorKind(k) => write!(f, "unknown operator kind '{k}'"),
+            EngineError::BadParam { op, message } => {
+                write!(f, "bad parameter for operator '{op}': {message}")
+            }
+            EngineError::Expr(m) => write!(f, "expression error: {m}"),
+            EngineError::Codec(m) => write!(f, "tuple codec error: {m}"),
+            EngineError::OperatorFault { op, message } => {
+                write!(f, "operator '{op}' fault: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::UnknownOperatorKind("Zap".into())
+            .to_string()
+            .contains("Zap"));
+        assert!(EngineError::BadParam {
+            op: "a".into(),
+            message: "missing rate".into()
+        }
+        .to_string()
+        .contains("missing rate"));
+        assert!(EngineError::OperatorFault {
+            op: "x".into(),
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("fault"));
+    }
+}

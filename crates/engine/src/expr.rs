@@ -1,0 +1,677 @@
+//! Expression mini-language for parameterizing Filter/Functor/Split
+//! operators from ADL params (strings survive serialization, unlike
+//! closures).
+//!
+//! Grammar (recursive descent, C-like precedence):
+//! ```text
+//! expr    := or
+//! or      := and ("||" and)*
+//! and     := cmp ("&&" cmp)*
+//! cmp     := add (("=="|"!="|"<="|">="|"<"|">") add)?
+//! add     := mul (("+"|"-") mul)*
+//! mul     := unary (("*"|"/"|"%") unary)*
+//! unary   := ("!"|"-") unary | primary
+//! primary := int | float | "string" | true | false | ident | "(" expr ")"
+//! ```
+//! Identifiers reference tuple attributes. Arithmetic coerces int→float when
+//! mixed; `+` concatenates strings; comparisons work on numbers and strings.
+
+use crate::error::EngineError;
+use crate::tuple::Tuple;
+use sps_model::Value;
+
+/// Parsed expression AST.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    Attr(String),
+    Unary(UnaryOp, Box<Expr>),
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl Expr {
+    /// Parses an expression from source text.
+    pub fn parse(src: &str) -> Result<Expr, EngineError> {
+        let tokens = tokenize(src)?;
+        let mut p = ExprParser { tokens, pos: 0 };
+        let e = p.parse_or()?;
+        if p.pos != p.tokens.len() {
+            return Err(EngineError::Expr(format!(
+                "unexpected trailing token {:?}",
+                p.tokens[p.pos]
+            )));
+        }
+        Ok(e)
+    }
+
+    /// Evaluates against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value, EngineError> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Attr(name) => tuple
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EngineError::Expr(format!("missing attribute '{name}'"))),
+            Expr::Unary(op, inner) => {
+                let v = inner.eval(tuple)?;
+                match op {
+                    UnaryOp::Not => match v {
+                        Value::Bool(b) => Ok(Value::Bool(!b)),
+                        other => Err(type_err("!", &other)),
+                    },
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(type_err("-", &other)),
+                    },
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                // Short-circuit logical operators.
+                match op {
+                    BinaryOp::And => {
+                        return match lhs.eval(tuple)? {
+                            Value::Bool(false) => Ok(Value::Bool(false)),
+                            Value::Bool(true) => expect_bool(rhs.eval(tuple)?),
+                            other => Err(type_err("&&", &other)),
+                        };
+                    }
+                    BinaryOp::Or => {
+                        return match lhs.eval(tuple)? {
+                            Value::Bool(true) => Ok(Value::Bool(true)),
+                            Value::Bool(false) => expect_bool(rhs.eval(tuple)?),
+                            other => Err(type_err("||", &other)),
+                        };
+                    }
+                    _ => {}
+                }
+                let l = lhs.eval(tuple)?;
+                let r = rhs.eval(tuple)?;
+                eval_binary(*op, l, r)
+            }
+        }
+    }
+
+    /// Evaluates, requiring a boolean result (Filter predicates).
+    pub fn eval_bool(&self, tuple: &Tuple) -> Result<bool, EngineError> {
+        match self.eval(tuple)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(EngineError::Expr(format!(
+                "expected bool result, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Attribute names the expression references (used for dependency
+    /// validation at graph-build time).
+    pub fn referenced_attrs(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'e>(e: &'e Expr, out: &mut Vec<&'e str>) {
+            match e {
+                Expr::Literal(_) => {}
+                Expr::Attr(n) => {
+                    if !out.contains(&n.as_str()) {
+                        out.push(n);
+                    }
+                }
+                Expr::Unary(_, i) => walk(i, out),
+                Expr::Binary(_, l, r) => {
+                    walk(l, out);
+                    walk(r, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+fn expect_bool(v: Value) -> Result<Value, EngineError> {
+    match v {
+        Value::Bool(_) => Ok(v),
+        other => Err(type_err("logical operand", &other)),
+    }
+}
+
+fn type_err(op: &str, v: &Value) -> EngineError {
+    EngineError::Expr(format!("type error: {op} applied to {v:?}"))
+}
+
+fn eval_binary(op: BinaryOp, l: Value, r: Value) -> Result<Value, EngineError> {
+    use BinaryOp::*;
+    // String concatenation and comparison.
+    if let (Value::Str(a), Value::Str(b)) = (&l, &r) {
+        return match op {
+            Add => Ok(Value::Str(format!("{a}{b}"))),
+            Eq => Ok(Value::Bool(a == b)),
+            Ne => Ok(Value::Bool(a != b)),
+            Lt => Ok(Value::Bool(a < b)),
+            Le => Ok(Value::Bool(a <= b)),
+            Gt => Ok(Value::Bool(a > b)),
+            Ge => Ok(Value::Bool(a >= b)),
+            _ => Err(EngineError::Expr(format!("{op:?} not defined on strings"))),
+        };
+    }
+    if let (Value::Bool(a), Value::Bool(b)) = (&l, &r) {
+        return match op {
+            Eq => Ok(Value::Bool(a == b)),
+            Ne => Ok(Value::Bool(a != b)),
+            _ => Err(EngineError::Expr(format!("{op:?} not defined on bools"))),
+        };
+    }
+    // Integer-preserving arithmetic when both sides are ints.
+    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+        let (a, b) = (*a, *b);
+        return Ok(match op {
+            Add => Value::Int(a.wrapping_add(b)),
+            Sub => Value::Int(a.wrapping_sub(b)),
+            Mul => Value::Int(a.wrapping_mul(b)),
+            Div => {
+                if b == 0 {
+                    return Err(EngineError::Expr("integer division by zero".into()));
+                }
+                Value::Int(a / b)
+            }
+            Mod => {
+                if b == 0 {
+                    return Err(EngineError::Expr("integer modulo by zero".into()));
+                }
+                Value::Int(a % b)
+            }
+            Eq => Value::Bool(a == b),
+            Ne => Value::Bool(a != b),
+            Lt => Value::Bool(a < b),
+            Le => Value::Bool(a <= b),
+            Gt => Value::Bool(a > b),
+            Ge => Value::Bool(a >= b),
+            And | Or => unreachable!("handled by short-circuit path"),
+        });
+    }
+    // Mixed numeric: coerce to f64 (timestamps included).
+    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+        return Err(EngineError::Expr(format!(
+            "type error: {op:?} applied to {l:?} and {r:?}"
+        )));
+    };
+    Ok(match op {
+        Add => Value::Float(a + b),
+        Sub => Value::Float(a - b),
+        Mul => Value::Float(a * b),
+        Div => Value::Float(a / b),
+        Mod => Value::Float(a % b),
+        Eq => Value::Bool(a == b),
+        Ne => Value::Bool(a != b),
+        Lt => Value::Bool(a < b),
+        Le => Value::Bool(a <= b),
+        Gt => Value::Bool(a > b),
+        Ge => Value::Bool(a >= b),
+        And | Or => unreachable!("handled by short-circuit path"),
+    })
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    True,
+    False,
+    LParen,
+    RParen,
+    Op(BinaryOp),
+    Bang,
+    Minus,
+    Plus,
+    Star,
+    Slash,
+    Percent,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>, EngineError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token::Plus);
+            }
+            '-' => {
+                chars.next();
+                tokens.push(Token::Minus);
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Star);
+            }
+            '/' => {
+                chars.next();
+                tokens.push(Token::Slash);
+            }
+            '%' => {
+                chars.next();
+                tokens.push(Token::Percent);
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Op(BinaryOp::Ne));
+                } else {
+                    tokens.push(Token::Bang);
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.next() == Some('=') {
+                    tokens.push(Token::Op(BinaryOp::Eq));
+                } else {
+                    return Err(EngineError::Expr("single '=' (use '==')".into()));
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Op(BinaryOp::Le));
+                } else {
+                    tokens.push(Token::Op(BinaryOp::Lt));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Op(BinaryOp::Ge));
+                } else {
+                    tokens.push(Token::Op(BinaryOp::Gt));
+                }
+            }
+            '&' => {
+                chars.next();
+                if chars.next() == Some('&') {
+                    tokens.push(Token::Op(BinaryOp::And));
+                } else {
+                    return Err(EngineError::Expr("single '&' (use '&&')".into()));
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.next() == Some('|') {
+                    tokens.push(Token::Op(BinaryOp::Or));
+                } else {
+                    return Err(EngineError::Expr("single '|' (use '||')".into()));
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            other => {
+                                return Err(EngineError::Expr(format!(
+                                    "bad escape {other:?} in string literal"
+                                )))
+                            }
+                        },
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(EngineError::Expr("unterminated string literal".into()))
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| {
+                        EngineError::Expr(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    tokens.push(Token::Int(text.parse().map_err(|_| {
+                        EngineError::Expr(format!("bad int literal '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(match ident.as_str() {
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ => Token::Ident(ident),
+                });
+            }
+            other => {
+                return Err(EngineError::Expr(format!("unexpected character '{other}'")))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct ExprParser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl ExprParser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, EngineError> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == Some(&Token::Op(BinaryOp::Or)) {
+            self.next();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinaryOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, EngineError> {
+        let mut lhs = self.parse_cmp()?;
+        while self.peek() == Some(&Token::Op(BinaryOp::And)) {
+            self.next();
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary(BinaryOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, EngineError> {
+        let lhs = self.parse_add()?;
+        if let Some(Token::Op(op)) = self.peek() {
+            let op = *op;
+            if matches!(
+                op,
+                BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+            ) {
+                self.next();
+                let rhs = self.parse_add()?;
+                return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, EngineError> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_mul()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, EngineError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, EngineError> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.next();
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(self.parse_unary()?)))
+            }
+            Some(Token::Minus) => {
+                self.next();
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, EngineError> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(Value::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Literal(Value::Float(v))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::True) => Ok(Expr::Literal(Value::Bool(true))),
+            Some(Token::False) => Ok(Expr::Literal(Value::Bool(false))),
+            Some(Token::Ident(name)) => Ok(Expr::Attr(name)),
+            Some(Token::LParen) => {
+                let e = self.parse_or()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(e),
+                    _ => Err(EngineError::Expr("expected ')'".into())),
+                }
+            }
+            other => Err(EngineError::Expr(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        Tuple::new()
+            .with("price", 101.5)
+            .with("vol", 300i64)
+            .with("sym", "IBM")
+            .with("neg", true)
+    }
+
+    fn eval(src: &str) -> Value {
+        Expr::parse(src).unwrap().eval(&t()).unwrap()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(eval("42"), Value::Int(42));
+        assert_eq!(eval("2.5"), Value::Float(2.5));
+        assert_eq!(eval("\"hi\""), Value::Str("hi".into()));
+        assert_eq!(eval("true"), Value::Bool(true));
+        assert_eq!(eval("false"), Value::Bool(false));
+    }
+
+    #[test]
+    fn attribute_refs() {
+        assert_eq!(eval("vol"), Value::Int(300));
+        assert_eq!(eval("sym"), Value::Str("IBM".into()));
+        let err = Expr::parse("ghost").unwrap().eval(&t()).unwrap_err();
+        assert!(err.to_string().contains("missing attribute"));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        assert_eq!(eval("2 + 3 * 4"), Value::Int(14));
+        assert_eq!(eval("(2 + 3) * 4"), Value::Int(20));
+        assert_eq!(eval("10 / 3"), Value::Int(3));
+        assert_eq!(eval("10 % 3"), Value::Int(1));
+        assert_eq!(eval("10.0 / 4"), Value::Float(2.5));
+        assert_eq!(eval("vol * 2"), Value::Int(600));
+        assert_eq!(eval("price + 0.5"), Value::Float(102.0));
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(eval("-5"), Value::Int(-5));
+        assert_eq!(eval("--5"), Value::Int(5));
+        assert_eq!(eval("!true"), Value::Bool(false));
+        assert_eq!(eval("!!neg"), Value::Bool(true));
+        assert_eq!(eval("-price"), Value::Float(-101.5));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(eval("vol > 100"), Value::Bool(true));
+        assert_eq!(eval("vol >= 300"), Value::Bool(true));
+        assert_eq!(eval("vol < 300"), Value::Bool(false));
+        assert_eq!(eval("price <= 101.5"), Value::Bool(true));
+        assert_eq!(eval("vol == 300"), Value::Bool(true));
+        assert_eq!(eval("vol != 300"), Value::Bool(false));
+        assert_eq!(eval("sym == \"IBM\""), Value::Bool(true));
+        assert_eq!(eval("sym < \"JBM\""), Value::Bool(true));
+        // Mixed int/float comparison coerces.
+        assert_eq!(eval("vol == 300.0"), Value::Bool(true));
+    }
+
+    #[test]
+    fn logical_ops_and_precedence() {
+        assert_eq!(eval("vol > 100 && sym == \"IBM\""), Value::Bool(true));
+        assert_eq!(eval("vol > 1000 || neg"), Value::Bool(true));
+        // && binds tighter than ||.
+        assert_eq!(eval("false && false || true"), Value::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // RHS references a missing attribute but must not be evaluated.
+        assert_eq!(eval("false && ghost > 1"), Value::Bool(false));
+        assert_eq!(eval("true || ghost > 1"), Value::Bool(true));
+    }
+
+    #[test]
+    fn string_concat() {
+        assert_eq!(eval("sym + \"!\""), Value::Str("IBM!".into()));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert!(Expr::parse("1 / 0").unwrap().eval(&t()).is_err());
+        assert!(Expr::parse("1 % 0").unwrap().eval(&t()).is_err());
+        // Float division by zero is IEEE.
+        assert_eq!(eval("1.0 / 0.0"), Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn type_errors() {
+        assert!(Expr::parse("sym * 2").unwrap().eval(&t()).is_err());
+        assert!(Expr::parse("!vol").unwrap().eval(&t()).is_err());
+        assert!(Expr::parse("-sym").unwrap().eval(&t()).is_err());
+        assert!(Expr::parse("true && 1").unwrap().eval(&t()).is_err());
+        assert!(Expr::parse("true - false").unwrap().eval(&t()).is_err());
+    }
+
+    #[test]
+    fn eval_bool_enforces_type() {
+        assert!(Expr::parse("vol").unwrap().eval_bool(&t()).is_err());
+        assert!(Expr::parse("vol > 0").unwrap().eval_bool(&t()).unwrap());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Expr::parse("1 +").is_err());
+        assert!(Expr::parse("(1").is_err());
+        assert!(Expr::parse("1 = 2").is_err());
+        assert!(Expr::parse("a & b").is_err());
+        assert!(Expr::parse("a | b").is_err());
+        assert!(Expr::parse("\"unterminated").is_err());
+        assert!(Expr::parse("1 2").is_err());
+        assert!(Expr::parse("@").is_err());
+        assert!(Expr::parse("\"bad \\x escape\"").is_err());
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            eval("\"a\\\"b\\\\c\\n\""),
+            Value::Str("a\"b\\c\n".into())
+        );
+    }
+
+    #[test]
+    fn referenced_attrs_dedups() {
+        let e = Expr::parse("price > 1 && price < 2 || sym == \"X\"").unwrap();
+        assert_eq!(e.referenced_attrs(), vec!["price", "sym"]);
+        assert!(Expr::parse("1 + 2").unwrap().referenced_attrs().is_empty());
+    }
+
+    #[test]
+    fn timestamp_coercion() {
+        let tup = Tuple::new().with("ts", Value::Timestamp(5000));
+        let e = Expr::parse("ts > 1000").unwrap();
+        assert_eq!(e.eval(&tup).unwrap(), Value::Bool(true));
+    }
+}

@@ -1,0 +1,182 @@
+//! Built-in and custom runtime metrics (§2.1).
+//!
+//! Built-in metrics are maintained automatically by the PE container for
+//! every operator (tuples processed/submitted, queue sizes) and per PE
+//! (bytes processed). Custom metrics are created and updated by operator
+//! code at any point during execution — e.g. the sentiment application's
+//! `nKnownCauses` / `nUnknownCauses` counters (§5.1).
+
+use std::collections::BTreeMap;
+
+/// Well-known built-in metric names (paper §2.1 examples).
+pub mod builtin {
+    /// Tuples processed by an operator (all input ports).
+    pub const N_TUPLES_PROCESSED: &str = "nTuplesProcessed";
+    /// Tuples submitted by an operator (all output ports).
+    pub const N_TUPLES_SUBMITTED: &str = "nTuplesSubmitted";
+    /// Current input-queue length of an operator.
+    pub const QUEUE_SIZE: &str = "queueSize";
+    /// Final punctuations processed by an operator (drives §5.3).
+    pub const N_FINAL_PUNCTS_PROCESSED: &str = "nFinalPunctsProcessed";
+    /// Tuple bytes processed by a PE (PE-level metric).
+    pub const N_TUPLE_BYTES_PROCESSED: &str = "nTupleBytesProcessed";
+    /// Tuples dropped by an operator (e.g. Throttle under overload).
+    pub const N_TUPLES_DROPPED: &str = "nTuplesDropped";
+}
+
+/// Identifies one metric instance within a job.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricKey {
+    /// Operator-level metric: `(operator instance name, metric name)`.
+    Operator(String, String),
+    /// Operator-port metric: `(operator, port, metric name)`.
+    OperatorPort(String, usize, String),
+    /// PE-level metric: `(pe index, metric name)`.
+    Pe(usize, String),
+}
+
+impl MetricKey {
+    pub fn metric_name(&self) -> &str {
+        match self {
+            MetricKey::Operator(_, m) | MetricKey::OperatorPort(_, _, m) | MetricKey::Pe(_, m) => m,
+        }
+    }
+
+    pub fn operator_name(&self) -> Option<&str> {
+        match self {
+            MetricKey::Operator(op, _) | MetricKey::OperatorPort(op, _, _) => Some(op),
+            MetricKey::Pe(..) => None,
+        }
+    }
+}
+
+/// A flat store of metric values, owned by a PE container and periodically
+/// snapshotted by the host controller (§2.2).
+#[derive(Clone, Debug, Default)]
+pub struct MetricStore {
+    values: BTreeMap<MetricKey, i64>,
+}
+
+impl MetricStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a metric to an absolute value (creates it if absent — operators
+    /// "can create new custom metrics at any point during their execution").
+    pub fn set(&mut self, key: MetricKey, value: i64) {
+        self.values.insert(key, value);
+    }
+
+    /// Adds a delta, creating the metric at zero first if needed.
+    pub fn add(&mut self, key: MetricKey, delta: i64) {
+        *self.values.entry(key).or_insert(0) += delta;
+    }
+
+    pub fn get(&self, key: &MetricKey) -> Option<i64> {
+        self.values.get(key).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, i64)> {
+        self.values.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Snapshot for SRM collection.
+    pub fn snapshot(&self) -> Vec<(MetricKey, i64)> {
+        self.values.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Convenience accessors used by operator contexts.
+    pub fn op_add(&mut self, op: &str, metric: &str, delta: i64) {
+        self.add(MetricKey::Operator(op.to_string(), metric.to_string()), delta);
+    }
+
+    pub fn op_set(&mut self, op: &str, metric: &str, value: i64) {
+        self.set(MetricKey::Operator(op.to_string(), metric.to_string()), value);
+    }
+
+    pub fn op_get(&self, op: &str, metric: &str) -> Option<i64> {
+        self.get(&MetricKey::Operator(op.to_string(), metric.to_string()))
+    }
+
+    pub fn pe_add(&mut self, pe: usize, metric: &str, delta: i64) {
+        self.add(MetricKey::Pe(pe, metric.to_string()), delta);
+    }
+
+    pub fn pe_get(&self, pe: usize, metric: &str) -> Option<i64> {
+        self.get(&MetricKey::Pe(pe, metric.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_get() {
+        let mut m = MetricStore::new();
+        let key = MetricKey::Operator("op1".into(), "nTuplesProcessed".into());
+        assert_eq!(m.get(&key), None);
+        m.add(key.clone(), 5);
+        m.add(key.clone(), 3);
+        assert_eq!(m.get(&key), Some(8));
+        m.set(key.clone(), 100);
+        assert_eq!(m.get(&key), Some(100));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn key_kinds_are_distinct() {
+        let mut m = MetricStore::new();
+        m.add(MetricKey::Operator("a".into(), "x".into()), 1);
+        m.add(MetricKey::OperatorPort("a".into(), 0, "x".into()), 2);
+        m.add(MetricKey::Pe(0, "x".into()), 3);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.op_get("a", "x"), Some(1));
+        assert_eq!(m.pe_get(0, "x"), Some(3));
+    }
+
+    #[test]
+    fn key_accessors() {
+        let k = MetricKey::Operator("op".into(), "m".into());
+        assert_eq!(k.metric_name(), "m");
+        assert_eq!(k.operator_name(), Some("op"));
+        let p = MetricKey::Pe(2, "bytes".into());
+        assert_eq!(p.metric_name(), "bytes");
+        assert_eq!(p.operator_name(), None);
+        let q = MetricKey::OperatorPort("op".into(), 1, "q".into());
+        assert_eq!(q.operator_name(), Some("op"));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_complete() {
+        let mut m = MetricStore::new();
+        m.op_add("b", "m", 2);
+        m.op_add("a", "m", 1);
+        m.pe_add(0, "bytes", 10);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 3);
+        // BTreeMap ordering: Operator(a) < Operator(b) < Pe(0).
+        assert_eq!(snap[0].0.operator_name(), Some("a"));
+        assert_eq!(snap[1].0.operator_name(), Some("b"));
+        assert!(matches!(snap[2].0, MetricKey::Pe(0, _)));
+    }
+
+    #[test]
+    fn convenience_helpers() {
+        let mut m = MetricStore::new();
+        m.op_set("op", "custom", 42);
+        assert_eq!(m.op_get("op", "custom"), Some(42));
+        assert_eq!(m.op_get("op", "other"), None);
+        assert!(!m.is_empty());
+        assert_eq!(m.iter().count(), 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! The operator abstraction and its execution context.
+
+use crate::metrics::MetricStore;
+use crate::tuple::Tuple;
+use sps_sim::{SimDuration, SimRng, SimTime};
+
+/// Stream punctuation marks (§2.1/§5.3). `Final` indicates an operator will
+/// never produce tuples again; its generation and forwarding is managed by
+/// the runtime and drives the dynamic-composition use case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Punct {
+    Window,
+    Final,
+}
+
+/// What flows on a stream: tuples interleaved with punctuation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamItem {
+    Tuple(Tuple),
+    Punct(Punct),
+}
+
+/// Execution context handed to operator callbacks.
+///
+/// Collects submissions (routed by the PE container after the callback
+/// returns), exposes custom-metric updates, deterministic randomness, the
+/// simulation clock, and a fault channel: an operator raising a fault
+/// crashes its whole PE, modelling the uncaught-exception PE crash of §4.2.
+pub struct OpCtx<'a> {
+    now: SimTime,
+    quantum: SimDuration,
+    op_name: &'a str,
+    num_outputs: usize,
+    metrics: &'a mut MetricStore,
+    rng: &'a mut SimRng,
+    emitted: Vec<(usize, StreamItem)>,
+    fault: Option<String>,
+}
+
+impl<'a> OpCtx<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        quantum: SimDuration,
+        op_name: &'a str,
+        num_outputs: usize,
+        metrics: &'a mut MetricStore,
+        rng: &'a mut SimRng,
+    ) -> Self {
+        OpCtx {
+            now,
+            quantum,
+            op_name,
+            num_outputs,
+            metrics,
+            rng,
+            emitted: Vec::new(),
+            fault: None,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Duration of one scheduling quantum (tick period for sources).
+    pub fn quantum(&self) -> SimDuration {
+        self.quantum
+    }
+
+    /// This operator's full instance name.
+    pub fn op_name(&self) -> &str {
+        self.op_name
+    }
+
+    /// Number of output ports of this operator.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Submits a tuple on an output port.
+    pub fn submit(&mut self, port: usize, tuple: Tuple) {
+        debug_assert!(port < self.num_outputs, "submit on nonexistent port");
+        self.emitted.push((port, StreamItem::Tuple(tuple)));
+    }
+
+    /// Submits punctuation on an output port.
+    pub fn submit_punct(&mut self, port: usize, punct: Punct) {
+        debug_assert!(port < self.num_outputs, "punct on nonexistent port");
+        self.emitted.push((port, StreamItem::Punct(punct)));
+    }
+
+    /// Adds to (creating if needed) a custom metric of this operator.
+    pub fn metric_add(&mut self, metric: &str, delta: i64) {
+        self.metrics.op_add(self.op_name, metric, delta);
+    }
+
+    /// Sets a custom metric of this operator to an absolute value.
+    pub fn metric_set(&mut self, metric: &str, value: i64) {
+        self.metrics.op_set(self.op_name, metric, value);
+    }
+
+    /// Reads back one of this operator's metrics.
+    pub fn metric_get(&self, metric: &str) -> Option<i64> {
+        self.metrics.op_get(self.op_name, metric)
+    }
+
+    /// Deterministic per-PE random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Raises a fatal operator fault: the containing PE crashes, SAM is
+    /// notified, and (if scoped) the orchestrator receives a PE-failure
+    /// event.
+    pub fn raise_fault(&mut self, message: impl Into<String>) {
+        self.fault = Some(message.into());
+    }
+
+    pub(crate) fn take_emitted(&mut self) -> Vec<(usize, StreamItem)> {
+        std::mem::take(&mut self.emitted)
+    }
+
+    pub(crate) fn take_fault(&mut self) -> Option<String> {
+        self.fault.take()
+    }
+}
+
+/// A stream operator. Implementations are instantiated per ADL invocation by
+/// the [`crate::registry::OperatorRegistry`].
+pub trait Operator {
+    /// Called for every tuple arriving on `port`.
+    fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpCtx);
+
+    /// Called for punctuation arriving on `port`. The default forwards the
+    /// punctuation to every output port, which is correct for single-input
+    /// pass-through operators; multi-input operators (e.g. Merge) must track
+    /// per-port finals themselves (see [`FinalPunctTracker`]).
+    fn on_punct(&mut self, port: usize, punct: Punct, ctx: &mut OpCtx) {
+        let _ = port;
+        for p in 0..ctx.num_outputs() {
+            ctx.submit_punct(p, punct);
+        }
+    }
+
+    /// Called once per scheduling quantum; sources produce tuples here.
+    fn on_tick(&mut self, ctx: &mut OpCtx) {
+        let _ = ctx;
+    }
+
+    /// Processing-budget units charged per tuple (default 1). CPU-heavy
+    /// operators report more, so fused PEs saturate realistically.
+    fn cost_per_tuple(&self) -> u32 {
+        1
+    }
+
+    /// Observable contents for sink-like operators (`None` otherwise). The
+    /// PE container surfaces this via [`crate::pe::PeRuntime::tap`].
+    fn tap(&self) -> Option<Vec<Tuple>> {
+        None
+    }
+}
+
+/// Helper for multi-input operators: emits `Final` downstream only after a
+/// final punctuation arrived on every input port.
+#[derive(Clone, Debug)]
+pub struct FinalPunctTracker {
+    seen: Vec<bool>,
+    fired: bool,
+}
+
+impl FinalPunctTracker {
+    pub fn new(num_inputs: usize) -> Self {
+        FinalPunctTracker {
+            seen: vec![false; num_inputs],
+            fired: false,
+        }
+    }
+
+    /// Records a final punct on `port`; returns true exactly once, when all
+    /// ports have seen their final.
+    pub fn mark(&mut self, port: usize) -> bool {
+        if port < self.seen.len() {
+            self.seen[port] = true;
+        }
+        if !self.fired && self.seen.iter().all(|&s| s) {
+            self.fired = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn is_complete(&self) -> bool {
+        self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_ctx<R>(f: impl FnOnce(&mut OpCtx) -> R) -> (R, MetricStore) {
+        let mut metrics = MetricStore::new();
+        let mut rng = SimRng::new(1);
+        let mut ctx = OpCtx::new(
+            SimTime::from_secs(1),
+            SimDuration::from_millis(100),
+            "op1",
+            2,
+            &mut metrics,
+            &mut rng,
+        );
+        let r = f(&mut ctx);
+        (r, metrics)
+    }
+
+    #[test]
+    fn ctx_accessors() {
+        with_ctx(|ctx| {
+            assert_eq!(ctx.now(), SimTime::from_secs(1));
+            assert_eq!(ctx.quantum(), SimDuration::from_millis(100));
+            assert_eq!(ctx.op_name(), "op1");
+            assert_eq!(ctx.num_outputs(), 2);
+            let _ = ctx.rng().next_f64();
+        });
+    }
+
+    #[test]
+    fn submissions_collected_in_order() {
+        let (emitted, _) = with_ctx(|ctx| {
+            ctx.submit(0, Tuple::new().with("a", 1i64));
+            ctx.submit_punct(1, Punct::Final);
+            ctx.submit(1, Tuple::new().with("b", 2i64));
+            ctx.take_emitted()
+        });
+        assert_eq!(emitted.len(), 3);
+        assert!(matches!(emitted[0], (0, StreamItem::Tuple(_))));
+        assert!(matches!(emitted[1], (1, StreamItem::Punct(Punct::Final))));
+        assert!(matches!(emitted[2], (1, StreamItem::Tuple(_))));
+    }
+
+    #[test]
+    fn metrics_through_ctx() {
+        let (_, metrics) = with_ctx(|ctx| {
+            ctx.metric_add("nKnown", 3);
+            ctx.metric_add("nKnown", 2);
+            ctx.metric_set("nUnknown", 7);
+            assert_eq!(ctx.metric_get("nKnown"), Some(5));
+            assert_eq!(ctx.metric_get("ghost"), None);
+        });
+        assert_eq!(metrics.op_get("op1", "nKnown"), Some(5));
+        assert_eq!(metrics.op_get("op1", "nUnknown"), Some(7));
+    }
+
+    #[test]
+    fn fault_channel() {
+        let (fault, _) = with_ctx(|ctx| {
+            assert!(ctx.take_fault().is_none());
+            ctx.raise_fault("segfault in model reload");
+            ctx.take_fault()
+        });
+        assert_eq!(fault.as_deref(), Some("segfault in model reload"));
+    }
+
+    #[test]
+    fn default_punct_forwarding() {
+        struct PassThrough;
+        impl Operator for PassThrough {
+            fn on_tuple(&mut self, _p: usize, t: Tuple, ctx: &mut OpCtx) {
+                ctx.submit(0, t);
+            }
+        }
+        let (emitted, _) = with_ctx(|ctx| {
+            let mut op = PassThrough;
+            op.on_punct(0, Punct::Final, ctx);
+            ctx.take_emitted()
+        });
+        // Forwarded to both output ports.
+        assert_eq!(emitted.len(), 2);
+        assert!(emitted
+            .iter()
+            .all(|(_, i)| matches!(i, StreamItem::Punct(Punct::Final))));
+    }
+
+    #[test]
+    fn final_tracker_fires_once_when_all_seen() {
+        let mut t = FinalPunctTracker::new(3);
+        assert!(!t.mark(0));
+        assert!(!t.mark(0)); // duplicate final on same port
+        assert!(!t.mark(2));
+        assert!(!t.is_complete());
+        assert!(t.mark(1));
+        assert!(t.is_complete());
+        assert!(!t.mark(1)); // never fires twice
+    }
+
+    #[test]
+    fn final_tracker_ignores_out_of_range_port() {
+        let mut t = FinalPunctTracker::new(1);
+        assert!(!t.mark(5));
+        assert!(t.mark(0));
+    }
+
+    #[test]
+    fn final_tracker_zero_inputs_fires_immediately() {
+        let mut t = FinalPunctTracker::new(0);
+        // Degenerate but defined: all (zero) ports have finals.
+        assert!(t.mark(0));
+    }
+}

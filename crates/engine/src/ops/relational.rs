@@ -1,0 +1,405 @@
+//! Relational-style operators: Filter, Functor, Split, Merge, DeDup.
+
+use crate::expr::Expr;
+use crate::op::{FinalPunctTracker, OpCtx, Operator, Punct};
+use crate::ops::{opt_i64, opt_str, req_str};
+use crate::tuple::Tuple;
+use crate::EngineError;
+use sps_model::value::ParamMap;
+use sps_model::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Forwards tuples matching a predicate; maintains the custom metric
+/// `nDiscarded` (the paper's example of an operator-specific custom metric,
+/// §2.1).
+///
+/// Parameters: `predicate` (str expression, required).
+pub struct Filter {
+    predicate: Expr,
+}
+
+impl Filter {
+    pub fn from_params(op: &str, params: &ParamMap) -> Result<Self, EngineError> {
+        let src = req_str(params, op, "predicate")?;
+        Ok(Filter {
+            predicate: Expr::parse(src)?,
+        })
+    }
+}
+
+impl Operator for Filter {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, ctx: &mut OpCtx) {
+        match self.predicate.eval_bool(&tuple) {
+            Ok(true) => ctx.submit(0, tuple),
+            Ok(false) => ctx.metric_add("nDiscarded", 1),
+            Err(e) => ctx.raise_fault(format!("predicate failed: {e}")),
+        }
+    }
+}
+
+/// Per-tuple transformation: evaluates assignment expressions and optionally
+/// projects a subset of attributes.
+///
+/// Parameters:
+/// - `set:<attr>` (str expression): assign `<attr>` = expression result,
+/// - `project` (str, optional): comma-separated attributes to keep (applied
+///   after assignments).
+pub struct Functor {
+    assignments: Vec<(String, Expr)>,
+    project: Option<Vec<String>>,
+}
+
+impl Functor {
+    pub fn from_params(op: &str, params: &ParamMap) -> Result<Self, EngineError> {
+        let mut assignments = Vec::new();
+        for (key, value) in params {
+            if let Some(attr) = key.strip_prefix("set:") {
+                let src = value.as_str().ok_or_else(|| EngineError::BadParam {
+                    op: op.to_string(),
+                    message: format!("assignment '{key}' must be a string expression"),
+                })?;
+                assignments.push((attr.to_string(), Expr::parse(src)?));
+            }
+        }
+        let project = opt_str(params, "project").map(|s| {
+            s.split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect()
+        });
+        Ok(Functor {
+            assignments,
+            project,
+        })
+    }
+}
+
+impl Operator for Functor {
+    fn on_tuple(&mut self, _port: usize, mut tuple: Tuple, ctx: &mut OpCtx) {
+        for (attr, expr) in &self.assignments {
+            match expr.eval(&tuple) {
+                Ok(v) => tuple.set(attr, v),
+                Err(e) => {
+                    ctx.raise_fault(format!("assignment to '{attr}' failed: {e}"));
+                    return;
+                }
+            }
+        }
+        let out = match &self.project {
+            None => tuple,
+            Some(keep) => keep
+                .iter()
+                .filter_map(|k| tuple.get(k).map(|v| (k.clone(), v.clone())))
+                .collect(),
+        };
+        ctx.submit(0, out);
+    }
+}
+
+/// Routes tuples across all output ports, round-robin or by key hash.
+///
+/// Parameters:
+/// - `mode` (str, default "roundrobin"): `roundrobin` or `hash`,
+/// - `key` (str, required for hash mode): attribute to hash.
+pub struct Split {
+    mode: SplitMode,
+    next: usize,
+}
+
+enum SplitMode {
+    RoundRobin,
+    Hash(String),
+}
+
+impl Split {
+    pub fn from_params(op: &str, params: &ParamMap) -> Result<Self, EngineError> {
+        let mode = match opt_str(params, "mode").unwrap_or("roundrobin") {
+            "roundrobin" => SplitMode::RoundRobin,
+            "hash" => SplitMode::Hash(req_str(params, op, "key")?.to_string()),
+            other => {
+                return Err(EngineError::BadParam {
+                    op: op.to_string(),
+                    message: format!("unknown split mode '{other}'"),
+                })
+            }
+        };
+        Ok(Split { mode, next: 0 })
+    }
+}
+
+impl Operator for Split {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, ctx: &mut OpCtx) {
+        let n = ctx.num_outputs().max(1);
+        let port = match &self.mode {
+            SplitMode::RoundRobin => {
+                let p = self.next % n;
+                self.next = self.next.wrapping_add(1);
+                p
+            }
+            SplitMode::Hash(key) => {
+                let mut hasher = DefaultHasher::new();
+                match tuple.get(key) {
+                    Some(Value::Str(s)) => s.hash(&mut hasher),
+                    Some(Value::Int(i)) => i.hash(&mut hasher),
+                    Some(Value::Timestamp(t)) => t.hash(&mut hasher),
+                    Some(Value::Bool(b)) => b.hash(&mut hasher),
+                    Some(Value::Float(f)) => f.to_bits().hash(&mut hasher),
+                    Some(Value::List(_)) | None => {
+                        ctx.raise_fault(format!("split key '{key}' missing or unhashable"));
+                        return;
+                    }
+                }
+                (hasher.finish() % n as u64) as usize
+            }
+        };
+        ctx.submit(port, tuple);
+    }
+}
+
+/// Merges all input ports onto output port 0, forwarding a final
+/// punctuation only after every input has delivered its own.
+pub struct Merge {
+    finals: FinalPunctTracker,
+}
+
+impl Merge {
+    pub fn new(num_inputs: usize) -> Self {
+        Merge {
+            finals: FinalPunctTracker::new(num_inputs),
+        }
+    }
+}
+
+impl Operator for Merge {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, ctx: &mut OpCtx) {
+        ctx.submit(0, tuple);
+    }
+
+    fn on_punct(&mut self, port: usize, punct: Punct, ctx: &mut OpCtx) {
+        match punct {
+            Punct::Window => ctx.submit_punct(0, Punct::Window),
+            Punct::Final => {
+                if self.finals.mark(port) {
+                    ctx.submit_punct(0, Punct::Final);
+                }
+            }
+        }
+    }
+}
+
+/// Suppresses tuples whose key was seen among the last `window` distinct
+/// keys.
+///
+/// Parameters:
+/// - `key` (str, required): attribute to deduplicate on,
+/// - `window` (int, default 1024): number of recent keys remembered.
+pub struct DeDup {
+    key: String,
+    window: usize,
+    seen: HashSet<String>,
+    order: VecDeque<String>,
+}
+
+impl DeDup {
+    pub fn from_params(op: &str, params: &ParamMap) -> Result<Self, EngineError> {
+        let window = opt_i64(params, op, "window")?.unwrap_or(1024);
+        if window <= 0 {
+            return Err(EngineError::BadParam {
+                op: op.to_string(),
+                message: "window must be positive".into(),
+            });
+        }
+        Ok(DeDup {
+            key: req_str(params, op, "key")?.to_string(),
+            window: window as usize,
+            seen: HashSet::new(),
+            order: VecDeque::new(),
+        })
+    }
+}
+
+impl Operator for DeDup {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, ctx: &mut OpCtx) {
+        let Some(v) = tuple.get(&self.key) else {
+            ctx.raise_fault(format!("dedup key '{}' missing", self.key));
+            return;
+        };
+        let rendered = v.render();
+        if self.seen.contains(&rendered) {
+            ctx.metric_add("nDuplicates", 1);
+            return;
+        }
+        self.seen.insert(rendered.clone());
+        self.order.push_back(rendered);
+        if self.order.len() > self.window {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        ctx.submit(0, tuple);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::StreamItem;
+    use crate::ops::testutil::Harness;
+
+    fn params(pairs: &[(&str, &str)]) -> ParamMap {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Str(v.to_string())))
+            .collect()
+    }
+
+    #[test]
+    fn filter_forwards_and_counts_discards() {
+        let mut f = Filter::from_params("f", &params(&[("predicate", "x > 5")])).unwrap();
+        let mut h = Harness::new(1);
+        assert_eq!(h.tuple(&mut f, 0, Tuple::new().with("x", 10i64)).len(), 1);
+        assert_eq!(h.tuple(&mut f, 0, Tuple::new().with("x", 3i64)).len(), 0);
+        assert_eq!(h.tuple(&mut f, 0, Tuple::new().with("x", 1i64)).len(), 0);
+        assert_eq!(h.metrics.op_get("test_op", "nDiscarded"), Some(2));
+    }
+
+    #[test]
+    fn filter_requires_predicate() {
+        assert!(Filter::from_params("f", &ParamMap::new()).is_err());
+        assert!(Filter::from_params("f", &params(&[("predicate", "x +")])).is_err());
+    }
+
+    #[test]
+    fn filter_faults_on_eval_error() {
+        let mut f = Filter::from_params("f", &params(&[("predicate", "ghost > 1")])).unwrap();
+        let mut h = Harness::new(1);
+        // Direct harness doesn't intercept faults; simulate via ctx.
+        let mut ctx_metrics = std::mem::take(&mut h.metrics);
+        let mut rng = sps_sim::SimRng::new(1);
+        let mut ctx = crate::op::OpCtx::new(
+            h.now,
+            h.quantum,
+            "f",
+            1,
+            &mut ctx_metrics,
+            &mut rng,
+        );
+        f.on_tuple(0, Tuple::new().with("x", 1i64), &mut ctx);
+        assert!(ctx.take_fault().is_some());
+    }
+
+    #[test]
+    fn functor_assigns_and_projects() {
+        let mut params = ParamMap::new();
+        params.insert("set:double".into(), Value::Str("x * 2".into()));
+        params.insert("set:label".into(), Value::Str("\"v\" + name".into()));
+        params.insert("project".into(), Value::Str("double, label".into()));
+        let mut f = Functor::from_params("f", &params).unwrap();
+        let mut h = Harness::new(1);
+        let out = Harness::tuples_only(h.tuple(
+            &mut f,
+            0,
+            Tuple::new().with("x", 21i64).with("name", "a"),
+        ));
+        let t = &out[0].1;
+        assert_eq!(t.get_int("double"), Some(42));
+        assert_eq!(t.get_str("label"), Some("va"));
+        assert_eq!(t.len(), 2); // x and name projected away
+    }
+
+    #[test]
+    fn functor_rejects_non_string_assignment() {
+        let mut params = ParamMap::new();
+        params.insert("set:y".into(), Value::Int(5));
+        assert!(Functor::from_params("f", &params).is_err());
+    }
+
+    #[test]
+    fn functor_no_params_is_identity() {
+        let mut f = Functor::from_params("f", &ParamMap::new()).unwrap();
+        let mut h = Harness::new(1);
+        let input = Tuple::new().with("a", 1i64);
+        let out = Harness::tuples_only(h.tuple(&mut f, 0, input.clone()));
+        assert_eq!(out[0].1, input);
+    }
+
+    #[test]
+    fn split_round_robin_cycles_ports() {
+        let mut s = Split::from_params("s", &ParamMap::new()).unwrap();
+        let mut h = Harness::new(3);
+        let mut ports = Vec::new();
+        for i in 0..6 {
+            let out = h.tuple(&mut s, 0, Tuple::new().with("i", i as i64));
+            ports.push(out[0].0);
+        }
+        assert_eq!(ports, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn split_hash_is_stable_per_key() {
+        let mut s =
+            Split::from_params("s", &params(&[("mode", "hash"), ("key", "sym")])).unwrap();
+        let mut h = Harness::new(4);
+        let p1 = h.tuple(&mut s, 0, Tuple::new().with("sym", "IBM"))[0].0;
+        for _ in 0..10 {
+            let p = h.tuple(&mut s, 0, Tuple::new().with("sym", "IBM"))[0].0;
+            assert_eq!(p, p1);
+        }
+    }
+
+    #[test]
+    fn split_rejects_unknown_mode_and_missing_key() {
+        assert!(Split::from_params("s", &params(&[("mode", "magic")])).is_err());
+        assert!(Split::from_params("s", &params(&[("mode", "hash")])).is_err());
+    }
+
+    #[test]
+    fn merge_forwards_and_coalesces_finals() {
+        let mut m = Merge::new(2);
+        let mut h = Harness::new(1);
+        assert_eq!(h.tuple(&mut m, 1, Tuple::new().with("a", 1i64))[0].0, 0);
+        // First final: swallowed.
+        assert!(h.punct(&mut m, 0, Punct::Final).is_empty());
+        // Window puncts pass through.
+        assert_eq!(h.punct(&mut m, 0, Punct::Window).len(), 1);
+        // Second final: emitted once.
+        let out = h.punct(&mut m, 1, Punct::Final);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, StreamItem::Punct(Punct::Final)));
+        // No further finals.
+        assert!(h.punct(&mut m, 1, Punct::Final).is_empty());
+    }
+
+    #[test]
+    fn dedup_suppresses_recent_keys() {
+        let mut d = DeDup::from_params(
+            "d",
+            &[
+                ("key".to_string(), Value::Str("id".into())),
+                ("window".to_string(), Value::Int(2)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .unwrap();
+        let mut h = Harness::new(1);
+        let t = |id: &str| Tuple::new().with("id", id);
+        assert_eq!(h.tuple(&mut d, 0, t("a")).len(), 1);
+        assert_eq!(h.tuple(&mut d, 0, t("a")).len(), 0);
+        assert_eq!(h.tuple(&mut d, 0, t("b")).len(), 1);
+        // Window of 2: "a" and "b" remembered; "c" evicts "a".
+        assert_eq!(h.tuple(&mut d, 0, t("c")).len(), 1);
+        assert_eq!(h.tuple(&mut d, 0, t("a")).len(), 1);
+        assert_eq!(h.metrics.op_get("test_op", "nDuplicates"), Some(1));
+    }
+
+    #[test]
+    fn dedup_rejects_bad_window() {
+        let mut p = ParamMap::new();
+        p.insert("key".into(), Value::Str("id".into()));
+        p.insert("window".into(), Value::Int(0));
+        assert!(DeDup::from_params("d", &p).is_err());
+    }
+}

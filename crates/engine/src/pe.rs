@@ -1,0 +1,677 @@
+//! The processing element (PE) container.
+//!
+//! A PE hosts one or more fused operators and corresponds to an
+//! operating-system process in System S (§2.1). The container:
+//!
+//! - routes tuples between fused operators **in memory** and serializes
+//!   tuples crossing PE boundaries (returned as [`RemoteDelivery`] items for
+//!   the runtime transport to deliver),
+//! - maintains built-in metrics and hosts custom metrics,
+//! - executes with a bounded per-quantum *budget*, so an overloaded PE
+//!   accumulates input-queue backlog (visible as the `queueSize` metric the
+//!   paper's Figure 5 example subscribes to),
+//! - turns an operator fault into a **PE crash** (uncaught-exception
+//!   analogue): processing stops and the runtime is told, which ultimately
+//!   produces the orchestrator's PE-failure event (§4.2).
+
+use crate::codec;
+use crate::error::EngineError;
+use crate::metrics::{builtin, MetricKey, MetricStore};
+use crate::op::{OpCtx, Operator, Punct, StreamItem};
+use crate::registry::OperatorRegistry;
+use crate::tuple::Tuple;
+use bytes::Bytes;
+use sps_model::adl::Adl;
+use sps_sim::{SimDuration, SimRng, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Address of an operator input port in another PE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteDest {
+    pub pe: usize,
+    pub op: String,
+    pub port: usize,
+}
+
+/// A serialized item bound for another PE.
+#[derive(Clone, Debug)]
+pub struct RemoteDelivery {
+    pub dest: RemoteDest,
+    pub payload: Bytes,
+}
+
+/// An item emitted on an exported output port, to be routed across jobs by
+/// the import/export broker.
+#[derive(Clone, Debug)]
+pub struct ExportedItem {
+    pub op: String,
+    pub port: usize,
+    pub item: StreamItem,
+}
+
+/// Everything a PE produced during one scheduling quantum.
+#[derive(Debug, Default)]
+pub struct PeOutput {
+    pub remote: Vec<RemoteDelivery>,
+    pub exported: Vec<ExportedItem>,
+    /// Fault message if the PE crashed during this quantum.
+    pub crashed: Option<String>,
+    /// Budget units consumed.
+    pub work_done: u64,
+}
+
+struct OpSlot {
+    name: String,
+    op: Box<dyn Operator>,
+    outputs: usize,
+    cost: u32,
+    /// Input queues, one per port (at least one, so Import pseudo-sources
+    /// can receive broker injections).
+    queues: Vec<VecDeque<StreamItem>>,
+    /// Local destinations per output port: `(slot index, input port)`.
+    local_routes: Vec<Vec<(usize, usize)>>,
+    /// Remote destinations per output port.
+    remote_routes: Vec<Vec<RemoteDest>>,
+    /// Output ports carrying an export spec.
+    exported_ports: Vec<bool>,
+    /// Round-robin cursor over input ports.
+    next_port: usize,
+}
+
+/// The PE container.
+pub struct PeRuntime {
+    pe_index: usize,
+    slots: Vec<OpSlot>,
+    op_index: HashMap<String, usize>,
+    metrics: MetricStore,
+    rng: SimRng,
+    crashed: Option<String>,
+}
+
+impl PeRuntime {
+    /// Instantiates all operators the ADL assigns to `pe_index` and wires
+    /// intra-/inter-PE routes. `rng` should be forked per PE for
+    /// determinism under restarts.
+    pub fn build(
+        adl: &Adl,
+        pe_index: usize,
+        registry: &OperatorRegistry,
+        rng: SimRng,
+    ) -> Result<Self, EngineError> {
+        let mut slots = Vec::new();
+        let mut op_index = HashMap::new();
+        for op in adl.operators.iter().filter(|o| o.pe == pe_index) {
+            let instance = registry.instantiate(op)?;
+            let cost = instance.cost_per_tuple();
+            op_index.insert(op.name.clone(), slots.len());
+            slots.push(OpSlot {
+                name: op.name.clone(),
+                op: instance,
+                outputs: op.outputs,
+                cost,
+                queues: (0..op.inputs.max(1)).map(|_| VecDeque::new()).collect(),
+                local_routes: vec![Vec::new(); op.outputs],
+                remote_routes: vec![Vec::new(); op.outputs],
+                exported_ports: vec![false; op.outputs],
+                next_port: 0,
+            });
+        }
+        for stream in &adl.streams {
+            let Some(&from_slot) = op_index.get(&stream.from_op) else {
+                continue; // source is in another PE
+            };
+            if let Some(&to_slot) = op_index.get(&stream.to_op) {
+                slots[from_slot].local_routes[stream.from_port].push((to_slot, stream.to_port));
+            } else {
+                let to_pe = adl.pe_of(&stream.to_op).ok_or_else(|| EngineError::BadParam {
+                    op: stream.to_op.clone(),
+                    message: "stream target not in ADL".into(),
+                })?;
+                slots[from_slot].remote_routes[stream.from_port].push(RemoteDest {
+                    pe: to_pe,
+                    op: stream.to_op.clone(),
+                    port: stream.to_port,
+                });
+            }
+        }
+        for export in &adl.exports {
+            if let Some(&slot) = op_index.get(&export.op) {
+                slots[slot].exported_ports[export.port] = true;
+            }
+        }
+        Ok(PeRuntime {
+            pe_index,
+            slots,
+            op_index,
+            metrics: MetricStore::new(),
+            rng,
+            crashed: None,
+        })
+    }
+
+    pub fn pe_index(&self) -> usize {
+        self.pe_index
+    }
+
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.is_some()
+    }
+
+    pub fn operator_names(&self) -> Vec<&str> {
+        self.slots.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    pub fn metrics(&self) -> &MetricStore {
+        &self.metrics
+    }
+
+    /// Observable contents of a sink-like operator.
+    pub fn tap(&self, op_name: &str) -> Option<Vec<Tuple>> {
+        let &slot = self.op_index.get(op_name)?;
+        self.slots[slot].op.tap()
+    }
+
+    /// Injects an item into an operator's input queue (remote deliveries and
+    /// broker import routing).
+    pub fn inject(&mut self, op_name: &str, port: usize, item: StreamItem) -> Result<(), EngineError> {
+        if self.crashed.is_some() {
+            return Ok(()); // a dead process silently loses input
+        }
+        let &slot = self.op_index.get(op_name).ok_or_else(|| EngineError::BadParam {
+            op: op_name.to_string(),
+            message: "inject target not in this PE".into(),
+        })?;
+        let queues = &mut self.slots[slot].queues;
+        let port = port.min(queues.len().saturating_sub(1));
+        queues[port].push_back(item);
+        Ok(())
+    }
+
+    /// Decodes and injects a serialized remote delivery.
+    pub fn receive(&mut self, delivery: &RemoteDelivery) -> Result<(), EngineError> {
+        let item = codec::decode(delivery.payload.clone())?;
+        if let StreamItem::Tuple(t) = &item {
+            self.metrics
+                .pe_add(self.pe_index, builtin::N_TUPLE_BYTES_PROCESSED, t.approx_bytes() as i64);
+        }
+        self.inject(&delivery.dest.op, delivery.dest.port, item)
+    }
+
+    /// Runs one scheduling quantum: source ticks, then queue draining up to
+    /// `budget` units of work.
+    pub fn step(&mut self, now: SimTime, quantum: SimDuration, budget: u32) -> PeOutput {
+        let mut out = PeOutput::default();
+        if self.crashed.is_some() {
+            return out;
+        }
+
+        // Phase 1: ticks (sources and periodic operators).
+        for slot_idx in 0..self.slots.len() {
+            if self.tick_slot(slot_idx, now, quantum, &mut out) {
+                return self.crash(out);
+            }
+        }
+
+        // Phase 2: drain queues round-robin until budget exhausted.
+        let mut spent: u64 = 0;
+        loop {
+            let mut progressed = false;
+            for slot_idx in 0..self.slots.len() {
+                if spent >= budget as u64 {
+                    break;
+                }
+                let Some((port, item)) = self.pop_next(slot_idx) else {
+                    continue;
+                };
+                progressed = true;
+                spent += self.slots[slot_idx].cost as u64;
+                if self.process_item(slot_idx, port, item, now, quantum, &mut out) {
+                    out.work_done = spent;
+                    return self.crash(out);
+                }
+            }
+            if !progressed || spent >= budget as u64 {
+                break;
+            }
+        }
+        out.work_done = spent;
+
+        // Phase 3: refresh queue-size metrics.
+        self.refresh_queue_metrics();
+        out
+    }
+
+    fn crash(&mut self, mut out: PeOutput) -> PeOutput {
+        out.crashed = self.crashed.clone();
+        // A crashing process loses its queued input.
+        for slot in &mut self.slots {
+            for q in &mut slot.queues {
+                q.clear();
+            }
+        }
+        out
+    }
+
+    /// Updates per-operator and per-port `queueSize` metrics.
+    pub fn refresh_queue_metrics(&mut self) {
+        for slot in &self.slots {
+            let total: usize = slot.queues.iter().map(VecDeque::len).sum();
+            self.metrics
+                .op_set(&slot.name, builtin::QUEUE_SIZE, total as i64);
+            for (port, q) in slot.queues.iter().enumerate() {
+                self.metrics.set(
+                    MetricKey::OperatorPort(slot.name.clone(), port, builtin::QUEUE_SIZE.into()),
+                    q.len() as i64,
+                );
+            }
+        }
+    }
+
+    /// Pops the next queued item for a slot, rotating over input ports.
+    fn pop_next(&mut self, slot_idx: usize) -> Option<(usize, StreamItem)> {
+        let slot = &mut self.slots[slot_idx];
+        let ports = slot.queues.len();
+        for offset in 0..ports {
+            let port = (slot.next_port + offset) % ports;
+            if let Some(item) = slot.queues[port].pop_front() {
+                slot.next_port = (port + 1) % ports;
+                return Some((port, item));
+            }
+        }
+        None
+    }
+
+    /// Returns true if the operator faulted.
+    fn tick_slot(
+        &mut self,
+        slot_idx: usize,
+        now: SimTime,
+        quantum: SimDuration,
+        out: &mut PeOutput,
+    ) -> bool {
+        let slot = &mut self.slots[slot_idx];
+        let mut ctx = OpCtx::new(now, quantum, &slot.name, slot.outputs, &mut self.metrics, &mut self.rng);
+        slot.op.on_tick(&mut ctx);
+        let emitted = ctx.take_emitted();
+        let fault = ctx.take_fault();
+        self.route(slot_idx, emitted, out);
+        if let Some(msg) = fault {
+            self.crashed = Some(format!("{}: {msg}", self.slots[slot_idx].name));
+            return true;
+        }
+        false
+    }
+
+    /// Returns true if the operator faulted.
+    fn process_item(
+        &mut self,
+        slot_idx: usize,
+        port: usize,
+        item: StreamItem,
+        now: SimTime,
+        quantum: SimDuration,
+        out: &mut PeOutput,
+    ) -> bool {
+        // Built-in metrics for the consumption side.
+        match &item {
+            StreamItem::Tuple(t) => {
+                let name = self.slots[slot_idx].name.clone();
+                self.metrics.op_add(&name, builtin::N_TUPLES_PROCESSED, 1);
+                self.metrics.add(
+                    MetricKey::OperatorPort(name, port, builtin::N_TUPLES_PROCESSED.into()),
+                    1,
+                );
+                self.metrics.pe_add(
+                    self.pe_index,
+                    builtin::N_TUPLE_BYTES_PROCESSED,
+                    t.approx_bytes() as i64,
+                );
+            }
+            StreamItem::Punct(Punct::Final) => {
+                let name = self.slots[slot_idx].name.clone();
+                self.metrics
+                    .op_add(&name, builtin::N_FINAL_PUNCTS_PROCESSED, 1);
+            }
+            StreamItem::Punct(Punct::Window) => {}
+        }
+
+        let slot = &mut self.slots[slot_idx];
+        let mut ctx = OpCtx::new(now, quantum, &slot.name, slot.outputs, &mut self.metrics, &mut self.rng);
+        match item {
+            StreamItem::Tuple(t) => slot.op.on_tuple(port, t, &mut ctx),
+            StreamItem::Punct(p) => slot.op.on_punct(port, p, &mut ctx),
+        }
+        let emitted = ctx.take_emitted();
+        let fault = ctx.take_fault();
+        self.route(slot_idx, emitted, out);
+        if let Some(msg) = fault {
+            self.crashed = Some(format!("{}: {msg}", self.slots[slot_idx].name));
+            return true;
+        }
+        false
+    }
+
+    /// Routes items emitted by `slot_idx` to local queues, the remote
+    /// outbox, and the export outbox.
+    fn route(&mut self, slot_idx: usize, emitted: Vec<(usize, StreamItem)>, out: &mut PeOutput) {
+        if emitted.is_empty() {
+            return;
+        }
+        // Gather destinations first (immutable pass), then apply (mutable
+        // pass) to keep the borrow checker happy with self-loops.
+        let mut local: Vec<(usize, usize, StreamItem)> = Vec::new();
+        {
+            let slot = &self.slots[slot_idx];
+            let name = &slot.name;
+            for (port, item) in &emitted {
+                if let StreamItem::Tuple(_) = item {
+                    self.metrics.op_add(name, builtin::N_TUPLES_SUBMITTED, 1);
+                    self.metrics.add(
+                        MetricKey::OperatorPort(name.clone(), *port, builtin::N_TUPLES_SUBMITTED.into()),
+                        1,
+                    );
+                }
+                if *port < slot.exported_ports.len() && slot.exported_ports[*port] {
+                    out.exported.push(ExportedItem {
+                        op: name.clone(),
+                        port: *port,
+                        item: item.clone(),
+                    });
+                }
+                if *port < slot.local_routes.len() {
+                    for &(to_slot, to_port) in &slot.local_routes[*port] {
+                        local.push((to_slot, to_port, item.clone()));
+                    }
+                    if !slot.remote_routes[*port].is_empty() {
+                        let payload = codec::encode(item);
+                        for dest in &slot.remote_routes[*port] {
+                            out.remote.push(RemoteDelivery {
+                                dest: dest.clone(),
+                                payload: payload.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (to_slot, to_port, item) in local {
+            self.slots[to_slot].queues[to_port].push_back(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_model::adl::{AdlExport, AdlOperator, AdlPe, AdlStream};
+    use sps_model::logical::ExportSpec;
+    use sps_model::value::ParamMap;
+    use sps_model::Value;
+
+    fn op(name: &str, kind: &str, pe: usize, inputs: usize, outputs: usize, params: ParamMap) -> AdlOperator {
+        AdlOperator {
+            name: name.into(),
+            kind: kind.into(),
+            composite_path: vec![],
+            params,
+            inputs,
+            outputs,
+            custom_metrics: vec![],
+            pe,
+            restartable: true,
+        }
+    }
+
+    fn p(pairs: &[(&str, Value)]) -> ParamMap {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    /// beacon -> filter -> sink fused in one PE.
+    fn pipeline_adl() -> Adl {
+        let operators = vec![
+            op("src", "Beacon", 0, 0, 1, p(&[("rate", Value::Float(50.0))])),
+            op(
+                "flt",
+                "Filter",
+                0,
+                1,
+                1,
+                p(&[("predicate", Value::Str("seq % 2 == 0".into()))]),
+            ),
+            op("snk", "Sink", 0, 1, 0, ParamMap::new()),
+        ];
+        Adl {
+            app_name: "Pipe".into(),
+            pes: vec![AdlPe {
+                index: 0,
+                operators: operators.iter().map(|o| o.name.clone()).collect(),
+                host_pool: None,
+                host_exlocate: None,
+            }],
+            streams: vec![
+                AdlStream {
+                    from_op: "src".into(),
+                    from_port: 0,
+                    to_op: "flt".into(),
+                    to_port: 0,
+                },
+                AdlStream {
+                    from_op: "flt".into(),
+                    from_port: 0,
+                    to_op: "snk".into(),
+                    to_port: 0,
+                },
+            ],
+            operators,
+            imports: vec![],
+            exports: vec![],
+            host_pools: vec![],
+        }
+    }
+
+    fn registry() -> OperatorRegistry {
+        OperatorRegistry::with_builtins()
+    }
+
+    #[test]
+    fn fused_pipeline_flows_in_one_pe() {
+        let adl = pipeline_adl();
+        let mut pe = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
+        let out = pe.step(SimTime::ZERO, SimDuration::from_millis(100), 10_000);
+        assert!(out.crashed.is_none());
+        assert!(out.remote.is_empty());
+        // 50/s at 100ms = 5 tuples; evens pass: seq 0, 2, 4.
+        let tap = pe.tap("snk").unwrap();
+        assert_eq!(tap.len(), 3);
+        assert_eq!(tap[0].get_int("seq"), Some(0));
+        assert_eq!(pe.metrics().op_get("flt", builtin::N_TUPLES_PROCESSED), Some(5));
+        assert_eq!(pe.metrics().op_get("flt", builtin::N_TUPLES_SUBMITTED), Some(3));
+        assert_eq!(pe.metrics().op_get("flt", "nDiscarded"), Some(2));
+        assert_eq!(pe.metrics().op_get("snk", builtin::N_TUPLES_PROCESSED), Some(3));
+        assert!(pe.metrics().pe_get(0, builtin::N_TUPLE_BYTES_PROCESSED).unwrap() > 0);
+    }
+
+    #[test]
+    fn budget_limits_work_and_queues_grow() {
+        let adl = pipeline_adl();
+        let mut pe = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
+        // Budget of 2: sources still produce 5, only 2 items drained.
+        let out = pe.step(SimTime::ZERO, SimDuration::from_millis(100), 2);
+        assert_eq!(out.work_done, 2);
+        let q = pe.metrics().op_get("flt", builtin::QUEUE_SIZE).unwrap();
+        assert!(q >= 3, "expected backlog, queueSize={q}");
+    }
+
+    #[test]
+    fn cross_pe_streams_are_serialized() {
+        let mut adl = pipeline_adl();
+        // Move sink to PE 1.
+        adl.operators[2].pe = 1;
+        adl.pes[0].operators = vec!["src".into(), "flt".into()];
+        adl.pes.push(AdlPe {
+            index: 1,
+            operators: vec!["snk".into()],
+            host_pool: None,
+            host_exlocate: None,
+        });
+        let mut pe0 = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
+        let mut pe1 = PeRuntime::build(&adl, 1, &registry(), SimRng::new(2)).unwrap();
+        let out0 = pe0.step(SimTime::ZERO, SimDuration::from_millis(100), 10_000);
+        assert_eq!(out0.remote.len(), 3);
+        assert!(out0.remote.iter().all(|d| d.dest.pe == 1 && d.dest.op == "snk"));
+        for d in &out0.remote {
+            pe1.receive(d).unwrap();
+        }
+        pe1.step(SimTime::from_millis(100), SimDuration::from_millis(100), 10_000);
+        assert_eq!(pe1.tap("snk").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn operator_fault_crashes_pe() {
+        let operators = vec![
+            op("src", "Beacon", 0, 0, 1, p(&[("rate", Value::Float(50.0))])),
+            op(
+                "bomb",
+                "FaultInject",
+                0,
+                1,
+                1,
+                p(&[("fault_after", Value::Int(3))]),
+            ),
+            op("snk", "Sink", 0, 1, 0, ParamMap::new()),
+        ];
+        let adl = Adl {
+            app_name: "Boom".into(),
+            pes: vec![AdlPe {
+                index: 0,
+                operators: operators.iter().map(|o| o.name.clone()).collect(),
+                host_pool: None,
+                host_exlocate: None,
+            }],
+            streams: vec![
+                AdlStream {
+                    from_op: "src".into(),
+                    from_port: 0,
+                    to_op: "bomb".into(),
+                    to_port: 0,
+                },
+                AdlStream {
+                    from_op: "bomb".into(),
+                    from_port: 0,
+                    to_op: "snk".into(),
+                    to_port: 0,
+                },
+            ],
+            operators,
+            imports: vec![],
+            exports: vec![],
+            host_pools: vec![],
+        };
+        let mut pe = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
+        let out = pe.step(SimTime::ZERO, SimDuration::from_millis(100), 10_000);
+        let msg = out.crashed.expect("PE should crash");
+        assert!(msg.contains("bomb"));
+        assert!(msg.contains("injected fault"));
+        assert!(pe.is_crashed());
+        // A crashed PE does nothing further and swallows injections.
+        let out2 = pe.step(SimTime::from_millis(100), SimDuration::from_millis(100), 10_000);
+        assert!(out2.crashed.is_none());
+        assert_eq!(out2.work_done, 0);
+        assert!(pe
+            .inject("bomb", 0, StreamItem::Tuple(Tuple::new()))
+            .is_ok());
+    }
+
+    #[test]
+    fn exported_ports_are_captured() {
+        let mut adl = pipeline_adl();
+        adl.exports.push(AdlExport {
+            op: "flt".into(),
+            port: 0,
+            spec: ExportSpec::by_id("evens"),
+        });
+        let mut pe = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
+        let out = pe.step(SimTime::ZERO, SimDuration::from_millis(100), 10_000);
+        assert_eq!(out.exported.len(), 3);
+        assert!(out.exported.iter().all(|e| e.op == "flt" && e.port == 0));
+        // Export does not steal from local consumers.
+        assert_eq!(pe.tap("snk").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn final_punct_counted_and_propagated() {
+        let operators = vec![
+            op(
+                "src",
+                "Beacon",
+                0,
+                0,
+                1,
+                p(&[("rate", Value::Float(100.0)), ("limit", Value::Int(2))]),
+            ),
+            op("mid", "PassThrough", 0, 1, 1, ParamMap::new()),
+            op("snk", "Sink", 0, 1, 0, ParamMap::new()),
+        ];
+        let adl = Adl {
+            app_name: "Fin".into(),
+            pes: vec![AdlPe {
+                index: 0,
+                operators: operators.iter().map(|o| o.name.clone()).collect(),
+                host_pool: None,
+                host_exlocate: None,
+            }],
+            streams: vec![
+                AdlStream {
+                    from_op: "src".into(),
+                    from_port: 0,
+                    to_op: "mid".into(),
+                    to_port: 0,
+                },
+                AdlStream {
+                    from_op: "mid".into(),
+                    from_port: 0,
+                    to_op: "snk".into(),
+                    to_port: 0,
+                },
+            ],
+            operators,
+            imports: vec![],
+            exports: vec![],
+            host_pools: vec![],
+        };
+        let mut pe = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
+        pe.step(SimTime::ZERO, SimDuration::from_millis(100), 10_000);
+        assert_eq!(
+            pe.metrics().op_get("snk", builtin::N_FINAL_PUNCTS_PROCESSED),
+            Some(1)
+        );
+        assert_eq!(pe.tap("snk").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn inject_unknown_operator_errors() {
+        let adl = pipeline_adl();
+        let mut pe = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
+        assert!(pe
+            .inject("ghost", 0, StreamItem::Tuple(Tuple::new()))
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_kind_fails_build() {
+        let mut adl = pipeline_adl();
+        adl.operators[1].kind = "Mystery".into();
+        assert!(matches!(
+            PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)),
+            Err(EngineError::UnknownOperatorKind(_))
+        ));
+    }
+
+    #[test]
+    fn operator_names_lists_pe_members() {
+        let adl = pipeline_adl();
+        let pe = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
+        assert_eq!(pe.operator_names(), vec!["src", "flt", "snk"]);
+        assert_eq!(pe.pe_index(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: tuple codec round-trips, expression-parser robustness,
+//! and window invariants.
+
+use proptest::prelude::*;
+use sps_engine::codec::{decode, encode};
+use sps_engine::expr::Expr;
+use sps_engine::window::{SlidingTimeWindow, TumblingCountWindow};
+use sps_engine::{Punct, StreamItem, Tuple};
+use sps_model::Value;
+use sps_sim::{SimDuration, SimTime};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        // Arbitrary unicode strings are fine for the binary codec.
+        ".{0,24}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bool),
+        any::<u64>().prop_map(Value::Timestamp),
+    ];
+    leaf.prop_recursive(2, 12, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,10}", arb_value()), 0..8).prop_map(
+        |attrs| {
+            let mut t = Tuple::new();
+            for (k, v) in attrs {
+                t.set(&k, v);
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip(t in arb_tuple()) {
+        let item = StreamItem::Tuple(t);
+        let decoded = decode(encode(&item)).unwrap();
+        prop_assert_eq!(decoded, item);
+    }
+
+    #[test]
+    fn codec_puncts_roundtrip(window in any::<bool>()) {
+        let p = if window { Punct::Window } else { Punct::Final };
+        let decoded = decode(encode(&StreamItem::Punct(p))).unwrap();
+        prop_assert_eq!(decoded, StreamItem::Punct(p));
+    }
+
+    #[test]
+    fn codec_rejects_any_truncation(t in arb_tuple()) {
+        let bytes = encode(&StreamItem::Tuple(t));
+        // Every strict prefix fails cleanly (no panic, no success).
+        for cut in 0..bytes.len() {
+            prop_assert!(decode(bytes.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn expr_parse_never_panics(src in ".{0,48}") {
+        let _ = Expr::parse(&src);
+    }
+
+    #[test]
+    fn expr_eval_is_deterministic_and_total(
+        src in "[a-z0-9 ()+*<>=&|!\"-]{0,32}",
+        x in any::<i64>(),
+    ) {
+        if let Ok(e) = Expr::parse(&src) {
+            let t = Tuple::new().with("a", x).with("b", 2i64);
+            let r1 = e.eval(&t);
+            let r2 = e.eval(&t);
+            prop_assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn expr_int_comparison_semantics(a in -1000i64..1000, b in -1000i64..1000) {
+        let t = Tuple::new().with("a", a).with("b", b);
+        let lt = Expr::parse("a < b").unwrap().eval_bool(&t).unwrap();
+        prop_assert_eq!(lt, a < b);
+        let arith = Expr::parse("a + b * 2").unwrap().eval(&t).unwrap();
+        prop_assert_eq!(arith, Value::Int(a.wrapping_add(b.wrapping_mul(2))));
+    }
+
+    #[test]
+    fn sliding_window_never_retains_expired(
+        deltas in prop::collection::vec(0u64..5000, 1..60),
+        span_ms in 1u64..10_000,
+    ) {
+        let span = SimDuration::from_millis(span_ms);
+        let mut w = SlidingTimeWindow::new(span);
+        let mut now = SimTime::ZERO;
+        let mut pushes = 0usize;
+        for d in deltas {
+            now += SimDuration::from_millis(d);
+            w.push(now, 1.0f64);
+            pushes += 1;
+            // Invariants after every push:
+            prop_assert!(w.len() <= pushes);
+            if let Some(oldest) = w.oldest() {
+                prop_assert!(now.since(oldest) <= span);
+            }
+            // Aggregates agree with the raw contents.
+            let agg = w.aggregates().unwrap();
+            prop_assert_eq!(agg.count, w.len());
+        }
+    }
+
+    #[test]
+    fn sliding_window_fullness_definition(
+        span_s in 1u64..100,
+        age_s in 0u64..200,
+    ) {
+        let mut w = SlidingTimeWindow::new(SimDuration::from_secs(span_s));
+        // Keep the entry from being evicted: eviction happens on push/evict
+        // only, and we never call evict at `now`.
+        w.push(SimTime::ZERO, 1.0f64);
+        let now = SimTime::from_secs(age_s);
+        prop_assert_eq!(w.is_full(now), age_s >= span_s);
+    }
+
+    #[test]
+    fn tumbling_window_batches_exactly(size in 1usize..20, n in 0usize..100) {
+        let mut w = TumblingCountWindow::new(size);
+        let mut flushed = 0usize;
+        for i in 0..n {
+            if let Some(batch) = w.push(i) {
+                prop_assert_eq!(batch.len(), size);
+                flushed += batch.len();
+            }
+        }
+        prop_assert_eq!(flushed + w.pending(), n);
+        prop_assert!(w.pending() < size);
+    }
+}

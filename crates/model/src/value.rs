@@ -1,0 +1,416 @@
+//! Dynamically typed attribute values and tuple schemas.
+//!
+//! SPL is statically typed; here tuples carry [`Value`]s checked against a
+//! [`Schema`] at stream-connection boundaries. This keeps the operator
+//! library generic without code generation (the SPL compiler generates C++
+//! per invocation — out of scope per DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Type of a tuple attribute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    Int,
+    Float,
+    Str,
+    Bool,
+    /// Milliseconds since run start (simulation time).
+    Timestamp,
+    /// Homogeneous-by-convention list (not enforced element-wise).
+    List,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Str => "str",
+            AttrType::Bool => "bool",
+            AttrType::Timestamp => "timestamp",
+            AttrType::List => "list",
+        };
+        f.write_str(s)
+    }
+}
+
+impl AttrType {
+    /// Parses the textual form produced by `Display` (used by the ADL
+    /// parser).
+    pub fn parse(s: &str) -> Option<AttrType> {
+        Some(match s {
+            "int" => AttrType::Int,
+            "float" => AttrType::Float,
+            "str" => AttrType::Str,
+            "bool" => AttrType::Bool,
+            "timestamp" => AttrType::Timestamp,
+            "list" => AttrType::List,
+            _ => return None,
+        })
+    }
+}
+
+/// A dynamically typed attribute value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Timestamp(u64),
+    List(Vec<Value>),
+}
+
+impl Value {
+    pub fn attr_type(&self) -> AttrType {
+        match self {
+            Value::Int(_) => AttrType::Int,
+            Value::Float(_) => AttrType::Float,
+            Value::Str(_) => AttrType::Str,
+            Value::Bool(_) => AttrType::Bool,
+            Value::Timestamp(_) => AttrType::Timestamp,
+            Value::List(_) => AttrType::List,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints and floats both coerce to f64.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Timestamp(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_timestamp(&self) -> Option<u64> {
+        match self {
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Canonical single-line rendering used in ADL attributes and traces.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(v) => format!("i:{v}"),
+            Value::Float(v) => {
+                // `{:?}` keeps round-trippable precision for f64.
+                format!("f:{v:?}")
+            }
+            Value::Str(s) => format!("s:{}", escape_str(s)),
+            Value::Bool(b) => format!("b:{b}"),
+            Value::Timestamp(t) => format!("t:{t}"),
+            Value::List(items) => {
+                let inner: Vec<String> = items.iter().map(|v| v.render()).collect();
+                format!("l:[{}]", inner.join("\u{1f}"))
+            }
+        }
+    }
+
+    /// Parses the `render` form.
+    pub fn parse(s: &str) -> Option<Value> {
+        let (tag, rest) = s.split_once(':')?;
+        Some(match tag {
+            "i" => Value::Int(rest.parse().ok()?),
+            "f" => Value::Float(rest.parse().ok()?),
+            "s" => Value::Str(unescape_str(rest)?),
+            "b" => Value::Bool(rest.parse().ok()?),
+            "t" => Value::Timestamp(rest.parse().ok()?),
+            "l" => {
+                let inner = rest.strip_prefix('[')?.strip_suffix(']')?;
+                if inner.is_empty() {
+                    Value::List(Vec::new())
+                } else {
+                    let items: Option<Vec<Value>> = split_top_level(inner)
+                        .into_iter()
+                        .map(Value::parse)
+                        .collect();
+                    Value::List(items?)
+                }
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// Escapes the characters that the list renderer treats structurally, so a
+/// bracket-depth scan over a rendered list never mistakes string content for
+/// structure.
+fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\u{1f}' => out.push_str("\\u"),
+            '[' => out.push_str("\\l"),
+            ']' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_str(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('u') => out.push('\u{1f}'),
+            Some('l') => out.push('['),
+            Some('r') => out.push(']'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Splits a rendered list body on the separator, honouring nesting depth.
+fn split_top_level(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            '\u{1f}' if depth == 0 => {
+                out.push(&inner[start..i]);
+                start = i + c.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    out.push(&inner[start..]);
+    out
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Ordered attribute-name → type mapping describing tuples on a stream.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<(String, AttrType)>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// Builder-style field addition.
+    ///
+    /// # Panics
+    /// Panics on duplicate field names — schemas are authored in code, so
+    /// this is a programming error, not a runtime condition.
+    pub fn field(mut self, name: &str, ty: AttrType) -> Self {
+        assert!(
+            !self.fields.iter().any(|(n, _)| n == name),
+            "duplicate schema field {name}"
+        );
+        self.fields.push((name.to_string(), ty));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn fields(&self) -> &[(String, AttrType)] {
+        &self.fields
+    }
+
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| n == name)
+    }
+
+    pub fn type_of(&self, name: &str) -> Option<AttrType> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+    }
+
+    /// Checks that `values` conform positionally to this schema.
+    pub fn check(&self, values: &[Value]) -> bool {
+        values.len() == self.fields.len()
+            && values
+                .iter()
+                .zip(&self.fields)
+                .all(|(v, (_, t))| v.attr_type() == *t)
+    }
+}
+
+/// Convenience alias used throughout for operator parameter maps.
+pub type ParamMap = BTreeMap<String, Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Timestamp(9).as_timestamp(), Some(9));
+        assert_eq!(Value::Timestamp(9).as_f64(), Some(9.0));
+        assert!(Value::Str("x".into()).as_int().is_none());
+        let l = Value::List(vec![Value::Int(1)]);
+        assert_eq!(l.as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn value_from_impls() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+        assert_eq!(Value::from(String::from("b")), Value::Str("b".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let values = vec![
+            Value::Int(-42),
+            Value::Float(3.25),
+            Value::Float(-0.1),
+            Value::Str("hello world: with colon".into()),
+            Value::Bool(false),
+            Value::Timestamp(123456),
+            Value::List(vec![Value::Int(1), Value::Str("a".into())]),
+            Value::List(vec![]),
+            Value::List(vec![Value::List(vec![Value::Bool(true)])]),
+        ];
+        for v in values {
+            let s = v.render();
+            assert_eq!(Value::parse(&s), Some(v.clone()), "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Value::parse(""), None);
+        assert_eq!(Value::parse("x:1"), None);
+        assert_eq!(Value::parse("i:notanint"), None);
+        assert_eq!(Value::parse("l:nobrackets"), None);
+    }
+
+    #[test]
+    fn attr_type_roundtrip() {
+        for t in [
+            AttrType::Int,
+            AttrType::Float,
+            AttrType::Str,
+            AttrType::Bool,
+            AttrType::Timestamp,
+            AttrType::List,
+        ] {
+            assert_eq!(AttrType::parse(&t.to_string()), Some(t));
+        }
+        assert_eq!(AttrType::parse("nope"), None);
+    }
+
+    #[test]
+    fn schema_lookup_and_check() {
+        let s = Schema::new()
+            .field("sym", AttrType::Str)
+            .field("price", AttrType::Float)
+            .field("ts", AttrType::Timestamp);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("price"), Some(1));
+        assert_eq!(s.type_of("ts"), Some(AttrType::Timestamp));
+        assert_eq!(s.type_of("none"), None);
+        assert!(s.check(&[
+            Value::Str("IBM".into()),
+            Value::Float(100.0),
+            Value::Timestamp(1)
+        ]));
+        assert!(!s.check(&[Value::Str("IBM".into()), Value::Float(100.0)]));
+        assert!(!s.check(&[
+            Value::Float(1.0),
+            Value::Float(100.0),
+            Value::Timestamp(1)
+        ]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate schema field")]
+    fn schema_rejects_duplicates() {
+        let _ = Schema::new()
+            .field("a", AttrType::Int)
+            .field("a", AttrType::Int);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new();
+        assert!(s.is_empty());
+        assert!(s.check(&[]));
+    }
+}

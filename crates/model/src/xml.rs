@@ -1,0 +1,416 @@
+//! Minimal XML document model, writer, and parser.
+//!
+//! The paper's ADL is an XML description of a compiled application (§2.1).
+//! No XML crate is in the sanctioned dependency set, so this module
+//! implements the small subset the ADL needs: elements, attributes, text
+//! content, and the five standard character escapes. No namespaces,
+//! comments, CDATA, processing instructions, or doctypes.
+
+use crate::error::ModelError;
+
+/// An XML element tree node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlNode {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<XmlNode>,
+    pub text: String,
+}
+
+impl XmlNode {
+    pub fn new(name: &str) -> Self {
+        XmlNode {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Builder-style attribute addition.
+    pub fn attr(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.attrs.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Builder-style child addition.
+    pub fn child(mut self, child: XmlNode) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Builder-style text content.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.text = text.into();
+        self
+    }
+
+    /// First attribute with the given key.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute lookup that produces a parse error when missing — the
+    /// common case when decoding ADL.
+    pub fn require_attr(&self, key: &str) -> Result<&str, ModelError> {
+        self.get_attr(key).ok_or_else(|| {
+            ModelError::Parse(format!("element <{}> missing attribute '{key}'", self.name))
+        })
+    }
+
+    /// All children with the given element name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// First child with the given element name.
+    pub fn first_child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// First child or a parse error.
+    pub fn require_child(&self, name: &str) -> Result<&XmlNode, ModelError> {
+        self.first_child(name).ok_or_else(|| {
+            ModelError::Parse(format!("element <{}> missing child <{name}>", self.name))
+        })
+    }
+
+    /// Serializes the tree with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out, 0);
+        out
+    }
+
+    fn write_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out);
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            escape_into(&self.text, out);
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for c in &self.children {
+                c.write_into(out, depth + 1);
+            }
+            out.push_str(&pad);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses a single-root XML document produced by [`XmlNode::to_string_pretty`]
+/// (or hand-written in the same subset).
+pub fn parse(input: &str) -> Result<XmlNode, ModelError> {
+    let mut p = Parser {
+        chars: input.char_indices().peekable(),
+        input,
+    };
+    p.skip_ws();
+    let root = p.parse_element()?;
+    p.skip_ws();
+    if p.chars.peek().is_some() {
+        return Err(ModelError::Parse("trailing content after root element".into()));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some((_, c)) = self.chars.peek() {
+            if c.is_whitespace() {
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, expected: char) -> Result<(), ModelError> {
+        match self.chars.next() {
+            Some((_, c)) if c == expected => Ok(()),
+            Some((i, c)) => Err(ModelError::Parse(format!(
+                "expected '{expected}' at byte {i}, found '{c}'"
+            ))),
+            None => Err(ModelError::Parse(format!(
+                "expected '{expected}', found end of input"
+            ))),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ModelError> {
+        let mut name = String::new();
+        while let Some((_, c)) = self.chars.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                name.push(*c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            Err(ModelError::Parse("expected a name".into()))
+        } else {
+            Ok(name)
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode, ModelError> {
+        self.expect('<')?;
+        let name = self.parse_name()?;
+        let mut node = XmlNode::new(&name);
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some((_, '/')) => {
+                    self.chars.next();
+                    self.expect('>')?;
+                    return Ok(node);
+                }
+                Some((_, '>')) => {
+                    self.chars.next();
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect('=')?;
+                    self.skip_ws();
+                    self.expect('"')?;
+                    let value = self.parse_until_quote()?;
+                    node.attrs.push((key, value));
+                }
+                None => return Err(ModelError::Parse("unexpected end in element tag".into())),
+            }
+        }
+        // Content: interleaved text and child elements until `</name>`.
+        loop {
+            let text = self.parse_text()?;
+            if !text.trim().is_empty() {
+                node.text.push_str(text.trim());
+            }
+            // Now at '<'.
+            let mut lookahead = self.chars.clone();
+            lookahead.next(); // consume '<'
+            match lookahead.peek() {
+                Some((_, '/')) => {
+                    self.expect('<')?;
+                    self.expect('/')?;
+                    let close = self.parse_name()?;
+                    if close != node.name {
+                        return Err(ModelError::Parse(format!(
+                            "mismatched close tag: <{}> closed by </{close}>",
+                            node.name
+                        )));
+                    }
+                    self.skip_ws();
+                    self.expect('>')?;
+                    return Ok(node);
+                }
+                Some(_) => {
+                    let child = self.parse_element()?;
+                    node.children.push(child);
+                }
+                None => {
+                    return Err(ModelError::Parse(format!(
+                        "unterminated element <{}>",
+                        node.name
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Consumes and unescapes text up to (not including) the next '<'.
+    fn parse_text(&mut self) -> Result<String, ModelError> {
+        let mut out = String::new();
+        loop {
+            match self.chars.peek() {
+                Some((_, '<')) => return Ok(out),
+                Some((i, '&')) => {
+                    let start = *i;
+                    self.chars.next();
+                    out.push(self.parse_entity(start)?);
+                }
+                Some((_, c)) => {
+                    out.push(*c);
+                    self.chars.next();
+                }
+                None => {
+                    return Err(ModelError::Parse("unexpected end of input in text".into()))
+                }
+            }
+        }
+    }
+
+    fn parse_until_quote(&mut self) -> Result<String, ModelError> {
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((i, '&')) => out.push(self.parse_entity(i)?),
+                Some((_, c)) => out.push(c),
+                None => {
+                    return Err(ModelError::Parse("unterminated attribute value".into()))
+                }
+            }
+        }
+    }
+
+    fn parse_entity(&mut self, start: usize) -> Result<char, ModelError> {
+        let mut name = String::new();
+        loop {
+            match self.chars.next() {
+                Some((_, ';')) => break,
+                Some((_, c)) if name.len() < 6 => name.push(c),
+                _ => {
+                    let snippet: String = self.input[start..].chars().take(10).collect();
+                    return Err(ModelError::Parse(format!("bad entity near '{snippet}'")));
+                }
+            }
+        }
+        match name.as_str() {
+            "amp" => Ok('&'),
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            other => Err(ModelError::Parse(format!("unknown entity &{other};"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let n = XmlNode::new("pe")
+            .attr("id", "3")
+            .child(XmlNode::new("operator").attr("name", "op1"))
+            .child(XmlNode::new("operator").attr("name", "op2"));
+        assert_eq!(n.get_attr("id"), Some("3"));
+        assert_eq!(n.get_attr("missing"), None);
+        assert_eq!(n.children_named("operator").count(), 2);
+        assert!(n.first_child("operator").is_some());
+        assert!(n.first_child("stream").is_none());
+        assert!(n.require_attr("missing").is_err());
+        assert!(n.require_child("stream").is_err());
+        assert_eq!(n.require_attr("id").unwrap(), "3");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let doc = XmlNode::new("adl")
+            .attr("app", "Figure2")
+            .child(
+                XmlNode::new("operator")
+                    .attr("name", "comp'1.op3")
+                    .attr("kind", "Split"),
+            )
+            .child(XmlNode::new("note").with_text("hello world"));
+        let s = doc.to_string_pretty();
+        let parsed = parse(&s).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn roundtrip_escapes() {
+        let doc = XmlNode::new("e")
+            .attr("v", "a<b&c>\"d'")
+            .with_text("x & y < z");
+        let s = doc.to_string_pretty();
+        assert!(s.contains("&lt;"));
+        assert!(s.contains("&amp;"));
+        let parsed = parse(&s).unwrap();
+        assert_eq!(parsed.get_attr("v"), Some("a<b&c>\"d'"));
+        assert_eq!(parsed.text, "x & y < z");
+    }
+
+    #[test]
+    fn self_closing_elements() {
+        let parsed = parse("<a><b/><c x=\"1\"/></a>").unwrap();
+        assert_eq!(parsed.children.len(), 2);
+        assert_eq!(parsed.children[1].get_attr("x"), Some("1"));
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let parsed = parse("  <a  x = \"1\" >\n  <b/>\n</a>  ").unwrap();
+        assert_eq!(parsed.name, "a");
+        assert_eq!(parsed.get_attr("x"), Some("1"));
+        assert_eq!(parsed.children.len(), 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse("<a></b>").unwrap_err();
+        assert!(matches!(err, ModelError::Parse(m) if m.contains("mismatched")));
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a attr=\"x").is_err());
+        assert!(parse("<").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(parse("<a>&nbsp;</a>").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_roundtrip() {
+        let mut node = XmlNode::new("leaf").attr("depth", "0");
+        for d in 1..50 {
+            node = XmlNode::new("level").attr("depth", d.to_string()).child(node);
+        }
+        let s = node.to_string_pretty();
+        assert_eq!(parse(&s).unwrap(), node);
+    }
+}

@@ -1,0 +1,273 @@
+//! Dynamic stream import/export broker (§2.1).
+//!
+//! When both an exporting and an importing application are running, the
+//! runtime automatically connects them; connections form and dissolve as
+//! jobs come and go — the substrate for incremental deployment and the §5.3
+//! dynamic-composition use case.
+
+use crate::ids::JobId;
+use sps_model::logical::{ExportSpec, ImportSpec};
+use std::collections::BTreeMap;
+
+/// A registered export endpoint.
+#[derive(Clone, Debug)]
+struct ExportReg {
+    job: JobId,
+    app_name: String,
+    op: String,
+    port: usize,
+    spec: ExportSpec,
+}
+
+/// A registered import endpoint.
+#[derive(Clone, Debug)]
+struct ImportReg {
+    job: JobId,
+    op: String,
+    spec: ImportSpec,
+}
+
+/// Matches exported streams to import subscriptions across running jobs.
+#[derive(Default)]
+pub struct Broker {
+    exports: Vec<ExportReg>,
+    imports: Vec<ImportReg>,
+    /// Cached resolution: (export job, op, port) → [(import job, import op)].
+    routes: BTreeMap<(JobId, String, usize), Vec<(JobId, String)>>,
+}
+
+impl Broker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a job's imports and exports at submission time.
+    pub fn register_job(
+        &mut self,
+        job: JobId,
+        app_name: &str,
+        exports: impl IntoIterator<Item = (String, usize, ExportSpec)>,
+        imports: impl IntoIterator<Item = (String, ImportSpec)>,
+    ) {
+        for (op, port, spec) in exports {
+            self.exports.push(ExportReg {
+                job,
+                app_name: app_name.to_string(),
+                op,
+                port,
+                spec,
+            });
+        }
+        for (op, spec) in imports {
+            self.imports.push(ImportReg { job, op, spec });
+        }
+        self.rebuild_routes();
+    }
+
+    /// Unregisters everything belonging to a cancelled job.
+    pub fn unregister_job(&mut self, job: JobId) {
+        self.exports.retain(|e| e.job != job);
+        self.imports.retain(|i| i.job != job);
+        self.rebuild_routes();
+    }
+
+    fn rebuild_routes(&mut self) {
+        self.routes.clear();
+        for export in &self.exports {
+            let targets: Vec<(JobId, String)> = self
+                .imports
+                .iter()
+                .filter(|imp| {
+                    // A job never imports its own export through the broker
+                    // (that would be a static stream).
+                    imp.job != export.job && imp.spec.matches(&export.spec, &export.app_name)
+                })
+                .map(|imp| (imp.job, imp.op.clone()))
+                .collect();
+            if !targets.is_empty() {
+                self.routes.insert(
+                    (export.job, export.op.clone(), export.port),
+                    targets,
+                );
+            }
+        }
+    }
+
+    /// Destinations for an item emitted on an exported port:
+    /// `(importing job, importing operator)` pairs.
+    pub fn route(&self, job: JobId, op: &str, port: usize) -> &[(JobId, String)] {
+        self.routes
+            .get(&(job, op.to_string(), port))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Current number of live cross-job connections.
+    pub fn num_connections(&self) -> usize {
+        self.routes.values().map(Vec::len).sum()
+    }
+
+    /// Does any *other running* job import from the given job? Used by the
+    /// orchestrator's starvation check on cancellation (§4.4).
+    pub fn has_dependents(&self, job: JobId) -> bool {
+        self.routes
+            .iter()
+            .any(|((export_job, _, _), targets)| *export_job == job && !targets.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_id_export(id: &str) -> ExportSpec {
+        ExportSpec::by_id(id)
+    }
+
+    #[test]
+    fn id_matching_connects_jobs() {
+        let mut b = Broker::new();
+        b.register_job(
+            JobId(1),
+            "Producer",
+            vec![("out".into(), 0, by_id_export("feed"))],
+            vec![],
+        );
+        assert_eq!(b.num_connections(), 0);
+        b.register_job(
+            JobId(2),
+            "Consumer",
+            vec![],
+            vec![("in".into(), ImportSpec::by_id("feed"))],
+        );
+        assert_eq!(b.num_connections(), 1);
+        assert_eq!(b.route(JobId(1), "out", 0), &[(JobId(2), "in".to_string())]);
+        assert!(b.route(JobId(1), "out", 1).is_empty());
+        assert!(b.has_dependents(JobId(1)));
+        assert!(!b.has_dependents(JobId(2)));
+    }
+
+    #[test]
+    fn property_subscription_matching() {
+        let mut b = Broker::new();
+        b.register_job(
+            JobId(1),
+            "P",
+            vec![(
+                "out".into(),
+                0,
+                ExportSpec::default()
+                    .with_property("topic", "profiles")
+                    .with_property("source", "twitter"),
+            )],
+            vec![],
+        );
+        b.register_job(
+            JobId(2),
+            "C1",
+            vec![],
+            vec![(
+                "in".into(),
+                ImportSpec::default().subscribe("topic", "profiles"),
+            )],
+        );
+        b.register_job(
+            JobId(3),
+            "C2",
+            vec![],
+            vec![(
+                "in".into(),
+                ImportSpec::default().subscribe("topic", "other"),
+            )],
+        );
+        let routes = b.route(JobId(1), "out", 0);
+        assert_eq!(routes, &[(JobId(2), "in".to_string())]);
+    }
+
+    #[test]
+    fn late_exporter_connects_to_existing_importer() {
+        let mut b = Broker::new();
+        b.register_job(
+            JobId(2),
+            "C",
+            vec![],
+            vec![("in".into(), ImportSpec::by_id("feed"))],
+        );
+        assert_eq!(b.num_connections(), 0);
+        b.register_job(
+            JobId(5),
+            "P",
+            vec![("out".into(), 0, by_id_export("feed"))],
+            vec![],
+        );
+        assert_eq!(b.route(JobId(5), "out", 0).len(), 1);
+    }
+
+    #[test]
+    fn cancellation_dissolves_connections() {
+        let mut b = Broker::new();
+        b.register_job(
+            JobId(1),
+            "P",
+            vec![("out".into(), 0, by_id_export("feed"))],
+            vec![],
+        );
+        b.register_job(
+            JobId(2),
+            "C",
+            vec![],
+            vec![("in".into(), ImportSpec::by_id("feed"))],
+        );
+        assert_eq!(b.num_connections(), 1);
+        b.unregister_job(JobId(2));
+        assert_eq!(b.num_connections(), 0);
+        assert!(!b.has_dependents(JobId(1)));
+    }
+
+    #[test]
+    fn no_self_import() {
+        let mut b = Broker::new();
+        b.register_job(
+            JobId(1),
+            "SelfLoop",
+            vec![("out".into(), 0, by_id_export("x"))],
+            vec![("in".into(), ImportSpec::by_id("x"))],
+        );
+        assert_eq!(b.num_connections(), 0);
+    }
+
+    #[test]
+    fn one_export_fans_out_to_many_importers() {
+        let mut b = Broker::new();
+        b.register_job(
+            JobId(1),
+            "P",
+            vec![("out".into(), 0, by_id_export("feed"))],
+            vec![],
+        );
+        for j in 2..5 {
+            b.register_job(
+                JobId(j),
+                "C",
+                vec![],
+                vec![("in".into(), ImportSpec::by_id("feed"))],
+            );
+        }
+        assert_eq!(b.route(JobId(1), "out", 0).len(), 3);
+    }
+
+    #[test]
+    fn app_filter_restricts_source() {
+        let mut b = Broker::new();
+        b.register_job(JobId(1), "AppA", vec![("o".into(), 0, by_id_export("s"))], vec![]);
+        b.register_job(JobId(2), "AppB", vec![("o".into(), 0, by_id_export("s"))], vec![]);
+        b.register_job(
+            JobId(3),
+            "C",
+            vec![],
+            vec![("in".into(), ImportSpec::by_id("s").from_app("AppA"))],
+        );
+        assert_eq!(b.route(JobId(1), "o", 0).len(), 1);
+        assert!(b.route(JobId(2), "o", 0).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Runtime error type.
+
+use crate::ids::{JobId, PeId};
+use sps_engine::EngineError;
+use sps_model::ModelError;
+use std::fmt;
+
+/// Errors surfaced by SAM/SRM/broker operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    UnknownJob(JobId),
+    UnknownPe(PeId),
+    /// No host satisfies a PE's placement constraints.
+    PlacementFailed(String),
+    /// PE contains operators marked non-restartable.
+    NotRestartable(PeId),
+    /// The PE is not in a state that allows the requested transition.
+    BadPeState(PeId, &'static str),
+    /// Operator instantiation or execution failure.
+    Engine(EngineError),
+    /// ADL validation failure at submission.
+    Model(ModelError),
+    /// Anything else.
+    Invalid(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            RuntimeError::UnknownPe(p) => write!(f, "unknown PE {p}"),
+            RuntimeError::PlacementFailed(m) => write!(f, "placement failed: {m}"),
+            RuntimeError::NotRestartable(p) => write!(f, "PE {p} is not restartable"),
+            RuntimeError::BadPeState(p, want) => {
+                write!(f, "PE {p} is not in the required state ({want})")
+            }
+            RuntimeError::Engine(e) => write!(f, "engine error: {e}"),
+            RuntimeError::Model(e) => write!(f, "model error: {e}"),
+            RuntimeError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<EngineError> for RuntimeError {
+    fn from(e: EngineError) -> Self {
+        RuntimeError::Engine(e)
+    }
+}
+
+impl From<ModelError> for RuntimeError {
+    fn from(e: ModelError) -> Self {
+        RuntimeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        assert!(RuntimeError::UnknownJob(JobId(1)).to_string().contains("job1"));
+        assert!(RuntimeError::PlacementFailed("no hosts".into())
+            .to_string()
+            .contains("no hosts"));
+        let e: RuntimeError = EngineError::UnknownOperatorKind("X".into()).into();
+        assert!(matches!(e, RuntimeError::Engine(_)));
+        let e: RuntimeError = ModelError::Unknown("y".into()).into();
+        assert!(matches!(e, RuntimeError::Model(_)));
+    }
+}

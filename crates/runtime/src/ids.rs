@@ -1,0 +1,54 @@
+//! Runtime entity identifiers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub u64);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A submitted application instance ("each application submitted to SAM
+    /// is considered a new job", §2.2).
+    JobId,
+    "job"
+);
+id_type!(
+    /// A processing-element process instance.
+    PeId,
+    "pe"
+);
+id_type!(
+    /// A registered orchestrator instance.
+    OrcaId,
+    "orca"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JobId(3).to_string(), "job3");
+        assert_eq!(PeId(14).to_string(), "pe14");
+        assert_eq!(OrcaId(0).to_string(), "orca0");
+    }
+
+    #[test]
+    fn ordering_and_hash() {
+        assert!(JobId(1) < JobId(2));
+        let mut set = std::collections::HashSet::new();
+        set.insert(PeId(1));
+        assert!(set.contains(&PeId(1)));
+    }
+}

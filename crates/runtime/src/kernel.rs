@@ -1,0 +1,1029 @@
+//! The runtime kernel: coordinates SAM, SRM, the cluster, and the broker.
+//!
+//! Kernel methods are the simulated RPC surface the ORCA service calls ("the
+//! ORCA service acts as a proxy to issue job submission and control
+//! commands", §3): job submission with placement-constraint resolution,
+//! cancellation, PE stop/restart/kill, host failure, and metric routing.
+//! [`Kernel::quantum`] advances the whole distributed system by one
+//! scheduling quantum.
+
+use crate::broker::Broker;
+use crate::cluster::{Cluster, PeProcess, PeStatus};
+use crate::error::RuntimeError;
+use crate::ids::{JobId, OrcaId, PeId};
+use crate::sam::{CrashReason, JobInfo, JobStatus, OrcaNotification, Sam};
+use crate::srm::Srm;
+use sps_engine::pe::ExportedItem;
+use sps_engine::{EngineError, OperatorRegistry, PeRuntime, StreamItem, Tuple};
+use sps_model::adl::Adl;
+use sps_model::logical::HostPool;
+use sps_sim::{SimDuration, SimRng, SimTime, TraceRing};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tunable timing/capacity parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// PE scheduling quantum (simulation tick).
+    pub quantum: SimDuration,
+    /// Work-budget units per PE per quantum.
+    pub pe_budget: u32,
+    /// HC → SRM metric push period (paper default: 3 s).
+    pub metrics_push_period: SimDuration,
+    /// Master seed for all deterministic randomness.
+    pub seed: u64,
+    /// Process spawn latency for PE restarts (the paper's recovery gap:
+    /// a restarted replica produces no output while its process starts).
+    pub restart_delay: SimDuration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            quantum: SimDuration::from_millis(100),
+            pe_budget: 10_000,
+            metrics_push_period: SimDuration::from_secs(3),
+            seed: 0x5EED,
+            restart_delay: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// A scheduled fault-injection action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KillTarget {
+    Pe(PeId),
+    Host(String),
+}
+
+/// The assembled runtime.
+pub struct Kernel {
+    pub config: RuntimeConfig,
+    now: SimTime,
+    pub cluster: Cluster,
+    pub sam: Sam,
+    pub srm: Srm,
+    pub broker: Broker,
+    pub registry: OperatorRegistry,
+    pub trace: TraceRing,
+    rng: SimRng,
+    scheduled_kills: Vec<(SimTime, KillTarget)>,
+    last_metrics_push: SimTime,
+}
+
+impl Kernel {
+    pub fn new(cluster: Cluster, registry: OperatorRegistry, config: RuntimeConfig) -> Self {
+        let mut srm = Srm::new();
+        for host in cluster.hosts() {
+            srm.set_host_status(&host.name, host.up);
+        }
+        Kernel {
+            now: SimTime::ZERO,
+            rng: SimRng::new(config.seed),
+            config,
+            cluster,
+            sam: Sam::new(),
+            srm,
+            broker: Broker::new(),
+            registry,
+            trace: TraceRing::new(65_536),
+            scheduled_kills: Vec::new(),
+            last_metrics_push: SimTime::ZERO,
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    // ---- job lifecycle ------------------------------------------------------
+
+    /// Submits an application: validates the ADL, places every PE per its
+    /// constraints, spawns the PE processes, and registers import/export
+    /// endpoints. Atomic: on placement failure, nothing is left behind.
+    pub fn submit_job(&mut self, adl: Adl, owner: Option<OrcaId>) -> Result<JobId, RuntimeError> {
+        adl.validate()?;
+        for op in &adl.operators {
+            if !self.registry.has_kind(&op.kind) {
+                return Err(EngineError::UnknownOperatorKind(op.kind.clone()).into());
+            }
+        }
+        let job = self.sam.alloc_job_id();
+
+        let mut placed: Vec<(PeId, String)> = Vec::new();
+        let mut reserved: Vec<String> = Vec::new();
+        // host-exlocate tag → hosts already used within this submission.
+        let mut exlocate_used: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut pe_ids = Vec::with_capacity(adl.pes.len());
+
+        for pe_def in &adl.pes {
+            let pool = pe_def
+                .host_pool
+                .as_ref()
+                .map(|name| {
+                    adl.host_pools
+                        .iter()
+                        .find(|p| &p.name == name)
+                        .expect("ADL validated: pool exists")
+                });
+            let excluded: &BTreeSet<String> = pe_def
+                .host_exlocate
+                .as_ref()
+                .and_then(|tag| exlocate_used.get(tag))
+                .unwrap_or(const { &BTreeSet::new() });
+
+            let host = match self.pick_host(job, pool, excluded) {
+                Some(h) => h,
+                None => {
+                    // Roll back everything placed so far.
+                    for (pe, _) in &placed {
+                        self.cluster.remove_process(*pe);
+                    }
+                    for host in &reserved {
+                        self.sam.unreserve_host(host);
+                    }
+                    return Err(RuntimeError::PlacementFailed(format!(
+                        "no host satisfies constraints of PE {} of {} (pool={:?})",
+                        pe_def.index, adl.app_name, pe_def.host_pool
+                    )));
+                }
+            };
+
+            let pe_id = self.sam.alloc_pe_id();
+            let runtime =
+                PeRuntime::build(&adl, pe_def.index, &self.registry, self.rng.fork(pe_id.0))?;
+            self.cluster
+                .host_mut(&host)
+                .expect("picked host exists")
+                .processes
+                .insert(
+                    pe_id,
+                    PeProcess {
+                        pe_id,
+                        job,
+                        adl_index: pe_def.index,
+                        status: PeStatus::Up,
+                        started_at: self.now,
+                        up_at: self.now,
+                        runtime,
+                    },
+                );
+            if pool.is_some_and(|p| p.exclusive)
+                && self.sam.host_reservation(&host) != Some(job)
+            {
+                // Reserve eagerly so later PEs of this submission pack onto
+                // the same hosts.
+                self.sam.reserve_host(&host, job);
+                reserved.push(host.clone());
+            }
+            if let Some(tag) = &pe_def.host_exlocate {
+                exlocate_used
+                    .entry(tag.clone())
+                    .or_default()
+                    .insert(host.clone());
+            }
+            placed.push((pe_id, host));
+            pe_ids.push(pe_id);
+        }
+
+        let exports = adl
+            .exports
+            .iter()
+            .map(|e| (e.op.clone(), e.port, e.spec.clone()))
+            .collect::<Vec<_>>();
+        let imports = adl
+            .imports
+            .iter()
+            .map(|i| (i.op.clone(), i.spec.clone()))
+            .collect::<Vec<_>>();
+        self.broker
+            .register_job(job, &adl.app_name, exports, imports);
+
+        self.trace.push(
+            self.now,
+            "sam",
+            format!("job {job} ({}) submitted with {} PEs", adl.app_name, pe_ids.len()),
+        );
+        self.sam.insert_job(JobInfo {
+            id: job,
+            app_name: adl.app_name.clone(),
+            adl,
+            pe_ids,
+            status: JobStatus::Running,
+            submitted_at: self.now,
+            owner,
+        });
+        Ok(job)
+    }
+
+    /// Chooses the least-loaded eligible host for a PE.
+    ///
+    /// Exclusive pools *pack*: once a job has reserved hosts, later PEs of
+    /// the same job prefer those hosts, keeping the exclusive footprint (and
+    /// the number of hosts denied to other jobs) minimal — so e.g. three
+    /// exclusive replicas fit a three-host cluster (§5.2).
+    fn pick_host(
+        &self,
+        job: JobId,
+        pool: Option<&HostPool>,
+        excluded: &BTreeSet<String>,
+    ) -> Option<String> {
+        if pool.is_some_and(|p| p.exclusive) {
+            // Prefer a host already reserved for this job.
+            let reuse = self
+                .cluster
+                .hosts()
+                .filter(|h| {
+                    h.up && !excluded.contains(&h.name)
+                        && self.sam.host_reservation(&h.name) == Some(job)
+                })
+                .map(|h| (h.live_processes(), h.name.as_str()))
+                .min();
+            if let Some((_, name)) = reuse {
+                return Some(name.to_string());
+            }
+        }
+        let mut best: Option<(usize, &str)> = None;
+        for host in self.cluster.hosts() {
+            if !host.up || excluded.contains(&host.name) {
+                continue;
+            }
+            // Pool membership.
+            if let Some(pool) = pool {
+                let member = if !pool.hosts.is_empty() {
+                    pool.hosts.contains(&host.name)
+                } else if let Some(tag) = &pool.tag {
+                    host.has_tag(tag)
+                } else {
+                    true
+                };
+                if !member {
+                    continue;
+                }
+            }
+            // Reservations: a host reserved for another job is off limits.
+            match self.sam.host_reservation(&host.name) {
+                Some(owner) if owner != job => continue,
+                _ => {}
+            }
+            // Exclusive pools additionally require the host to be free of
+            // other jobs' processes.
+            if pool.is_some_and(|p| p.exclusive)
+                && host.processes.values().any(|p| p.job != job)
+            {
+                continue;
+            }
+            let load = host.live_processes();
+            if best.is_none_or(|(bl, bn)| (load, host.name.as_str()) < (bl, bn)) {
+                best = Some((load, &host.name));
+            }
+        }
+        best.map(|(_, name)| name.to_string())
+    }
+
+    /// Cancels a job: stops and removes its PEs, releases reservations, and
+    /// dissolves dynamic stream connections.
+    pub fn cancel_job(&mut self, job: JobId) -> Result<(), RuntimeError> {
+        let info = self
+            .sam
+            .remove_job(job)
+            .ok_or(RuntimeError::UnknownJob(job))?;
+        for pe in &info.pe_ids {
+            self.cluster.remove_process(*pe);
+        }
+        self.broker.unregister_job(job);
+        self.srm.forget_job(job);
+        self.trace
+            .push(self.now, "sam", format!("job {job} ({}) cancelled", info.app_name));
+        Ok(())
+    }
+
+    /// Restarts a crashed or stopped PE with **fresh operator state** (no
+    /// checkpointing — exactly the §5.2 scenario). Returns the replacement
+    /// PE id.
+    pub fn restart_pe(&mut self, pe: PeId) -> Result<PeId, RuntimeError> {
+        let (job, adl_index) = self.sam.pe_lookup(pe).ok_or(RuntimeError::UnknownPe(pe))?;
+        let info = self.sam.job(job).ok_or(RuntimeError::UnknownJob(job))?;
+        let restartable = info
+            .adl
+            .operators
+            .iter()
+            .filter(|o| o.pe == adl_index)
+            .all(|o| o.restartable);
+        if !restartable {
+            return Err(RuntimeError::NotRestartable(pe));
+        }
+        let adl = info.adl.clone();
+        let pe_def = &adl.pes[adl_index];
+        let old_host = self.cluster.host_of_pe(pe).map(str::to_string);
+        self.cluster.remove_process(pe);
+
+        // Prefer the previous host when it is still up; otherwise re-place
+        // under the original constraints.
+        let host = match old_host.filter(|h| self.cluster.host(h).is_some_and(|h| h.up)) {
+            Some(h) => h,
+            None => {
+                let pool = pe_def
+                    .host_pool
+                    .as_ref()
+                    .and_then(|name| adl.host_pools.iter().find(|p| &p.name == name));
+                self.pick_host(job, pool, &BTreeSet::new())
+                    .ok_or_else(|| {
+                        RuntimeError::PlacementFailed(format!(
+                            "no host available to restart PE {pe}"
+                        ))
+                    })?
+            }
+        };
+        let new_pe = self.sam.alloc_pe_id();
+        let runtime = PeRuntime::build(&adl, adl_index, &self.registry, self.rng.fork(new_pe.0))?;
+        self.cluster
+            .host_mut(&host)
+            .expect("host exists")
+            .processes
+            .insert(
+                new_pe,
+                PeProcess {
+                    pe_id: new_pe,
+                    job,
+                    adl_index,
+                    status: PeStatus::Starting,
+                    started_at: self.now,
+                    up_at: self.now + self.config.restart_delay,
+                    runtime,
+                },
+            );
+        self.sam.replace_pe(job, adl_index, new_pe);
+        self.srm.forget_pe(job, pe);
+        self.trace.push(
+            self.now,
+            "sam",
+            format!("PE {pe} of job {job} restarted as {new_pe} on {host}"),
+        );
+        Ok(new_pe)
+    }
+
+    /// Stops a PE without removing it (it can be restarted later).
+    pub fn stop_pe(&mut self, pe: PeId) -> Result<(), RuntimeError> {
+        let proc = self
+            .cluster
+            .process_mut(pe)
+            .ok_or(RuntimeError::UnknownPe(pe))?;
+        if proc.status != PeStatus::Up {
+            return Err(RuntimeError::BadPeState(pe, "up"));
+        }
+        proc.status = PeStatus::Stopped;
+        self.trace.push(self.now, "sam", format!("PE {pe} stopped"));
+        Ok(())
+    }
+
+    /// Kills a PE process (fault injection / external crash).
+    pub fn kill_pe(&mut self, pe: PeId) -> Result<(), RuntimeError> {
+        let proc = self
+            .cluster
+            .process_mut(pe)
+            .ok_or(RuntimeError::UnknownPe(pe))?;
+        if proc.status != PeStatus::Up {
+            return Err(RuntimeError::BadPeState(pe, "up"));
+        }
+        proc.status = PeStatus::Crashed;
+        self.trace.push(self.now, "hc", format!("PE {pe} killed"));
+        self.notify_pe_failure(pe, CrashReason::Killed);
+        Ok(())
+    }
+
+    /// Takes a host down: all its live PEs crash with `HostFailure`.
+    pub fn kill_host(&mut self, host_name: &str) -> Result<(), RuntimeError> {
+        let host = self
+            .cluster
+            .host_mut(host_name)
+            .ok_or_else(|| RuntimeError::Invalid(format!("unknown host {host_name}")))?;
+        host.up = false;
+        let victims: Vec<PeId> = host
+            .processes
+            .values_mut()
+            .filter(|p| p.status == PeStatus::Up)
+            .map(|p| {
+                p.status = PeStatus::Crashed;
+                p.pe_id
+            })
+            .collect();
+        self.srm.set_host_status(host_name, false);
+        self.trace
+            .push(self.now, "srm", format!("host {host_name} down ({} PEs lost)", victims.len()));
+        for pe in victims {
+            self.notify_pe_failure(pe, CrashReason::HostFailure);
+        }
+        Ok(())
+    }
+
+    /// Brings a host back (recovered hardware). Crashed PEs stay crashed
+    /// until explicitly restarted.
+    pub fn revive_host(&mut self, host_name: &str) -> Result<(), RuntimeError> {
+        let host = self
+            .cluster
+            .host_mut(host_name)
+            .ok_or_else(|| RuntimeError::Invalid(format!("unknown host {host_name}")))?;
+        host.up = true;
+        self.srm.set_host_status(host_name, true);
+        self.trace.push(self.now, "srm", format!("host {host_name} up"));
+        Ok(())
+    }
+
+    /// Schedules a fault injection at an absolute simulation time.
+    pub fn schedule_kill(&mut self, at: SimTime, target: KillTarget) {
+        self.scheduled_kills.push((at, target));
+        self.scheduled_kills.sort_by_key(|(t, _)| *t);
+    }
+
+    fn notify_pe_failure(&mut self, pe: PeId, reason: CrashReason) {
+        let Some((job, adl_index)) = self.sam.pe_lookup(pe) else {
+            return;
+        };
+        let Some(owner) = self.sam.job(job).and_then(|j| j.owner) else {
+            return; // unmanaged job: nobody to tell
+        };
+        let now = self.now;
+        self.sam.push_notification(
+            owner,
+            OrcaNotification::PeFailure {
+                job,
+                pe,
+                adl_index,
+                reason,
+                detected_at: now,
+            },
+        );
+    }
+
+    // ---- introspection used by tests, harnesses, and the ORCA service ------
+
+    /// PE id of a job's ADL PE index.
+    pub fn pe_id_of(&self, job: JobId, adl_index: usize) -> Option<PeId> {
+        self.sam.job(job)?.pe_ids.get(adl_index).copied()
+    }
+
+    pub fn pe_status(&self, pe: PeId) -> Option<PeStatus> {
+        self.cluster.process(pe).map(|p| p.status)
+    }
+
+    /// Contents of a sink-like operator.
+    pub fn tap(&self, job: JobId, op_name: &str) -> Option<Vec<Tuple>> {
+        let info = self.sam.job(job)?;
+        let op = info.adl.operator(op_name)?;
+        let pe_id = info.pe_ids.get(op.pe)?;
+        self.cluster.process(*pe_id)?.runtime.tap(op_name)
+    }
+
+    /// Injects an item directly into an operator (user-driven test input and
+    /// the ORCA command tool's user events).
+    pub fn inject(
+        &mut self,
+        job: JobId,
+        op_name: &str,
+        port: usize,
+        item: StreamItem,
+    ) -> Result<(), RuntimeError> {
+        let info = self.sam.job(job).ok_or(RuntimeError::UnknownJob(job))?;
+        let op = info
+            .adl
+            .operator(op_name)
+            .ok_or_else(|| RuntimeError::Invalid(format!("unknown operator {op_name}")))?;
+        let pe_id = info.pe_ids[op.pe];
+        let proc = self
+            .cluster
+            .process_mut(pe_id)
+            .ok_or(RuntimeError::UnknownPe(pe_id))?;
+        proc.runtime.inject(op_name, port, item)?;
+        Ok(())
+    }
+
+    // ---- the quantum --------------------------------------------------------
+
+    /// Advances the entire system by one scheduling quantum: fires scheduled
+    /// faults, steps every live PE, transports inter-PE and cross-job
+    /// deliveries, records crashes, and pushes metrics to SRM on schedule.
+    pub fn quantum(&mut self) {
+        self.now += self.config.quantum;
+
+        // Scheduled fault injections.
+        while let Some((t, _)) = self.scheduled_kills.first() {
+            if *t > self.now {
+                break;
+            }
+            let (_, target) = self.scheduled_kills.remove(0);
+            let result = match &target {
+                KillTarget::Pe(pe) => self.kill_pe(*pe),
+                KillTarget::Host(h) => self.kill_host(h),
+            };
+            if let Err(e) = result {
+                self.trace
+                    .push(self.now, "faults", format!("scheduled kill failed: {e}"));
+            }
+        }
+
+        // Promote spawning processes whose start latency elapsed.
+        let now_promote = self.now;
+        for host in self.cluster.hosts_mut() {
+            if !host.up {
+                continue;
+            }
+            for proc in host.processes.values_mut() {
+                if proc.status == PeStatus::Starting && now_promote >= proc.up_at {
+                    proc.status = PeStatus::Up;
+                }
+            }
+        }
+
+        // Step all live PEs.
+        let mut deliveries: Vec<(JobId, sps_engine::RemoteDelivery)> = Vec::new();
+        let mut exported: Vec<(JobId, ExportedItem)> = Vec::new();
+        let mut crashes: Vec<(PeId, String)> = Vec::new();
+        let (now, quantum, budget) = (self.now, self.config.quantum, self.config.pe_budget);
+        for host in self.cluster.hosts_mut() {
+            if !host.up {
+                continue;
+            }
+            for proc in host.processes.values_mut() {
+                if proc.status != PeStatus::Up {
+                    continue;
+                }
+                let out = proc.runtime.step(now, quantum, budget);
+                for d in out.remote {
+                    deliveries.push((proc.job, d));
+                }
+                for e in out.exported {
+                    exported.push((proc.job, e));
+                }
+                if let Some(msg) = out.crashed {
+                    proc.status = PeStatus::Crashed;
+                    crashes.push((proc.pe_id, msg));
+                }
+            }
+        }
+
+        // Inter-PE transport (one quantum of latency).
+        for (job, delivery) in deliveries {
+            let Some(info) = self.sam.job(job) else {
+                continue;
+            };
+            let Some(&target_pe) = info.pe_ids.get(delivery.dest.pe) else {
+                continue;
+            };
+            if let Some(proc) = self.cluster.process_mut(target_pe) {
+                if proc.status == PeStatus::Up {
+                    if let Err(e) = proc.runtime.receive(&delivery) {
+                        self.trace
+                            .push(now, "transport", format!("delivery failed: {e}"));
+                    }
+                }
+            }
+        }
+
+        // Cross-job import/export routing.
+        for (job, item) in exported {
+            let targets: Vec<(JobId, String)> =
+                self.broker.route(job, &item.op, item.port).to_vec();
+            for (target_job, import_op) in targets {
+                let Some(info) = self.sam.job(target_job) else {
+                    continue;
+                };
+                let Some(op) = info.adl.operator(&import_op) else {
+                    continue;
+                };
+                let Some(&target_pe) = info.pe_ids.get(op.pe) else {
+                    continue;
+                };
+                if let Some(proc) = self.cluster.process_mut(target_pe) {
+                    if proc.status == PeStatus::Up {
+                        let _ = proc.runtime.inject(&import_op, 0, item.item.clone());
+                    }
+                }
+            }
+        }
+
+        // Crash notifications (SRM detects, SAM routes to the orchestrator).
+        for (pe, msg) in crashes {
+            self.trace
+                .push(now, "srm", format!("PE {pe} crashed: {msg}"));
+            self.notify_pe_failure(pe, CrashReason::OperatorFault(msg));
+        }
+
+        // Periodic HC → SRM metric push.
+        if self.now.since(self.last_metrics_push) >= self.config.metrics_push_period {
+            self.last_metrics_push = self.now;
+            self.push_all_metrics();
+        }
+    }
+
+    /// Every HC snapshots its live PEs' metrics into SRM.
+    fn push_all_metrics(&mut self) {
+        let now = self.now;
+        let mut pushes = Vec::new();
+        for host in self.cluster.hosts_mut() {
+            if !host.up {
+                continue;
+            }
+            for proc in host.processes.values_mut() {
+                if proc.status != PeStatus::Up {
+                    continue;
+                }
+                proc.runtime.refresh_queue_metrics();
+                pushes.push((proc.job, proc.pe_id, proc.runtime.metrics().snapshot()));
+            }
+        }
+        for (job, pe, snapshot) in pushes {
+            self.srm.push_pe_metrics(job, pe, now, snapshot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_model::compiler::{compile, CompileOptions};
+    use sps_model::logical::{
+        AppModelBuilder, CompositeGraphBuilder, ExportSpec, HostPool, ImportSpec,
+        OperatorInvocation,
+    };
+    
+
+    fn kernel(hosts: usize) -> Kernel {
+        Kernel::new(
+            Cluster::with_hosts(hosts),
+            OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        )
+    }
+
+    /// beacon → filter → sink, each in its own PE.
+    fn pipeline_adl(name: &str, rate: f64) -> Adl {
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "src",
+            OperatorInvocation::new("Beacon")
+                .source()
+                .param("rate", rate),
+        );
+        m.operator(
+            "flt",
+            OperatorInvocation::new("Filter").param("predicate", "seq % 2 == 0"),
+        );
+        m.operator("snk", OperatorInvocation::new("Sink").sink());
+        m.pipe("src", "flt");
+        m.pipe("flt", "snk");
+        let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+        compile(&model, CompileOptions::default()).unwrap()
+    }
+
+    fn run(kernel: &mut Kernel, quanta: usize) {
+        for _ in 0..quanta {
+            kernel.quantum();
+        }
+    }
+
+    #[test]
+    fn submit_and_flow_across_pes() {
+        let mut k = kernel(3);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 20); // 2 seconds
+        let tap = k.tap(job, "snk").unwrap();
+        assert!(!tap.is_empty(), "tuples should reach the sink across PEs");
+        // Only even seqs pass the filter.
+        assert!(tap.iter().all(|t| t.get_int("seq").unwrap() % 2 == 0));
+    }
+
+    #[test]
+    fn placement_balances_load() {
+        let mut k = kernel(3);
+        k.submit_job(pipeline_adl("P", 1.0), None).unwrap();
+        let loads: Vec<usize> = k.cluster.hosts().map(|h| h.live_processes()).collect();
+        assert_eq!(loads, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn submission_is_atomic_on_placement_failure() {
+        let mut k = kernel(1);
+        // Pool references a host that doesn't exist.
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "a",
+            OperatorInvocation::new("Beacon").source().host_pool("ghost_pool"),
+        );
+        m.operator("b", OperatorInvocation::new("Sink").sink());
+        m.pipe("a", "b");
+        let mut builder = AppModelBuilder::new("A");
+        builder.host_pool(HostPool::explicit("ghost_pool", &["nohost"]));
+        let model = builder.build(m.build().unwrap()).unwrap();
+        let adl = compile(&model, CompileOptions::default()).unwrap();
+        assert!(matches!(
+            k.submit_job(adl, None),
+            Err(RuntimeError::PlacementFailed(_))
+        ));
+        // Nothing left behind.
+        assert_eq!(
+            k.cluster.hosts().map(|h| h.processes.len()).sum::<usize>(),
+            0
+        );
+    }
+
+    #[test]
+    fn unknown_operator_kind_rejected_at_submit() {
+        let mut k = kernel(1);
+        let mut m = CompositeGraphBuilder::main();
+        m.operator("a", OperatorInvocation::new("Mystery").source());
+        let model = AppModelBuilder::new("A").build(m.build().unwrap()).unwrap();
+        let adl = compile(&model, CompileOptions::default()).unwrap();
+        assert!(matches!(
+            k.submit_job(adl, None),
+            Err(RuntimeError::Engine(EngineError::UnknownOperatorKind(_)))
+        ));
+    }
+
+    #[test]
+    fn cancel_removes_everything() {
+        let mut k = kernel(2);
+        let job = k.submit_job(pipeline_adl("P", 10.0), None).unwrap();
+        run(&mut k, 5);
+        k.cancel_job(job).unwrap();
+        assert!(k.sam.job(job).is_none());
+        assert_eq!(
+            k.cluster.hosts().map(|h| h.processes.len()).sum::<usize>(),
+            0
+        );
+        assert!(matches!(
+            k.cancel_job(job),
+            Err(RuntimeError::UnknownJob(_))
+        ));
+    }
+
+    #[test]
+    fn kill_and_restart_pe_loses_state() {
+        let mut k = kernel(2);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 10);
+        let sink_pe = k.pe_id_of(job, 2).unwrap();
+        let before = k.tap(job, "snk").unwrap().len();
+        assert!(before > 0);
+
+        k.kill_pe(sink_pe).unwrap();
+        assert_eq!(k.pe_status(sink_pe), Some(PeStatus::Crashed));
+        // Killing twice is a state error.
+        assert!(matches!(
+            k.kill_pe(sink_pe),
+            Err(RuntimeError::BadPeState(..))
+        ));
+        run(&mut k, 5); // tuples flowing to a dead PE are lost
+
+        let new_pe = k.restart_pe(sink_pe).unwrap();
+        assert_ne!(new_pe, sink_pe);
+        // Spawning takes restart_delay before the process is Up.
+        assert_eq!(k.pe_status(new_pe), Some(PeStatus::Starting));
+        run(&mut k, 21); // past the 2 s default restart delay
+        assert_eq!(k.pe_status(new_pe), Some(PeStatus::Up));
+        assert_eq!(k.pe_id_of(job, 2), Some(new_pe));
+        // Fresh operator state: the sink forgot its tuples.
+        let after_restart = k.tap(job, "snk").unwrap().len();
+        assert!(after_restart < before);
+    }
+
+    #[test]
+    fn non_restartable_pe_refuses_restart() {
+        let mut k = kernel(1);
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "a",
+            OperatorInvocation::new("Beacon").source().not_restartable(),
+        );
+        let model = AppModelBuilder::new("A").build(m.build().unwrap()).unwrap();
+        let adl = compile(&model, CompileOptions::default()).unwrap();
+        let job = k.submit_job(adl, None).unwrap();
+        let pe = k.pe_id_of(job, 0).unwrap();
+        k.kill_pe(pe).unwrap();
+        assert!(matches!(
+            k.restart_pe(pe),
+            Err(RuntimeError::NotRestartable(_))
+        ));
+    }
+
+    #[test]
+    fn host_failure_crashes_pes_and_restart_relocates() {
+        let mut k = kernel(2);
+        let job = k.submit_job(pipeline_adl("P", 10.0), None).unwrap();
+        let pe0 = k.pe_id_of(job, 0).unwrap();
+        let host0 = k.cluster.host_of_pe(pe0).unwrap().to_string();
+        k.kill_host(&host0).unwrap();
+        assert_eq!(k.pe_status(pe0), Some(PeStatus::Crashed));
+        assert_eq!(k.srm.host_up(&host0), Some(false));
+        // Restart relocates to the surviving host.
+        let new_pe = k.restart_pe(pe0).unwrap();
+        let new_host = k.cluster.host_of_pe(new_pe).unwrap();
+        assert_ne!(new_host, host0);
+        // Revive and verify status propagates.
+        k.revive_host(&host0).unwrap();
+        assert_eq!(k.srm.host_up(&host0), Some(true));
+    }
+
+    #[test]
+    fn operator_fault_notifies_owner_orchestrator() {
+        let mut k = kernel(1);
+        let orca = k.sam.register_orchestrator();
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "src",
+            OperatorInvocation::new("Beacon").source().param("rate", 50.0),
+        );
+        m.operator(
+            "bomb",
+            OperatorInvocation::new("FaultInject").param("fault_after", 3i64),
+        );
+        m.pipe("src", "bomb");
+        let model = AppModelBuilder::new("Boom").build(m.build().unwrap()).unwrap();
+        let adl = compile(&model, CompileOptions::default()).unwrap();
+        let job = k.submit_job(adl, Some(orca)).unwrap();
+        run(&mut k, 30);
+        let notes = k.sam.drain_notifications(orca);
+        assert_eq!(notes.len(), 1);
+        match &notes[0] {
+            OrcaNotification::PeFailure { job: j, reason, .. } => {
+                assert_eq!(*j, job);
+                assert!(matches!(reason, CrashReason::OperatorFault(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn unmanaged_job_failures_notify_nobody() {
+        let mut k = kernel(1);
+        let orca = k.sam.register_orchestrator();
+        let job = k.submit_job(pipeline_adl("P", 10.0), None).unwrap();
+        let pe = k.pe_id_of(job, 0).unwrap();
+        k.kill_pe(pe).unwrap();
+        assert!(k.sam.drain_notifications(orca).is_empty());
+    }
+
+    #[test]
+    fn scheduled_kill_fires_at_time() {
+        let mut k = kernel(1);
+        let job = k.submit_job(pipeline_adl("P", 10.0), None).unwrap();
+        let pe = k.pe_id_of(job, 0).unwrap();
+        k.schedule_kill(SimTime::from_millis(500), KillTarget::Pe(pe));
+        run(&mut k, 4); // t = 400ms
+        assert_eq!(k.pe_status(pe), Some(PeStatus::Up));
+        run(&mut k, 1); // t = 500ms
+        assert_eq!(k.pe_status(pe), Some(PeStatus::Crashed));
+    }
+
+    #[test]
+    fn metrics_flow_to_srm_on_schedule() {
+        let mut k = kernel(1);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 29); // 2.9 s: no push yet at default 3 s period
+        assert!(k.srm.query_jobs(&[job]).is_empty());
+        run(&mut k, 1); // 3.0 s
+        let snap = &k.srm.query_jobs(&[job])[&job];
+        assert_eq!(snap.collected_at, SimTime::from_secs(3));
+        let processed = snap
+            .values
+            .iter()
+            .find(|(key, _)| {
+                key.operator_name() == Some("flt")
+                    && key.metric_name() == "nTuplesProcessed"
+                    && matches!(key, sps_engine::MetricKey::Operator(..))
+            })
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(processed > 100, "got {processed}");
+    }
+
+    #[test]
+    fn import_export_connects_two_jobs() {
+        let mut k = kernel(2);
+        // Producer exports its filter output.
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "src",
+            OperatorInvocation::new("Beacon").source().param("rate", 50.0),
+        );
+        m.operator(
+            "out",
+            OperatorInvocation::new("Export").export(0, ExportSpec::by_id("evens")),
+        );
+        m.pipe("src", "out");
+        let producer = AppModelBuilder::new("Producer")
+            .build(m.build().unwrap())
+            .unwrap();
+
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "in",
+            OperatorInvocation::new("Import")
+                .source()
+                .import_spec(ImportSpec::by_id("evens")),
+        );
+        m.operator("snk", OperatorInvocation::new("Sink").sink());
+        m.pipe("in", "snk");
+        let consumer = AppModelBuilder::new("Consumer")
+            .build(m.build().unwrap())
+            .unwrap();
+
+        let _p = k
+            .submit_job(compile(&producer, CompileOptions::default()).unwrap(), None)
+            .unwrap();
+        let c = k
+            .submit_job(compile(&consumer, CompileOptions::default()).unwrap(), None)
+            .unwrap();
+        assert_eq!(k.broker.num_connections(), 1);
+        run(&mut k, 20);
+        let tap = k.tap(c, "snk").unwrap();
+        assert!(!tap.is_empty(), "imported tuples should reach consumer sink");
+        // Cancelling the consumer dissolves the connection.
+        k.cancel_job(c).unwrap();
+        assert_eq!(k.broker.num_connections(), 0);
+    }
+
+    #[test]
+    fn exclusive_pools_keep_jobs_apart() {
+        let mut k = kernel(3);
+        let make = |name: &str| {
+            let mut m = CompositeGraphBuilder::main();
+            m.operator("src", OperatorInvocation::new("Beacon").source());
+            let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+            let mut adl = compile(&model, CompileOptions::default()).unwrap();
+            adl.make_host_pools_exclusive(name);
+            adl
+        };
+        let j1 = k.submit_job(make("R0"), None).unwrap();
+        let j2 = k.submit_job(make("R1"), None).unwrap();
+        let h1 = k
+            .cluster
+            .host_of_pe(k.pe_id_of(j1, 0).unwrap())
+            .unwrap()
+            .to_string();
+        let h2 = k
+            .cluster
+            .host_of_pe(k.pe_id_of(j2, 0).unwrap())
+            .unwrap()
+            .to_string();
+        assert_ne!(h1, h2, "exclusive jobs must not share hosts");
+        // A third exclusive job fits on the remaining host; a fourth fails.
+        let _j3 = k.submit_job(make("R2"), None).unwrap();
+        assert!(matches!(
+            k.submit_job(make("R3"), None),
+            Err(RuntimeError::PlacementFailed(_))
+        ));
+    }
+
+    #[test]
+    fn host_exlocation_spreads_pes() {
+        let mut k = kernel(2);
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "a",
+            OperatorInvocation::new("Beacon").source().host_exlocate("spread"),
+        );
+        m.operator(
+            "b",
+            OperatorInvocation::new("Beacon").source().host_exlocate("spread"),
+        );
+        let model = AppModelBuilder::new("S").build(m.build().unwrap()).unwrap();
+        let adl = compile(&model, CompileOptions::default()).unwrap();
+        let job = k.submit_job(adl, None).unwrap();
+        let h0 = k.cluster.host_of_pe(k.pe_id_of(job, 0).unwrap()).unwrap();
+        let h1 = k.cluster.host_of_pe(k.pe_id_of(job, 1).unwrap()).unwrap();
+        assert_ne!(h0, h1);
+    }
+
+    #[test]
+    fn inject_reaches_operator() {
+        let mut k = kernel(1);
+        let job = k.submit_job(pipeline_adl("P", 0.0), None).unwrap();
+        k.inject(
+            job,
+            "snk",
+            0,
+            StreamItem::Tuple(Tuple::new().with("seq", 0i64)),
+        )
+        .unwrap();
+        run(&mut k, 2);
+        assert_eq!(k.tap(job, "snk").unwrap().len(), 1);
+        assert!(k.inject(job, "ghost", 0, StreamItem::Punct(sps_engine::Punct::Final)).is_err());
+    }
+
+    #[test]
+    fn stopped_pe_does_not_run() {
+        let mut k = kernel(1);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 5);
+        let count1 = k.tap(job, "snk").unwrap().len();
+        let sink_pe = k.pe_id_of(job, 2).unwrap();
+        k.stop_pe(sink_pe).unwrap();
+        run(&mut k, 5);
+        let count2 = k.tap(job, "snk").unwrap().len();
+        assert_eq!(count1, count2);
+        // Restart brings it back (fresh) after the spawn delay.
+        let new_pe = k.restart_pe(sink_pe).unwrap();
+        assert_eq!(k.pe_status(new_pe), Some(PeStatus::Starting));
+        run(&mut k, 21);
+        assert_eq!(k.pe_status(new_pe), Some(PeStatus::Up));
+    }
+}

@@ -1,0 +1,329 @@
+//! SAM — Streams Application Manager (§2.2/§3).
+//!
+//! Receives application submission and cancellation requests, spawns PEs per
+//! placement constraints, can stop and restart PEs, and treats orchestrators
+//! as first-class manageable entities: it keeps track of registered
+//! orchestrators and their associated jobs, and pushes PE-failure
+//! notifications to the orchestrator owning the crashed PE.
+//!
+//! This module holds SAM's bookkeeping; the RPC-like coordination with the
+//! cluster and broker lives in [`crate::kernel::Kernel`].
+
+use crate::ids::{JobId, OrcaId, PeId};
+use sps_model::adl::Adl;
+use sps_sim::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Job lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    Running,
+    Cancelled,
+}
+
+/// Why a PE crashed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrashReason {
+    /// Uncaught failure inside operator code.
+    OperatorFault(String),
+    /// Explicit external kill (fault injection / operator error).
+    Killed,
+    /// The PE's host went down.
+    HostFailure,
+}
+
+impl CrashReason {
+    /// Coarse class used for failure-event epoch correlation (§4.2).
+    pub fn class(&self) -> &'static str {
+        match self {
+            CrashReason::OperatorFault(_) => "operatorFault",
+            CrashReason::Killed => "killed",
+            CrashReason::HostFailure => "hostFailure",
+        }
+    }
+}
+
+/// Everything SAM remembers about a job.
+#[derive(Clone, Debug)]
+pub struct JobInfo {
+    pub id: JobId,
+    pub app_name: String,
+    pub adl: Adl,
+    /// PE ids by ADL PE index.
+    pub pe_ids: Vec<PeId>,
+    pub status: JobStatus,
+    pub submitted_at: SimTime,
+    /// The orchestrator managing this job, if any. Jobs started outside an
+    /// orchestrator have no owner; an orchestrator acting on them is a
+    /// runtime error (§3).
+    pub owner: Option<OrcaId>,
+}
+
+/// Push notification from SAM to an ORCA service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OrcaNotification {
+    /// A PE belonging to a managed job crashed. Carries the PE id, failure
+    /// detection timestamp, and the crash reason (§4.2).
+    PeFailure {
+        job: JobId,
+        pe: PeId,
+        adl_index: usize,
+        reason: CrashReason,
+        detected_at: SimTime,
+    },
+}
+
+/// SAM daemon state.
+#[derive(Default)]
+pub struct Sam {
+    next_job: u64,
+    next_pe: u64,
+    next_orca: u64,
+    jobs: BTreeMap<JobId, JobInfo>,
+    pe_index: BTreeMap<PeId, (JobId, usize)>,
+    orca_queues: BTreeMap<OrcaId, VecDeque<OrcaNotification>>,
+    /// host → owning job for exclusive host pools (§4.3).
+    exclusive_hosts: BTreeMap<String, JobId>,
+}
+
+impl Sam {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- id allocation -----------------------------------------------------
+
+    pub fn alloc_job_id(&mut self) -> JobId {
+        self.next_job += 1;
+        JobId(self.next_job)
+    }
+
+    pub fn alloc_pe_id(&mut self) -> PeId {
+        self.next_pe += 1;
+        PeId(self.next_pe)
+    }
+
+    // ---- orchestrator registry ---------------------------------------------
+
+    /// Registers a new orchestrator as a manageable entity; SAM will queue
+    /// failure notifications for jobs it owns.
+    pub fn register_orchestrator(&mut self) -> OrcaId {
+        let id = OrcaId(self.next_orca);
+        self.next_orca += 1;
+        self.orca_queues.insert(id, VecDeque::new());
+        id
+    }
+
+    pub fn push_notification(&mut self, orca: OrcaId, n: OrcaNotification) {
+        if let Some(q) = self.orca_queues.get_mut(&orca) {
+            q.push_back(n);
+        }
+    }
+
+    /// The ORCA service pulls its pending notifications (the simulated
+    /// SAM→ORCA RPC).
+    pub fn drain_notifications(&mut self, orca: OrcaId) -> Vec<OrcaNotification> {
+        self.orca_queues
+            .get_mut(&orca)
+            .map(|q| q.drain(..).collect())
+            .unwrap_or_default()
+    }
+
+    // ---- job / PE tables ---------------------------------------------------
+
+    pub fn insert_job(&mut self, info: JobInfo) {
+        for (idx, &pe) in info.pe_ids.iter().enumerate() {
+            self.pe_index.insert(pe, (info.id, idx));
+        }
+        self.jobs.insert(info.id, info);
+    }
+
+    pub fn job(&self, id: JobId) -> Option<&JobInfo> {
+        self.jobs.get(&id)
+    }
+
+    pub fn job_mut(&mut self, id: JobId) -> Option<&mut JobInfo> {
+        self.jobs.get_mut(&id)
+    }
+
+    pub fn jobs(&self) -> impl Iterator<Item = &JobInfo> {
+        self.jobs.values()
+    }
+
+    pub fn running_jobs(&self) -> Vec<JobId> {
+        self.jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// Resolves a PE id to its `(job, ADL PE index)`.
+    pub fn pe_lookup(&self, pe: PeId) -> Option<(JobId, usize)> {
+        self.pe_index.get(&pe).copied()
+    }
+
+    pub fn remove_job(&mut self, id: JobId) -> Option<JobInfo> {
+        let info = self.jobs.remove(&id)?;
+        for pe in &info.pe_ids {
+            self.pe_index.remove(pe);
+        }
+        // Release exclusive host reservations.
+        self.exclusive_hosts.retain(|_, owner| *owner != id);
+        Some(info)
+    }
+
+    /// Re-points a job's ADL index at a replacement PE id (restart).
+    pub fn replace_pe(&mut self, job: JobId, adl_index: usize, new_pe: PeId) {
+        if let Some(info) = self.jobs.get_mut(&job) {
+            if let Some(slot) = info.pe_ids.get_mut(adl_index) {
+                self.pe_index.remove(slot);
+                *slot = new_pe;
+                self.pe_index.insert(new_pe, (job, adl_index));
+            }
+        }
+    }
+
+    // ---- exclusive host reservations ----------------------------------------
+
+    pub fn reserve_host(&mut self, host: &str, job: JobId) {
+        self.exclusive_hosts.insert(host.to_string(), job);
+    }
+
+    /// Drops a reservation (submission rollback).
+    pub fn unreserve_host(&mut self, host: &str) {
+        self.exclusive_hosts.remove(host);
+    }
+
+    /// `None` = unreserved; `Some(job)` = reserved for that job only.
+    pub fn host_reservation(&self, host: &str) -> Option<JobId> {
+        self.exclusive_hosts.get(host).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_model::adl::AdlPe;
+
+    fn adl() -> Adl {
+        Adl {
+            app_name: "A".into(),
+            operators: vec![],
+            pes: vec![AdlPe {
+                index: 0,
+                operators: vec![],
+                host_pool: None,
+                host_exlocate: None,
+            }],
+            streams: vec![],
+            imports: vec![],
+            exports: vec![],
+            host_pools: vec![],
+        }
+    }
+
+    fn job_info(sam: &mut Sam, owner: Option<OrcaId>) -> JobInfo {
+        let id = sam.alloc_job_id();
+        let pe = sam.alloc_pe_id();
+        JobInfo {
+            id,
+            app_name: "A".into(),
+            adl: adl(),
+            pe_ids: vec![pe],
+            status: JobStatus::Running,
+            submitted_at: SimTime::ZERO,
+            owner,
+        }
+    }
+
+    #[test]
+    fn id_allocation_is_monotonic() {
+        let mut sam = Sam::new();
+        assert_eq!(sam.alloc_job_id(), JobId(1));
+        assert_eq!(sam.alloc_job_id(), JobId(2));
+        assert_eq!(sam.alloc_pe_id(), PeId(1));
+        assert_eq!(sam.alloc_pe_id(), PeId(2));
+    }
+
+    #[test]
+    fn job_table_roundtrip() {
+        let mut sam = Sam::new();
+        let info = job_info(&mut sam, None);
+        let (id, pe) = (info.id, info.pe_ids[0]);
+        sam.insert_job(info);
+        assert_eq!(sam.job(id).unwrap().app_name, "A");
+        assert_eq!(sam.pe_lookup(pe), Some((id, 0)));
+        assert_eq!(sam.running_jobs(), vec![id]);
+        sam.job_mut(id).unwrap().status = JobStatus::Cancelled;
+        assert!(sam.running_jobs().is_empty());
+        let removed = sam.remove_job(id).unwrap();
+        assert_eq!(removed.id, id);
+        assert!(sam.job(id).is_none());
+        assert!(sam.pe_lookup(pe).is_none());
+    }
+
+    #[test]
+    fn replace_pe_updates_index() {
+        let mut sam = Sam::new();
+        let info = job_info(&mut sam, None);
+        let (id, old_pe) = (info.id, info.pe_ids[0]);
+        sam.insert_job(info);
+        let new_pe = sam.alloc_pe_id();
+        sam.replace_pe(id, 0, new_pe);
+        assert!(sam.pe_lookup(old_pe).is_none());
+        assert_eq!(sam.pe_lookup(new_pe), Some((id, 0)));
+        assert_eq!(sam.job(id).unwrap().pe_ids[0], new_pe);
+    }
+
+    #[test]
+    fn notifications_queue_per_orchestrator() {
+        let mut sam = Sam::new();
+        let o1 = sam.register_orchestrator();
+        let o2 = sam.register_orchestrator();
+        assert_ne!(o1, o2);
+        let n = OrcaNotification::PeFailure {
+            job: JobId(1),
+            pe: PeId(1),
+            adl_index: 0,
+            reason: CrashReason::Killed,
+            detected_at: SimTime::from_secs(5),
+        };
+        sam.push_notification(o1, n.clone());
+        assert_eq!(sam.drain_notifications(o1), vec![n]);
+        assert!(sam.drain_notifications(o1).is_empty());
+        assert!(sam.drain_notifications(o2).is_empty());
+        // Unknown orchestrator: silently dropped.
+        sam.push_notification(OrcaId(99), OrcaNotification::PeFailure {
+            job: JobId(1),
+            pe: PeId(1),
+            adl_index: 0,
+            reason: CrashReason::HostFailure,
+            detected_at: SimTime::ZERO,
+        });
+        assert!(sam.drain_notifications(OrcaId(99)).is_empty());
+    }
+
+    #[test]
+    fn exclusive_reservations_released_on_removal() {
+        let mut sam = Sam::new();
+        let info = job_info(&mut sam, None);
+        let id = info.id;
+        sam.insert_job(info);
+        sam.reserve_host("host1", id);
+        assert_eq!(sam.host_reservation("host1"), Some(id));
+        assert_eq!(sam.host_reservation("host2"), None);
+        sam.remove_job(id);
+        assert_eq!(sam.host_reservation("host1"), None);
+    }
+
+    #[test]
+    fn crash_reason_classes() {
+        assert_eq!(CrashReason::Killed.class(), "killed");
+        assert_eq!(CrashReason::HostFailure.class(), "hostFailure");
+        assert_eq!(
+            CrashReason::OperatorFault("x".into()).class(),
+            "operatorFault"
+        );
+    }
+}

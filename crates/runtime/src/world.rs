@@ -1,0 +1,156 @@
+//! The world driver: advances the kernel and attached controllers.
+//!
+//! A [`Controller`] is a component driven once per quantum with mutable
+//! access to the kernel — the ORCA service is one (it pulls SAM
+//! notifications, polls SRM on its own period, and issues actuations), and
+//! tests register ad-hoc controllers for scripted scenarios.
+
+use crate::kernel::Kernel;
+use sps_sim::{SimDuration, SimTime};
+use std::any::Any;
+
+/// A per-quantum participant with kernel access.
+pub trait Controller: Any {
+    /// Called after every kernel quantum.
+    fn on_quantum(&mut self, kernel: &mut Kernel);
+
+    /// Downcast support (controllers are inspected by tests and harnesses).
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The top-level simulation world: one kernel plus its controllers.
+pub struct World {
+    pub kernel: Kernel,
+    controllers: Vec<Box<dyn Controller>>,
+}
+
+impl World {
+    pub fn new(kernel: Kernel) -> Self {
+        World {
+            kernel,
+            controllers: Vec::new(),
+        }
+    }
+
+    /// Attaches a controller; returns its index for later inspection.
+    pub fn add_controller(&mut self, controller: Box<dyn Controller>) -> usize {
+        self.controllers.push(controller);
+        self.controllers.len() - 1
+    }
+
+    /// Immutable access to a controller by index and concrete type.
+    pub fn controller<T: 'static>(&self, index: usize) -> Option<&T> {
+        self.controllers.get(index)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable access to a controller by index and concrete type.
+    pub fn controller_mut<T: 'static>(&mut self, index: usize) -> Option<&mut T> {
+        self.controllers
+            .get_mut(index)?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// One scheduling quantum: kernel first, then each controller in
+    /// registration order.
+    pub fn step(&mut self) {
+        self.kernel.quantum();
+        for c in &mut self.controllers {
+            c.on_quantum(&mut self.kernel);
+        }
+    }
+
+    /// Runs until the simulation clock reaches `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.kernel.now() < t {
+            self.step();
+        }
+    }
+
+    /// Runs for a duration from the current time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = self.kernel.now() + d;
+        self.run_until(target);
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::kernel::RuntimeConfig;
+    use sps_engine::OperatorRegistry;
+
+    fn world() -> World {
+        World::new(Kernel::new(
+            Cluster::with_hosts(1),
+            OperatorRegistry::with_builtins(),
+            RuntimeConfig::default(),
+        ))
+    }
+
+    struct Counter {
+        ticks: usize,
+        saw_time_advance: bool,
+        last: SimTime,
+    }
+
+    impl Controller for Counter {
+        fn on_quantum(&mut self, kernel: &mut Kernel) {
+            self.ticks += 1;
+            if kernel.now() > self.last {
+                self.saw_time_advance = true;
+            }
+            self.last = kernel.now();
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn controllers_run_every_quantum() {
+        let mut w = world();
+        let idx = w.add_controller(Box::new(Counter {
+            ticks: 0,
+            saw_time_advance: false,
+            last: SimTime::ZERO,
+        }));
+        w.run_for(SimDuration::from_secs(1));
+        let c: &Counter = w.controller(idx).unwrap();
+        assert_eq!(c.ticks, 10); // 100 ms quantum
+        assert!(c.saw_time_advance);
+        assert_eq!(w.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn run_until_is_exact_with_quantum_boundaries() {
+        let mut w = world();
+        w.run_until(SimTime::from_millis(500));
+        assert_eq!(w.now(), SimTime::from_millis(500));
+        // Running until a past time is a no-op.
+        w.run_until(SimTime::from_millis(100));
+        assert_eq!(w.now(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn controller_downcast_mismatch_is_none() {
+        let mut w = world();
+        let idx = w.add_controller(Box::new(Counter {
+            ticks: 0,
+            saw_time_advance: false,
+            last: SimTime::ZERO,
+        }));
+        assert!(w.controller::<String>(idx).is_none());
+        assert!(w.controller::<Counter>(idx + 1).is_none());
+        assert!(w.controller_mut::<Counter>(idx).is_some());
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! Everything in the System S reproduction — the cluster, the runtime daemons
+//! (SAM/SRM/HC), the stream engine, and the ORCA orchestrator service — is
+//! advanced by a single logical clock defined here. Determinism is a design
+//! requirement: every experiment in the paper (Figures 7–10) must be
+//! reproducible bit-for-bit from a seed.
+//!
+//! The kernel provides:
+//! - [`SimTime`] / [`SimDuration`]: millisecond-resolution logical time,
+//! - [`Scheduler`]: a stable-ordered pending-event queue generic over the
+//!   event payload type (the runtime crate defines the payload),
+//! - [`SimRng`]: a small, fast, seedable RNG (SplitMix64 / xoshiro256**),
+//! - [`stats`]: streaming statistics and fixed-bound histograms used by the
+//!   benchmark harnesses,
+//! - [`trace`]: a bounded in-memory trace ring used for debugging runs.
+
+pub mod rng;
+pub mod scheduler;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use rng::SimRng;
+pub use scheduler::{ScheduledEvent, Scheduler, TicketId};
+pub use stats::{Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, TraceRing};

@@ -1,0 +1,256 @@
+//! Streaming statistics used by benchmark harnesses and the experiment
+//! binaries (percentile latencies, throughput summaries).
+
+/// Welford-style online mean/variance plus min/max.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel aggregation).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-width linear histogram with an overflow bucket, plus exact
+/// percentile estimation within bucket resolution.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// `bucket_width` is the value span of each bucket; `num_buckets` the
+    /// number of in-range buckets before overflow.
+    pub fn new(bucket_width: f64, num_buckets: usize) -> Self {
+        assert!(bucket_width > 0.0 && num_buckets > 0);
+        Histogram {
+            bucket_width,
+            buckets: vec![0; num_buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        if value < 0.0 {
+            self.buckets[0] += 1;
+            return;
+        }
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, reported as the upper edge of the
+    /// containing bucket. Returns the overflow sentinel (`width * buckets`)
+    /// when the quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (i as f64 + 1.0) * self.bucket_width;
+            }
+        }
+        self.buckets.len() as f64 * self.bucket_width
+    }
+
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..33] {
+            a.record(x);
+        }
+        for &x in &xs[33..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = OnlineStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 50.0);
+        assert_eq!(h.quantile(0.99), 99.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+        assert_eq!(h.quantile(0.0), 1.0); // rank clamps to 1
+    }
+
+    #[test]
+    fn histogram_overflow_and_negative() {
+        let mut h = Histogram::new(10.0, 5);
+        h.record(1000.0);
+        h.record(-3.0);
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.count(), 2);
+        // negative clamps into first bucket
+        assert_eq!(h.quantile(0.25), 10.0);
+        // overflow sentinel
+        assert_eq!(h.quantile(1.0), 50.0);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new(1.0, 4);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Bounded in-memory trace ring.
+//!
+//! Components append human-readable trace entries tagged with simulation
+//! time; the ring keeps the most recent N so long experiment runs stay
+//! memory-bounded. Used heavily by integration tests to assert on the
+//! ordering of distributed actions (e.g. "failover happened before PE
+//! restart").
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    pub at: SimTime,
+    pub component: &'static str,
+    pub message: String,
+}
+
+/// Fixed-capacity trace ring.
+#[derive(Debug)]
+pub struct TraceRing {
+    cap: usize,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl TraceRing {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        TraceRing {
+            cap,
+            entries: VecDeque::with_capacity(cap.min(4096)),
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Disables recording (appends become no-ops); useful in benches.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    pub fn push(&mut self, at: SimTime, component: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.cap {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            component,
+            message: message.into(),
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// All entries whose message contains `needle`, oldest first.
+    pub fn find(&self, needle: &str) -> Vec<&TraceEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.message.contains(needle))
+            .collect()
+    }
+
+    /// First entry matching `needle`, if any.
+    pub fn first_match(&self, needle: &str) -> Option<&TraceEntry> {
+        self.entries.iter().find(|e| e.message.contains(needle))
+    }
+
+    /// Renders the trace as text, one entry per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("[{}] {:>10} {}\n", e.at, e.component, e.message));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_find() {
+        let mut r = TraceRing::new(10);
+        r.push(SimTime::from_secs(1), "sam", "job 1 submitted");
+        r.push(SimTime::from_secs(2), "srm", "metrics pushed");
+        r.push(SimTime::from_secs(3), "sam", "job 1 cancelled");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.find("job 1").len(), 2);
+        assert_eq!(
+            r.first_match("cancelled").unwrap().at,
+            SimTime::from_secs(3)
+        );
+        assert!(r.first_match("nothing").is_none());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5 {
+            r.push(SimTime::from_millis(i), "c", format!("e{i}"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let msgs: Vec<_> = r.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn disabled_ring_ignores_pushes() {
+        let mut r = TraceRing::new(3);
+        r.set_enabled(false);
+        r.push(SimTime::ZERO, "c", "x");
+        assert!(r.is_empty());
+        r.set_enabled(true);
+        r.push(SimTime::ZERO, "c", "y");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn dump_contains_all_lines() {
+        let mut r = TraceRing::new(8);
+        r.push(SimTime::from_millis(1500), "orca", "event delivered");
+        let d = r.dump();
+        assert!(d.contains("1.500s"));
+        assert!(d.contains("orca"));
+        assert!(d.contains("event delivered"));
+    }
+}

@@ -1,0 +1,82 @@
+//! Replica failover (§5.2 / Figure 9): three Trend Calculator replicas in
+//! exclusive host pools; killing a PE of the active replica triggers
+//! orchestrated failover to the oldest backup and a restart of the crashed
+//! PE. The failed replica produces no output while down and *incorrect*
+//! (non-full-window) output until its sliding windows refill.
+//!
+//! Run with: `cargo run --example failover`
+
+use orca::{OrcaDescriptor, OrcaService};
+use orca_apps::trend::{trend_app, TrendOrca, TrendParams};
+use orca_apps::SharedStores;
+use sps_runtime::{Cluster, Kernel, RuntimeConfig, World};
+use sps_sim::SimDuration;
+
+fn report(world: &World, idx: usize, label: &str) {
+    let svc = world.controller::<OrcaService>(idx).unwrap();
+    let logic = svc.logic::<TrendOrca>().unwrap();
+    println!("--- {label} (t={}) ---", world.now());
+    println!("active replica: {}", svc.status("active").unwrap_or("?"));
+    for (i, r) in logic.replicas.iter().enumerate() {
+        let tap = world.kernel.tap(r.job, "graph").unwrap_or_default();
+        let latest = tap.last();
+        println!(
+            "  replica {i} ({}, {}): latest avg={:?} full={:?}",
+            r.job,
+            svc.status(&format!("replica{i}")).unwrap_or("?"),
+            latest.map(|t| t.get_f64("avg").unwrap()),
+            latest.map(|t| t.get_bool("full").unwrap()),
+        );
+    }
+}
+
+fn main() {
+    let stores = SharedStores::new();
+    let kernel = Kernel::new(
+        Cluster::with_hosts(3),
+        orca_apps::registry(&stores),
+        RuntimeConfig::default(),
+    );
+    let mut world = World::new(kernel);
+    // Shorter window than the paper's 600 s so the demo recovers quickly.
+    let params = TrendParams {
+        window_secs: 60.0,
+        ..Default::default()
+    };
+    let service = OrcaService::submit(
+        &mut world.kernel,
+        OrcaDescriptor::new("TrendOrca").app(trend_app(params)),
+        Box::new(TrendOrca::new(3)),
+    );
+    let idx = world.add_controller(Box::new(service));
+
+    // Phase 1: healthy — replicas agree (Figure 9a).
+    world.run_for(SimDuration::from_secs(90));
+    report(&world, idx, "healthy: all replicas agree");
+
+    // Phase 2: kill the active replica's calculator PE.
+    let active_job = {
+        let svc = world.controller::<OrcaService>(idx).unwrap();
+        svc.logic::<TrendOrca>().unwrap().active_job()
+    };
+    let victim = world.kernel.pe_id_of(active_job, 1).unwrap();
+    println!("\n[harness] killing {victim} (calculator of the active replica)\n");
+    world.kernel.kill_pe(victim).unwrap();
+    world.run_for(SimDuration::from_secs(5));
+    report(&world, idx, "right after failover (Figure 9b)");
+
+    // Phase 3: the restarted replica's windows refill.
+    world.run_for(SimDuration::from_secs(90));
+    report(&world, idx, "after window refill: all replicas full again");
+
+    let svc = world.controller::<OrcaService>(idx).unwrap();
+    let logic = svc.logic::<TrendOrca>().unwrap();
+    assert_eq!(logic.failovers.len(), 1);
+    println!(
+        "\nfailover record: replica {} failed at t={}, new active {}, PE restarted as {:?}",
+        logic.failovers[0].failed_replica,
+        logic.failovers[0].at,
+        logic.failovers[0].new_active,
+        logic.failovers[0].restarted_pe
+    );
+}
