@@ -108,11 +108,15 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "src",
-            OperatorInvocation::new("Beacon").source().param("rate", 10.0),
+            OperatorInvocation::new("Beacon")
+                .source()
+                .param("rate", 10.0),
         );
         m.operator("snk", OperatorInvocation::new("Sink").sink());
         m.pipe("src", "snk");
-        let model = AppModelBuilder::new("Tiny").build(m.build().unwrap()).unwrap();
+        let model = AppModelBuilder::new("Tiny")
+            .build(m.build().unwrap())
+            .unwrap();
         let adl = compile(&model, CompileOptions::default()).unwrap();
         let job = kernel.submit_job(adl, None).unwrap();
         (World::new(kernel), job)

@@ -19,7 +19,7 @@
 
 use crate::SharedStores;
 use orca::{
-    OperatorMetricContext, OrcaCtx, OrcaStartContext, Orchestrator, OperatorMetricScope,
+    OperatorMetricContext, OperatorMetricScope, OrcaCtx, OrcaStartContext, Orchestrator,
     TimerContext,
 };
 use parking_lot::Mutex;
@@ -144,11 +144,11 @@ pub struct TweetSource {
 }
 
 impl TweetSource {
-    fn from_params(op: &str, params: &sps_model::value::ParamMap) -> Result<Self, sps_engine::EngineError> {
-        let rate = params
-            .get("rate")
-            .and_then(Value::as_f64)
-            .unwrap_or(20.0);
+    fn from_params(
+        op: &str,
+        params: &sps_model::value::ParamMap,
+    ) -> Result<Self, sps_engine::EngineError> {
+        let rate = params.get("rate").and_then(Value::as_f64).unwrap_or(20.0);
         let drift = params
             .get("drift_at_secs")
             .and_then(Value::as_f64)

@@ -22,8 +22,8 @@
 
 use crate::SharedStores;
 use orca::{
-    AppConfig, JobEventContext, OperatorMetricContext, OperatorMetricScope, OrcaCtx,
-    OrcaStartContext, Orchestrator, JobEventScope,
+    AppConfig, JobEventContext, JobEventScope, OperatorMetricContext, OperatorMetricScope, OrcaCtx,
+    OrcaStartContext, Orchestrator,
 };
 use parking_lot::Mutex;
 use sps_engine::metrics::builtin;
@@ -255,7 +255,11 @@ pub fn register_ops(r: &mut OperatorRegistry, stores: &SharedStores) {
             .and_then(Value::as_str)
             .unwrap_or("twitter")
             .to_string();
-        let rate = op.params.get("rate").and_then(Value::as_f64).unwrap_or(50.0);
+        let rate = op
+            .params
+            .get("rate")
+            .and_then(Value::as_f64)
+            .unwrap_or(50.0);
         let seed = op.params.get("seed").and_then(Value::as_int).unwrap_or(11) as u64;
         let user_space = op
             .params
@@ -283,8 +287,16 @@ pub fn register_ops(r: &mut OperatorRegistry, stores: &SharedStores) {
             service,
             store: store.clone(),
             rng: SimRng::new(seed),
-            p_gender: op.params.get("p_gender").and_then(Value::as_f64).unwrap_or(0.6),
-            p_age: op.params.get("p_age").and_then(Value::as_f64).unwrap_or(0.4),
+            p_gender: op
+                .params
+                .get("p_gender")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.6),
+            p_age: op
+                .params
+                .get("p_age")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.4),
             p_location: op
                 .params
                 .get("p_location")
@@ -335,7 +347,9 @@ pub fn c1_app(name: &str, source: &str, rate: f64, seed: u64) -> Adl {
                     .with_property("source", source),
             ),
     );
-    let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+    let model = AppModelBuilder::new(name)
+        .build(m.build().unwrap())
+        .unwrap();
     compile(&model, CompileOptions::default()).unwrap()
 }
 
@@ -360,7 +374,9 @@ pub fn c2_app(name: &str, service: &str, seed: u64) -> Adl {
     m.operator("log", OperatorInvocation::new("Sink").sink());
     m.pipe("import", "query");
     m.pipe("query", "log");
-    let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+    let model = AppModelBuilder::new(name)
+        .build(m.build().unwrap())
+        .unwrap();
     compile(&model, CompileOptions::default()).unwrap()
 }
 
@@ -475,18 +491,17 @@ impl CompositionOrca {
 impl Orchestrator for CompositionOrca {
     fn on_start(&mut self, ctx: &mut OrcaCtx<'_>, _s: &OrcaStartContext) {
         // Configurations: two C1 readers, three C2 query apps.
-        for (id, app) in [("c1-twitter", "TwitterStreamReader"), ("c1-myspace", "MySpaceStreamReader")] {
-            ctx.create_app_config(
-                AppConfig::new(id, app).gc_timeout(SimDuration::from_secs(10)),
-            )
-            .unwrap();
+        for (id, app) in [
+            ("c1-twitter", "TwitterStreamReader"),
+            ("c1-myspace", "MySpaceStreamReader"),
+        ] {
+            ctx.create_app_config(AppConfig::new(id, app).gc_timeout(SimDuration::from_secs(10)))
+                .unwrap();
         }
         for (app, _) in C2_APPS {
             let id = format!("c2-{}", app.to_lowercase());
-            ctx.create_app_config(
-                AppConfig::new(&id, app).gc_timeout(SimDuration::from_secs(10)),
-            )
-            .unwrap();
+            ctx.create_app_config(AppConfig::new(&id, app).gc_timeout(SimDuration::from_secs(10)))
+                .unwrap();
             // Every C2 depends on both C1 readers; uptime 0 because C1 apps
             // build no internal state (§5.3).
             ctx.register_dependency(&id, "c1-twitter", SimDuration::ZERO)
@@ -495,8 +510,7 @@ impl Orchestrator for CompositionOrca {
                 .unwrap();
         }
         // Scopes: C2 per-attribute custom metrics…
-        let mut c2_scope = OperatorMetricScope::new("c2Metrics")
-            .add_operator_instance("query");
+        let mut c2_scope = OperatorMetricScope::new("c2Metrics").add_operator_instance("query");
         for (_, metric) in ATTRIBUTES {
             c2_scope = c2_scope.add_metric(metric);
         }
@@ -517,7 +531,8 @@ impl Orchestrator for CompositionOrca {
 
         // Start all C2 applications; dependencies pull the C1 readers up.
         for (app, _) in C2_APPS {
-            ctx.request_start(&format!("c2-{}", app.to_lowercase())).unwrap();
+            ctx.request_start(&format!("c2-{}", app.to_lowercase()))
+                .unwrap();
         }
     }
 
@@ -751,7 +766,10 @@ mod tests {
         let p = &store.snapshot()[0];
         assert_eq!(p.gender.as_deref(), Some("f")); // preserved
         assert_eq!(p.age, Some(30)); // merged in
-        assert_eq!(p.sources, vec!["twitter".to_string(), "facebook".to_string()]);
+        assert_eq!(
+            p.sources,
+            vec!["twitter".to_string(), "facebook".to_string()]
+        );
         assert_eq!(store.count_with_attribute("gender"), 1);
         assert_eq!(store.count_with_attribute("location"), 0);
         assert_eq!(store.count_with_attribute("bogus"), 0);

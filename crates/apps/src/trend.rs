@@ -9,9 +9,7 @@
 //! the active replica fails over to the **oldest** running replica (longest
 //! history → most likely full windows) before restarting the crashed PE.
 
-use orca::{
-    OrcaCtx, OrcaStartContext, Orchestrator, PeFailureContext, PeFailureScope,
-};
+use orca::{OrcaCtx, OrcaStartContext, Orchestrator, PeFailureContext, PeFailureScope};
 use sps_engine::{OpCtx, Operator, OperatorRegistry, Tuple};
 use sps_model::compiler::{compile, CompileOptions};
 use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
@@ -132,7 +130,9 @@ pub fn trend_app(p: TrendParams) -> Adl {
     );
     m.operator(
         "graph",
-        OperatorInvocation::new("Sink").sink().param("keep", 4096i64),
+        OperatorInvocation::new("Sink")
+            .sink()
+            .param("keep", 4096i64),
     );
     m.pipe("ticks", "calc");
     m.pipe("calc", "graph");
@@ -297,7 +297,10 @@ mod tests {
     }
 
     /// Latest aggregate per symbol from a replica's sink.
-    fn latest_by_symbol(world: &World, job: JobId) -> std::collections::BTreeMap<String, (f64, bool)> {
+    fn latest_by_symbol(
+        world: &World,
+        job: JobId,
+    ) -> std::collections::BTreeMap<String, (f64, bool)> {
         let mut out = std::collections::BTreeMap::new();
         for t in world.kernel.tap(job, "graph").unwrap_or_default() {
             out.insert(
@@ -435,12 +438,18 @@ mod tests {
         );
         world.run_for(SimDuration::from_secs(30));
         // Kill active (0) → active becomes 1; replica 0 restarted (young).
-        let pe = world.kernel.pe_id_of(logic(&world, idx).active_job(), 1).unwrap();
+        let pe = world
+            .kernel
+            .pe_id_of(logic(&world, idx).active_job(), 1)
+            .unwrap();
         world.kernel.kill_pe(pe).unwrap();
         world.run_for(SimDuration::from_secs(5));
         assert_eq!(logic(&world, idx).active, 1);
         // Kill new active (1) → oldest running is 2 (replica 0 reset recently).
-        let pe = world.kernel.pe_id_of(logic(&world, idx).active_job(), 1).unwrap();
+        let pe = world
+            .kernel
+            .pe_id_of(logic(&world, idx).active_job(), 1)
+            .unwrap();
         world.kernel.kill_pe(pe).unwrap();
         world.run_for(SimDuration::from_secs(5));
         assert_eq!(logic(&world, idx).active, 2);

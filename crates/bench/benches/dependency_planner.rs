@@ -12,8 +12,12 @@ fn chain(n: usize) -> DependencyManager {
             .unwrap();
     }
     for i in 1..n {
-        m.register_dependency(&format!("a{i}"), &format!("a{}", i - 1), SimDuration::from_secs(1))
-            .unwrap();
+        m.register_dependency(
+            &format!("a{i}"),
+            &format!("a{}", i - 1),
+            SimDuration::from_secs(1),
+        )
+        .unwrap();
     }
     m
 }
@@ -37,7 +41,9 @@ fn bench(c: &mut Criterion) {
             b.iter_batched(
                 || chain(n),
                 |mut m| {
-                    let plan = m.request_start(&format!("a{}", n - 1), SimTime::ZERO).unwrap();
+                    let plan = m
+                        .request_start(&format!("a{}", n - 1), SimTime::ZERO)
+                        .unwrap();
                     black_box(plan.len())
                 },
                 criterion::BatchSize::SmallInput,

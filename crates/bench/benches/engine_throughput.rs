@@ -16,19 +16,27 @@ fn pipeline(stages: usize, fusion: FusionPolicy) -> Adl {
     let mut m = CompositeGraphBuilder::main();
     m.operator(
         "src",
-        OperatorInvocation::new("Beacon").source().param("rate", 5000.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 5000.0),
     );
     for i in 0..stages {
         m.operator(
             &format!("f{i}"),
             OperatorInvocation::new("Functor").param("set:v", "seq * 2"),
         );
-        let prev = if i == 0 { "src".to_string() } else { format!("f{}", i - 1) };
+        let prev = if i == 0 {
+            "src".to_string()
+        } else {
+            format!("f{}", i - 1)
+        };
         m.pipe(&prev, &format!("f{i}"));
     }
     m.operator("snk", OperatorInvocation::new("Sink").sink());
     m.pipe(&format!("f{}", stages - 1), "snk");
-    let model = AppModelBuilder::new("Pipe").build(m.build().unwrap()).unwrap();
+    let model = AppModelBuilder::new("Pipe")
+        .build(m.build().unwrap())
+        .unwrap();
     compile(&model, CompileOptions { fusion }).unwrap()
 }
 
@@ -77,7 +85,10 @@ fn bench(c: &mut Criterion) {
             &stages,
             |b, &s| {
                 b.iter(|| {
-                    black_box(run_simulation(pipeline(s, FusionPolicy::Colocation), sim_secs))
+                    black_box(run_simulation(
+                        pipeline(s, FusionPolicy::Colocation),
+                        sim_secs,
+                    ))
                 })
             },
         );

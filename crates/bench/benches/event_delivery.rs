@@ -80,19 +80,27 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_delivery");
     group.sample_size(20);
     for selective in [true, false] {
-        let label = if selective { "selective_scope" } else { "firehose_scope" };
-        group.bench_with_input(BenchmarkId::new("poll_round", label), &selective, |b, &sel| {
-            b.iter_batched(
-                || world_with(sel),
-                |(mut world, idx)| {
-                    // Drive past the next poll (3 s of sim time).
-                    world.run_for(SimDuration::from_secs(3));
-                    let svc = world.controller::<OrcaService>(idx).unwrap();
-                    black_box(svc.stats().events_delivered)
-                },
-                criterion::BatchSize::PerIteration,
-            )
-        });
+        let label = if selective {
+            "selective_scope"
+        } else {
+            "firehose_scope"
+        };
+        group.bench_with_input(
+            BenchmarkId::new("poll_round", label),
+            &selective,
+            |b, &sel| {
+                b.iter_batched(
+                    || world_with(sel),
+                    |(mut world, idx)| {
+                        // Drive past the next poll (3 s of sim time).
+                        world.run_for(SimDuration::from_secs(3));
+                        let svc = world.controller::<OrcaService>(idx).unwrap();
+                        black_box(svc.stats().events_delivered)
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            },
+        );
     }
     group.bench_function("failure_event_path", |b| {
         b.iter_batched(

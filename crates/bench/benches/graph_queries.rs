@@ -33,16 +33,12 @@ fn bench(c: &mut Criterion) {
                 black_box(total)
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("enclosing_composite", n),
-            &n,
-            |b, _| b.iter(|| black_box(graph.enclosing_composite(&deep_op))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("recursive_containment", n),
-            &n,
-            |b, _| b.iter(|| black_box(graph.op_in_composite_type(&deep_op, "level0"))),
-        );
+        group.bench_with_input(BenchmarkId::new("enclosing_composite", n), &n, |b, _| {
+            b.iter(|| black_box(graph.enclosing_composite(&deep_op)))
+        });
+        group.bench_with_input(BenchmarkId::new("recursive_containment", n), &n, |b, _| {
+            b.iter(|| black_box(graph.op_in_composite_type(&deep_op, "level0")))
+        });
         group.bench_with_input(
             BenchmarkId::new("operators_in_composite_type", n),
             &n,

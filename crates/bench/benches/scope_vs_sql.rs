@@ -19,31 +19,22 @@ fn bench(c: &mut Criterion) {
             .add_composite_type("level0")
             .add_operator_type("Work")
             .add_metric("queueSize");
-        group.bench_with_input(
-            BenchmarkId::new("scope_matcher", n_ops),
-            &n_ops,
-            |b, _| {
-                b.iter(|| {
-                    let hits = metrics
-                        .iter()
-                        .filter(|(op, m, _)| scope.matches("Nested", &graph, op, m))
-                        .count();
-                    black_box(hits)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("scope_matcher", n_ops), &n_ops, |b, _| {
+            b.iter(|| {
+                let hits = metrics
+                    .iter()
+                    .filter(|(op, m, _)| scope.matches("Nested", &graph, op, m))
+                    .count();
+                black_box(hits)
+            })
+        });
         let tables = Tables::from_graph(&graph, &metrics);
-        group.bench_with_input(
-            BenchmarkId::new("recursive_sql", n_ops),
-            &n_ops,
-            |b, _| {
-                b.iter(|| {
-                    let rows =
-                        tables.recursive_containment_query("queueSize", &["Work"], "level0");
-                    black_box(rows.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("recursive_sql", n_ops), &n_ops, |b, _| {
+            b.iter(|| {
+                let rows = tables.recursive_containment_query("queueSize", &["Work"], "level0");
+                black_box(rows.len())
+            })
+        });
         // Sanity: both select the same operators.
         let via_scope = metrics
             .iter()

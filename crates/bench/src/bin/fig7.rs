@@ -20,9 +20,13 @@ fn tiny_app(name: &str) -> Adl {
     let mut m = CompositeGraphBuilder::main();
     m.operator(
         "src",
-        OperatorInvocation::new("Beacon").source().param("rate", 2.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 2.0),
     );
-    let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+    let model = AppModelBuilder::new(name)
+        .build(m.build().unwrap())
+        .unwrap();
     compile(&model, CompileOptions::default()).unwrap()
 }
 
@@ -34,7 +38,8 @@ struct Fig7 {
 
 impl Fig7 {
     fn note(&mut self, at: SimTime, msg: String) {
-        self.log.push(format!("t={:>6.1}s  {msg}", at.as_secs_f64()));
+        self.log
+            .push(format!("t={:>6.1}s  {msg}", at.as_secs_f64()));
     }
 }
 
@@ -59,10 +64,12 @@ impl Orchestrator for Fig7 {
         // sn depends on fb and tw, uptime 20 s; all depends on all four
         // feeds, uptime 80 s — the arc annotations of Figure 7.
         for dep in ["fb", "tw"] {
-            ctx.register_dependency("sn", dep, SimDuration::from_secs(20)).unwrap();
+            ctx.register_dependency("sn", dep, SimDuration::from_secs(20))
+                .unwrap();
         }
         for dep in ["fb", "tw", "fox", "msnbc"] {
-            ctx.register_dependency("all", dep, SimDuration::from_secs(80)).unwrap();
+            ctx.register_dependency("all", dep, SimDuration::from_secs(80))
+                .unwrap();
         }
         // Submit both targets in the same round (the paper's example: sn's
         // required sleeping time 20 < all's 80, so sn comes up first).
@@ -73,14 +80,22 @@ impl Orchestrator for Fig7 {
     fn on_job_submitted(&mut self, _ctx: &mut OrcaCtx<'_>, e: &JobEventContext, _s: &[String]) {
         self.note(
             e.at,
-            format!("+ submitted {:<6} as {}", e.config_id.clone().unwrap_or_default(), e.job),
+            format!(
+                "+ submitted {:<6} as {}",
+                e.config_id.clone().unwrap_or_default(),
+                e.job
+            ),
         );
     }
 
     fn on_job_cancelled(&mut self, _ctx: &mut OrcaCtx<'_>, e: &JobEventContext, _s: &[String]) {
         self.note(
             e.at,
-            format!("- cancelled {:<6} ({})", e.config_id.clone().unwrap_or_default(), e.job),
+            format!(
+                "- cancelled {:<6} ({})",
+                e.config_id.clone().unwrap_or_default(),
+                e.job
+            ),
         );
     }
 
@@ -91,7 +106,10 @@ impl Orchestrator for Fig7 {
                 self.starve_error = ctx.request_cancel("fb").err();
                 let msg = format!(
                     "! cancel(fb) rejected: {}",
-                    self.starve_error.as_ref().map(|e| e.to_string()).unwrap_or_default()
+                    self.starve_error
+                        .as_ref()
+                        .map(|e| e.to_string())
+                        .unwrap_or_default()
                 );
                 self.note(at, msg);
             }

@@ -40,7 +40,10 @@ fn main() {
 
     println!("=== Figure 8: unknown-to-known sentiment cause ratio over epochs ===");
     println!("(drift injected at epoch ~250; actuation threshold 1.0)\n");
-    println!("{:>6} {:>9} {:>8} {:>8}  series", "epoch", "t(s)", "ratio", "model_v");
+    println!(
+        "{:>6} {:>9} {:>8} {:>8}  series",
+        "epoch", "t(s)", "ratio", "model_v"
+    );
     let mut triggered_at = None;
     for s in &logic.samples {
         if s.ratio > 1.0 && triggered_at.is_none() {
@@ -57,7 +60,11 @@ fn main() {
             s.ratio,
             s.model_version,
             "#".repeat(bar_len),
-            if s.ratio > 1.0 { "  << threshold crossed" } else { "" }
+            if s.ratio > 1.0 {
+                "  << threshold crossed"
+            } else {
+                ""
+            }
         );
     }
     println!(
@@ -73,6 +80,10 @@ fn main() {
     println!(
         "final ratio: {:.3} ({})",
         last.ratio,
-        if last.ratio < 1.0 { "stabilized below threshold — matches the paper" } else { "NOT recovered" }
+        if last.ratio < 1.0 {
+            "stabilized below threshold — matches the paper"
+        } else {
+            "NOT recovered"
+        }
     );
 }

@@ -10,7 +10,7 @@
 use orca::{OrcaDescriptor, OrcaService};
 use orca_apps::trend::{trend_app, TrendOrca, TrendParams};
 use orca_apps::SharedStores;
-use sps_runtime::{JobId, Cluster, Kernel, RuntimeConfig, World};
+use sps_runtime::{Cluster, JobId, Kernel, RuntimeConfig, World};
 use sps_sim::SimTime;
 
 /// Latest (avg, full) for a symbol from a replica's sink, if any.
@@ -75,7 +75,14 @@ fn main() {
     // Warm up until windows are full, sampling along the way.
     for t in [100u64, 300, 600, 650, 699] {
         world.run_until(SimTime::from_secs(t));
-        sample(&world, if t < 600 { "filling windows" } else { "healthy (Fig 9a)" });
+        sample(
+            &world,
+            if t < 600 {
+                "filling windows"
+            } else {
+                "healthy (Fig 9a)"
+            },
+        );
     }
 
     // Crash the active replica's calculator PE.
@@ -115,7 +122,10 @@ fn main() {
     // Shape assertions mirroring the paper's narrative.
     let r0 = latest(&world, logic.replicas[0].job, sym).unwrap();
     let r1 = latest(&world, logic.replicas[1].job, sym).unwrap();
-    assert!(r0.1 && r1.1, "both replicas should be full again at the end");
+    assert!(
+        r0.1 && r1.1,
+        "both replicas should be full again at the end"
+    );
     assert_eq!(logic.active, 1, "failover must have moved the active role");
     println!("\nshape check passed: gap → incorrect (non-full) output → recovery after 600s");
 }

@@ -40,7 +40,9 @@ pub fn nested_app(width: usize, depth: usize, ops_per_leaf: usize) -> Adl {
     let mut m = CompositeGraphBuilder::main();
     m.operator(
         "src",
-        OperatorInvocation::new("Beacon").source().param("rate", 100.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 100.0),
     );
     for i in 0..width {
         m.composite(&format!("branch{i}"), &top);
@@ -94,10 +96,7 @@ mod tests {
         assert_eq!(adl.operators.len(), 1 + 4 * 5 + 4);
         let graph = GraphStore::from_adl(&adl);
         // Deepest chain: branch0 → branch0.inner → branch0.inner.inner.
-        let leaf_op = graph
-            .operators()
-            .find(|o| o.name.ends_with(".w0"))
-            .unwrap();
+        let leaf_op = graph.operators().find(|o| o.name.ends_with(".w0")).unwrap();
         assert_eq!(leaf_op.composite_chain.len(), 3);
         assert!(graph.op_in_composite_type(&leaf_op.name, "level2"));
         assert!(graph.op_in_composite_type(&leaf_op.name, "level0"));

@@ -207,7 +207,11 @@ impl DependencyManager {
     /// along the way. Side effects: the plan entries are queued as pending
     /// submissions, the target is marked explicitly-submitted, and every
     /// reused application is pulled back off the GC queue.
-    pub fn request_start(&mut self, id: &str, now: SimTime) -> Result<Vec<(SimTime, String)>, OrcaError> {
+    pub fn request_start(
+        &mut self,
+        id: &str,
+        now: SimTime,
+    ) -> Result<Vec<(SimTime, String)>, OrcaError> {
         if !self.configs.contains_key(id) {
             return Err(OrcaError::UnknownConfig(id.to_string()));
         }
@@ -272,7 +276,8 @@ impl DependencyManager {
             .collect();
         plan.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         self.pending_submissions.extend(plan.iter().cloned());
-        self.pending_submissions.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self.pending_submissions
+            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         Ok(plan)
     }
 
@@ -582,8 +587,7 @@ mod tests {
         m.register_dependency("b", "a", secs(5)).unwrap();
         m.register_dependency("c", "b", secs(10)).unwrap();
         let plan = m.request_start("c", at(100)).unwrap();
-        let due: BTreeMap<&str, SimTime> =
-            plan.iter().map(|(t, c)| (c.as_str(), *t)).collect();
+        let due: BTreeMap<&str, SimTime> = plan.iter().map(|(t, c)| (c.as_str(), *t)).collect();
         assert_eq!(due["a"], at(100));
         assert_eq!(due["b"], at(105));
         assert_eq!(due["c"], at(115));

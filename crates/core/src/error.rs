@@ -47,7 +47,10 @@ impl fmt::Display for OrcaError {
                 write!(f, "cancellation refused, would starve dependents: {m}")
             }
             OrcaError::MissingParam { config, param } => {
-                write!(f, "config '{config}' missing submission parameter '{param}'")
+                write!(
+                    f,
+                    "config '{config}' missing submission parameter '{param}'"
+                )
             }
             OrcaError::AlreadyRunning(c) => write!(f, "configuration '{c}' already running"),
             OrcaError::NotRunning(c) => write!(f, "configuration '{c}' is not running"),
@@ -70,9 +73,7 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(OrcaError::NotManaged(JobId(3))
-            .to_string()
-            .contains("job3"));
+        assert!(OrcaError::NotManaged(JobId(3)).to_string().contains("job3"));
         assert!(OrcaError::WouldStarve("fb feeds sn".into())
             .to_string()
             .contains("starve"));

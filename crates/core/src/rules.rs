@@ -259,11 +259,15 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "src",
-            OperatorInvocation::new("Beacon").source().param("rate", rate),
+            OperatorInvocation::new("Beacon")
+                .source()
+                .param("rate", rate),
         );
         m.operator("snk", OperatorInvocation::new("Sink").sink());
         m.pipe("src", "snk");
-        let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+        let model = AppModelBuilder::new(name)
+            .build(m.build().unwrap())
+            .unwrap();
         compile(&model, CompileOptions::default()).unwrap()
     }
 
@@ -438,7 +442,10 @@ mod tests {
                     .add_operator_instance("snk")
                     .add_metric("nTuplesProcessed"),
                 Condition::Always,
-                vec![RuleAction::SetTimer("tick".into(), SimDuration::from_secs(1))],
+                vec![RuleAction::SetTimer(
+                    "tick".into(),
+                    SimDuration::from_secs(1),
+                )],
                 SimDuration::from_secs(3600),
             );
         let (mut world, idx) = world_with(policy, vec![app("A", 30.0)]);

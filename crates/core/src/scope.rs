@@ -81,21 +81,14 @@ impl OperatorMetricScope {
     );
 
     /// Does an operator-metric observation match this subscope?
-    pub fn matches(
-        &self,
-        app_name: &str,
-        graph: &GraphStore,
-        op_name: &str,
-        metric: &str,
-    ) -> bool {
+    pub fn matches(&self, app_name: &str, graph: &GraphStore, op_name: &str, metric: &str) -> bool {
         if !passes(&self.applications, app_name) || !passes(&self.metrics, metric) {
             return false;
         }
         let Some(op) = graph.operator(op_name) else {
             return false;
         };
-        if !passes(&self.operator_types, &op.kind) || !passes(&self.operator_instances, op_name)
-        {
+        if !passes(&self.operator_types, &op.kind) || !passes(&self.operator_instances, op_name) {
             return false;
         }
         if !self.composite_types.is_empty()

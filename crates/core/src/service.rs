@@ -25,9 +25,7 @@ use sps_engine::{MetricKey, StreamItem, Tuple};
 use sps_model::adl::Adl;
 use sps_model::value::ParamMap;
 use sps_model::{GraphStore, Value};
-use sps_runtime::{
-    Controller, JobId, Kernel, OrcaId, OrcaNotification, PeId, RuntimeError,
-};
+use sps_runtime::{Controller, JobId, Kernel, OrcaId, OrcaNotification, PeId, RuntimeError};
 use sps_sim::{SimDuration, SimTime};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
@@ -163,9 +161,7 @@ impl ServiceCore {
             .scopes
             .iter()
             .filter_map(|s| match s {
-                EventScope::JobEvent(js)
-                    if js.matches(&ctx.app_name, ctx.config_id.as_deref()) =>
-                {
+                EventScope::JobEvent(js) if js.matches(&ctx.app_name, ctx.config_id.as_deref()) => {
                     Some(js.key.clone())
                 }
                 _ => None,
@@ -196,7 +192,11 @@ impl ServiceCore {
 
     /// ADL ready for submission for a config: parameter substitution plus
     /// the exclusive-host-pool rewrite.
-    fn prepare_adl(&mut self, app_name: &str, config: Option<&AppConfig>) -> Result<Adl, OrcaError> {
+    fn prepare_adl(
+        &mut self,
+        app_name: &str,
+        config: Option<&AppConfig>,
+    ) -> Result<Adl, OrcaError> {
         let app = self
             .apps
             .get(app_name)
@@ -206,8 +206,7 @@ impl ServiceCore {
             for op in &mut adl.operators {
                 for value in op.params.values_mut() {
                     if let Value::Str(s) = value {
-                        if let Some(key) = s.strip_prefix("${").and_then(|r| r.strip_suffix('}'))
-                        {
+                        if let Some(key) = s.strip_prefix("${").and_then(|r| r.strip_suffix('}')) {
                             let replacement = cfg.params.get(key).cloned().ok_or_else(|| {
                                 OrcaError::MissingParam {
                                     config: cfg.id.clone(),
@@ -280,7 +279,9 @@ impl<'a> OrcaCtx<'a> {
     pub fn set_timer(&mut self, delay: SimDuration, key: &str) {
         let due = self.now() + delay;
         self.core.timers.push((due, key.to_string()));
-        self.core.timers.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self.core
+            .timers
+            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     }
 
     // ---- application registry --------------------------------------------
@@ -454,7 +455,9 @@ impl<'a> OrcaCtx<'a> {
         dependency: &str,
         uptime: SimDuration,
     ) -> Result<(), OrcaError> {
-        self.core.deps.register_dependency(dependent, dependency, uptime)
+        self.core
+            .deps
+            .register_dependency(dependent, dependency, uptime)
     }
 
     /// Requests a configuration start: the ORCA service submits its
@@ -499,10 +502,7 @@ impl<'a> OrcaCtx<'a> {
     /// Configuration a managed job was started from (None for direct
     /// submissions).
     pub fn config_of_job(&self, job: JobId) -> Option<String> {
-        self.core
-            .jobs
-            .get(&job)
-            .and_then(|r| r.config_id.clone())
+        self.core.jobs.get(&job).and_then(|r| r.config_id.clone())
     }
 
     /// Configs currently running under the dependency manager.
@@ -845,9 +845,11 @@ impl OrcaService {
                         at: now,
                     },
                 );
-                kernel
-                    .trace
-                    .push(now, "orca", format!("garbage-collected config '{config_id}'"));
+                kernel.trace.push(
+                    now,
+                    "orca",
+                    format!("garbage-collected config '{config_id}'"),
+                );
             }
         }
     }
@@ -1087,9 +1089,7 @@ impl Controller for OrcaService {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scope::{
-        JobEventScope, OperatorMetricScope, PeFailureScope, UserEventScope,
-    };
+    use crate::scope::{JobEventScope, OperatorMetricScope, PeFailureScope, UserEventScope};
     use sps_model::compiler::{compile, CompileOptions};
     use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
     use sps_runtime::{Cluster, RuntimeConfig, World};
@@ -1099,7 +1099,9 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "src",
-            OperatorInvocation::new("Beacon").source().param("rate", 100.0),
+            OperatorInvocation::new("Beacon")
+                .source()
+                .param("rate", 100.0),
         );
         m.operator(
             "flt",
@@ -1108,7 +1110,9 @@ mod tests {
         m.operator("snk", OperatorInvocation::new("Sink").sink());
         m.pipe("src", "flt");
         m.pipe("flt", "snk");
-        let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+        let model = AppModelBuilder::new(name)
+            .build(m.build().unwrap())
+            .unwrap();
         compile(&model, CompileOptions::default()).unwrap()
     }
 
@@ -1393,9 +1397,7 @@ mod tests {
             if let Err(e) = ctx.stop_pe(self.victim_pe) {
                 self.results.push(e);
             }
-            if let Err(e) =
-                ctx.inject(self.victim, "snk", 0, StreamItem::Tuple(Tuple::new()))
-            {
+            if let Err(e) = ctx.inject(self.victim, "snk", 0, StreamItem::Tuple(Tuple::new())) {
                 self.results.push(e);
             }
         }
@@ -1410,7 +1412,10 @@ mod tests {
         );
         let mut world = World::new(kernel);
         // Victim job submitted outside any orchestrator.
-        let victim = world.kernel.submit_job(pipeline_adl("Victim"), None).unwrap();
+        let victim = world
+            .kernel
+            .submit_job(pipeline_adl("Victim"), None)
+            .unwrap();
         let victim_pe = world.kernel.pe_id_of(victim, 0).unwrap();
         let service = OrcaService::submit(
             &mut world.kernel,

@@ -56,7 +56,9 @@ impl Tables {
             .map(|c| CompositeRow {
                 comp_name: c.path.clone(),
                 comp_kind: c.type_name.clone(),
-                parent_name: c.parent.map(|p| graph.composite_instances()[p].path.clone()),
+                parent_name: c
+                    .parent
+                    .map(|p| graph.composite_instances()[p].path.clone()),
             })
             .collect();
         let operator_instances = graph
@@ -298,8 +300,7 @@ mod tests {
             .map(|(op, _, v)| (op.clone(), *v))
             .collect();
         via_scope.sort();
-        let mut via_sql =
-            t.recursive_containment_query("queueSize", &["Split", "Merge"], "outer");
+        let mut via_sql = t.recursive_containment_query("queueSize", &["Split", "Merge"], "outer");
         via_sql.sort();
         assert_eq!(via_scope, via_sql);
     }
@@ -308,8 +309,6 @@ mod tests {
     fn empty_tables_yield_empty_results() {
         let t = Tables::default();
         assert!(t.comp_pairs().is_empty());
-        assert!(t
-            .recursive_containment_query("m", &["X"], "c")
-            .is_empty());
+        assert!(t.recursive_containment_query("m", &["X"], "c").is_empty());
     }
 }

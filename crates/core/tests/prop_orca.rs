@@ -143,20 +143,17 @@ struct DagSpec {
 
 fn arb_dag() -> impl Strategy<Value = DagSpec> {
     (2usize..10).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (1usize..n, 0u64..50),
-            0..(n * 2),
-        )
-        .prop_map(move |pairs| {
-            pairs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (hi, up))| {
-                    let dep = i % hi; // strictly below `hi`
-                    (hi, dep, up)
-                })
-                .collect::<Vec<_>>()
-        });
+        let edges =
+            prop::collection::vec((1usize..n, 0u64..50), 0..(n * 2)).prop_map(move |pairs| {
+                pairs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (hi, up))| {
+                        let dep = i % hi; // strictly below `hi`
+                        (hi, dep, up)
+                    })
+                    .collect::<Vec<_>>()
+            });
         let gc = prop::collection::vec(any::<bool>(), n);
         (Just(n), edges, gc).prop_map(|(n, edges, gc)| DagSpec { n, edges, gc })
     })
@@ -165,8 +162,8 @@ fn arb_dag() -> impl Strategy<Value = DagSpec> {
 fn build_manager(spec: &DagSpec) -> DependencyManager {
     let mut m = DependencyManager::new();
     for i in 0..spec.n {
-        let mut cfg =
-            AppConfig::new(&format!("c{i}"), &format!("App{i}")).gc_timeout(SimDuration::from_secs(1));
+        let mut cfg = AppConfig::new(&format!("c{i}"), &format!("App{i}"))
+            .gc_timeout(SimDuration::from_secs(1));
         if !spec.gc[i] {
             cfg = cfg.not_garbage_collectable();
         }
@@ -174,8 +171,12 @@ fn build_manager(spec: &DagSpec) -> DependencyManager {
     }
     for (a, b, up) in &spec.edges {
         // Duplicate edges are fine; cycles impossible by construction.
-        m.register_dependency(&format!("c{a}"), &format!("c{b}"), SimDuration::from_secs(*up))
-            .unwrap();
+        m.register_dependency(
+            &format!("c{a}"),
+            &format!("c{b}"),
+            SimDuration::from_secs(*up),
+        )
+        .unwrap();
     }
     m
 }

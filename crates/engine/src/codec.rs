@@ -269,7 +269,9 @@ mod tests {
     fn encoded_size_tracks_content() {
         let small = encode(&StreamItem::Tuple(Tuple::new().with("a", 1i64)));
         let big = encode(&StreamItem::Tuple(
-            Tuple::new().with("a", 1i64).with("blob", "x".repeat(1000).as_str()),
+            Tuple::new()
+                .with("a", 1i64)
+                .with("blob", "x".repeat(1000).as_str()),
         ));
         assert!(big.len() > small.len() + 900);
     }

@@ -403,9 +403,7 @@ fn tokenize(src: &str) -> Result<Vec<Token>, EngineError> {
                     _ => Token::Ident(ident),
                 });
             }
-            other => {
-                return Err(EngineError::Expr(format!("unexpected character '{other}'")))
-            }
+            other => return Err(EngineError::Expr(format!("unexpected character '{other}'"))),
         }
     }
     Ok(tokens)
@@ -455,7 +453,12 @@ impl ExprParser {
             let op = *op;
             if matches!(
                 op,
-                BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+                BinaryOp::Eq
+                    | BinaryOp::Ne
+                    | BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
             ) {
                 self.next();
                 let rhs = self.parse_add()?;
@@ -655,10 +658,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            eval("\"a\\\"b\\\\c\\n\""),
-            Value::Str("a\"b\\c\n".into())
-        );
+        assert_eq!(eval("\"a\\\"b\\\\c\\n\""), Value::Str("a\"b\\c\n".into()));
     }
 
     #[test]

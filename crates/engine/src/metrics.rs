@@ -96,11 +96,17 @@ impl MetricStore {
 
     /// Convenience accessors used by operator contexts.
     pub fn op_add(&mut self, op: &str, metric: &str, delta: i64) {
-        self.add(MetricKey::Operator(op.to_string(), metric.to_string()), delta);
+        self.add(
+            MetricKey::Operator(op.to_string(), metric.to_string()),
+            delta,
+        );
     }
 
     pub fn op_set(&mut self, op: &str, metric: &str, value: i64) {
-        self.set(MetricKey::Operator(op.to_string(), metric.to_string()), value);
+        self.set(
+            MetricKey::Operator(op.to_string(), metric.to_string()),
+            value,
+        );
     }
 
     pub fn op_get(&self, op: &str, metric: &str) -> Option<i64> {

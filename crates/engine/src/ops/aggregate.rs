@@ -180,7 +180,11 @@ mod tests {
         let mut a = agg(&params);
         let mut h = Harness::new(1);
         h.tuple(&mut a, 0, Tuple::new().with("sym", "A").with("price", 1.0));
-        h.tuple(&mut a, 0, Tuple::new().with("sym", "B").with("price", 100.0));
+        h.tuple(
+            &mut a,
+            0,
+            Tuple::new().with("sym", "B").with("price", 100.0),
+        );
         let out = Harness::tuples_only(h.tick(&mut a));
         assert_eq!(out.len(), 2);
         // BTreeMap ordering makes emission deterministic: s:A before s:B.

@@ -161,12 +161,13 @@ mod tests {
         let mut h = Harness::new(1);
         let mut forwarded = 0;
         for i in 0..10 {
-            forwarded += h
-                .tuple(&mut t, 0, Tuple::new().with("i", i as i64))
-                .len();
+            forwarded += h.tuple(&mut t, 0, Tuple::new().with("i", i as i64)).len();
         }
         assert_eq!(forwarded, 3);
-        assert_eq!(h.metrics.op_get("test_op", builtin::N_TUPLES_DROPPED), Some(7));
+        assert_eq!(
+            h.metrics.op_get("test_op", builtin::N_TUPLES_DROPPED),
+            Some(7)
+        );
         // New window after a second.
         h.advance(SimDuration::from_secs(1));
         assert_eq!(h.tuple(&mut t, 0, Tuple::new()).len(), 1);

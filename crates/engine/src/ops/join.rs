@@ -159,7 +159,11 @@ mod tests {
         assert_eq!(t.get_int("qty"), Some(5));
         // Non-matching key joins nothing.
         assert!(h
-            .tuple(&mut j, 1, Tuple::new().with("sym", "AAPL").with("qty", 1i64))
+            .tuple(
+                &mut j,
+                1,
+                Tuple::new().with("sym", "AAPL").with("qty", 1i64)
+            )
             .is_empty());
     }
 

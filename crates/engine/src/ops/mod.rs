@@ -109,13 +109,23 @@ pub(crate) mod testutil {
             )
         }
 
-        pub fn tuple(&mut self, op: &mut dyn Operator, port: usize, t: Tuple) -> Vec<(usize, StreamItem)> {
+        pub fn tuple(
+            &mut self,
+            op: &mut dyn Operator,
+            port: usize,
+            t: Tuple,
+        ) -> Vec<(usize, StreamItem)> {
             let mut ctx = self.ctx();
             op.on_tuple(port, t, &mut ctx);
             ctx.take_emitted()
         }
 
-        pub fn punct(&mut self, op: &mut dyn Operator, port: usize, p: Punct) -> Vec<(usize, StreamItem)> {
+        pub fn punct(
+            &mut self,
+            op: &mut dyn Operator,
+            port: usize,
+            p: Punct,
+        ) -> Vec<(usize, StreamItem)> {
             let mut ctx = self.ctx();
             op.on_punct(port, p, &mut ctx);
             ctx.take_emitted()

@@ -278,14 +278,7 @@ mod tests {
         // Direct harness doesn't intercept faults; simulate via ctx.
         let mut ctx_metrics = std::mem::take(&mut h.metrics);
         let mut rng = sps_sim::SimRng::new(1);
-        let mut ctx = crate::op::OpCtx::new(
-            h.now,
-            h.quantum,
-            "f",
-            1,
-            &mut ctx_metrics,
-            &mut rng,
-        );
+        let mut ctx = crate::op::OpCtx::new(h.now, h.quantum, "f", 1, &mut ctx_metrics, &mut rng);
         f.on_tuple(0, Tuple::new().with("x", 1i64), &mut ctx);
         assert!(ctx.take_fault().is_some());
     }
@@ -339,8 +332,7 @@ mod tests {
 
     #[test]
     fn split_hash_is_stable_per_key() {
-        let mut s =
-            Split::from_params("s", &params(&[("mode", "hash"), ("key", "sym")])).unwrap();
+        let mut s = Split::from_params("s", &params(&[("mode", "hash"), ("key", "sym")])).unwrap();
         let mut h = Harness::new(4);
         let p1 = h.tuple(&mut s, 0, Tuple::new().with("sym", "IBM"))[0].0;
         for _ in 0..10 {

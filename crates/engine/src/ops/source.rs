@@ -99,8 +99,7 @@ mod tests {
     #[test]
     fn produces_at_rate() {
         // 50 tuples/sec at 100 ms quantum = 5 tuples per tick.
-        let mut b =
-            Beacon::from_params("b", &params(&[("rate", Value::Float(50.0))])).unwrap();
+        let mut b = Beacon::from_params("b", &params(&[("rate", Value::Float(50.0))])).unwrap();
         let mut h = Harness::new(1);
         let out = Harness::tuples_only(h.tick(&mut b));
         assert_eq!(out.len(), 5);
@@ -163,9 +162,7 @@ mod tests {
     #[test]
     fn rejects_bad_params() {
         assert!(Beacon::from_params("b", &params(&[("rate", Value::Float(-1.0))])).is_err());
-        assert!(
-            Beacon::from_params("b", &params(&[("rate", Value::Str("fast".into()))])).is_err()
-        );
+        assert!(Beacon::from_params("b", &params(&[("rate", Value::Str("fast".into()))])).is_err());
         assert!(Beacon::from_params("b", &params(&[("limit", Value::Float(1.5))])).is_err());
     }
 

@@ -123,10 +123,12 @@ impl PeRuntime {
             if let Some(&to_slot) = op_index.get(&stream.to_op) {
                 slots[from_slot].local_routes[stream.from_port].push((to_slot, stream.to_port));
             } else {
-                let to_pe = adl.pe_of(&stream.to_op).ok_or_else(|| EngineError::BadParam {
-                    op: stream.to_op.clone(),
-                    message: "stream target not in ADL".into(),
-                })?;
+                let to_pe = adl
+                    .pe_of(&stream.to_op)
+                    .ok_or_else(|| EngineError::BadParam {
+                        op: stream.to_op.clone(),
+                        message: "stream target not in ADL".into(),
+                    })?;
                 slots[from_slot].remote_routes[stream.from_port].push(RemoteDest {
                     pe: to_pe,
                     op: stream.to_op.clone(),
@@ -173,14 +175,22 @@ impl PeRuntime {
 
     /// Injects an item into an operator's input queue (remote deliveries and
     /// broker import routing).
-    pub fn inject(&mut self, op_name: &str, port: usize, item: StreamItem) -> Result<(), EngineError> {
+    pub fn inject(
+        &mut self,
+        op_name: &str,
+        port: usize,
+        item: StreamItem,
+    ) -> Result<(), EngineError> {
         if self.crashed.is_some() {
             return Ok(()); // a dead process silently loses input
         }
-        let &slot = self.op_index.get(op_name).ok_or_else(|| EngineError::BadParam {
-            op: op_name.to_string(),
-            message: "inject target not in this PE".into(),
-        })?;
+        let &slot = self
+            .op_index
+            .get(op_name)
+            .ok_or_else(|| EngineError::BadParam {
+                op: op_name.to_string(),
+                message: "inject target not in this PE".into(),
+            })?;
         let queues = &mut self.slots[slot].queues;
         let port = port.min(queues.len().saturating_sub(1));
         queues[port].push_back(item);
@@ -191,8 +201,11 @@ impl PeRuntime {
     pub fn receive(&mut self, delivery: &RemoteDelivery) -> Result<(), EngineError> {
         let item = codec::decode(delivery.payload.clone())?;
         if let StreamItem::Tuple(t) = &item {
-            self.metrics
-                .pe_add(self.pe_index, builtin::N_TUPLE_BYTES_PROCESSED, t.approx_bytes() as i64);
+            self.metrics.pe_add(
+                self.pe_index,
+                builtin::N_TUPLE_BYTES_PROCESSED,
+                t.approx_bytes() as i64,
+            );
         }
         self.inject(&delivery.dest.op, delivery.dest.port, item)
     }
@@ -290,7 +303,14 @@ impl PeRuntime {
         out: &mut PeOutput,
     ) -> bool {
         let slot = &mut self.slots[slot_idx];
-        let mut ctx = OpCtx::new(now, quantum, &slot.name, slot.outputs, &mut self.metrics, &mut self.rng);
+        let mut ctx = OpCtx::new(
+            now,
+            quantum,
+            &slot.name,
+            slot.outputs,
+            &mut self.metrics,
+            &mut self.rng,
+        );
         slot.op.on_tick(&mut ctx);
         let emitted = ctx.take_emitted();
         let fault = ctx.take_fault();
@@ -336,7 +356,14 @@ impl PeRuntime {
         }
 
         let slot = &mut self.slots[slot_idx];
-        let mut ctx = OpCtx::new(now, quantum, &slot.name, slot.outputs, &mut self.metrics, &mut self.rng);
+        let mut ctx = OpCtx::new(
+            now,
+            quantum,
+            &slot.name,
+            slot.outputs,
+            &mut self.metrics,
+            &mut self.rng,
+        );
         match item {
             StreamItem::Tuple(t) => slot.op.on_tuple(port, t, &mut ctx),
             StreamItem::Punct(p) => slot.op.on_punct(port, p, &mut ctx),
@@ -367,7 +394,11 @@ impl PeRuntime {
                 if let StreamItem::Tuple(_) = item {
                     self.metrics.op_add(name, builtin::N_TUPLES_SUBMITTED, 1);
                     self.metrics.add(
-                        MetricKey::OperatorPort(name.clone(), *port, builtin::N_TUPLES_SUBMITTED.into()),
+                        MetricKey::OperatorPort(
+                            name.clone(),
+                            *port,
+                            builtin::N_TUPLES_SUBMITTED.into(),
+                        ),
                         1,
                     );
                 }
@@ -408,7 +439,14 @@ mod tests {
     use sps_model::value::ParamMap;
     use sps_model::Value;
 
-    fn op(name: &str, kind: &str, pe: usize, inputs: usize, outputs: usize, params: ParamMap) -> AdlOperator {
+    fn op(
+        name: &str,
+        kind: &str,
+        pe: usize,
+        inputs: usize,
+        outputs: usize,
+        params: ParamMap,
+    ) -> AdlOperator {
         AdlOperator {
             name: name.into(),
             kind: kind.into(),
@@ -423,7 +461,10 @@ mod tests {
     }
 
     fn p(pairs: &[(&str, Value)]) -> ParamMap {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     /// beacon -> filter -> sink fused in one PE.
@@ -484,11 +525,25 @@ mod tests {
         let tap = pe.tap("snk").unwrap();
         assert_eq!(tap.len(), 3);
         assert_eq!(tap[0].get_int("seq"), Some(0));
-        assert_eq!(pe.metrics().op_get("flt", builtin::N_TUPLES_PROCESSED), Some(5));
-        assert_eq!(pe.metrics().op_get("flt", builtin::N_TUPLES_SUBMITTED), Some(3));
+        assert_eq!(
+            pe.metrics().op_get("flt", builtin::N_TUPLES_PROCESSED),
+            Some(5)
+        );
+        assert_eq!(
+            pe.metrics().op_get("flt", builtin::N_TUPLES_SUBMITTED),
+            Some(3)
+        );
         assert_eq!(pe.metrics().op_get("flt", "nDiscarded"), Some(2));
-        assert_eq!(pe.metrics().op_get("snk", builtin::N_TUPLES_PROCESSED), Some(3));
-        assert!(pe.metrics().pe_get(0, builtin::N_TUPLE_BYTES_PROCESSED).unwrap() > 0);
+        assert_eq!(
+            pe.metrics().op_get("snk", builtin::N_TUPLES_PROCESSED),
+            Some(3)
+        );
+        assert!(
+            pe.metrics()
+                .pe_get(0, builtin::N_TUPLE_BYTES_PROCESSED)
+                .unwrap()
+                > 0
+        );
     }
 
     #[test]
@@ -518,11 +573,18 @@ mod tests {
         let mut pe1 = PeRuntime::build(&adl, 1, &registry(), SimRng::new(2)).unwrap();
         let out0 = pe0.step(SimTime::ZERO, SimDuration::from_millis(100), 10_000);
         assert_eq!(out0.remote.len(), 3);
-        assert!(out0.remote.iter().all(|d| d.dest.pe == 1 && d.dest.op == "snk"));
+        assert!(out0
+            .remote
+            .iter()
+            .all(|d| d.dest.pe == 1 && d.dest.op == "snk"));
         for d in &out0.remote {
             pe1.receive(d).unwrap();
         }
-        pe1.step(SimTime::from_millis(100), SimDuration::from_millis(100), 10_000);
+        pe1.step(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(100),
+            10_000,
+        );
         assert_eq!(pe1.tap("snk").unwrap().len(), 3);
     }
 
@@ -574,7 +636,11 @@ mod tests {
         assert!(msg.contains("injected fault"));
         assert!(pe.is_crashed());
         // A crashed PE does nothing further and swallows injections.
-        let out2 = pe.step(SimTime::from_millis(100), SimDuration::from_millis(100), 10_000);
+        let out2 = pe.step(
+            SimTime::from_millis(100),
+            SimDuration::from_millis(100),
+            10_000,
+        );
         assert!(out2.crashed.is_none());
         assert_eq!(out2.work_done, 0);
         assert!(pe
@@ -642,7 +708,8 @@ mod tests {
         let mut pe = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
         pe.step(SimTime::ZERO, SimDuration::from_millis(100), 10_000);
         assert_eq!(
-            pe.metrics().op_get("snk", builtin::N_FINAL_PUNCTS_PROCESSED),
+            pe.metrics()
+                .op_get("snk", builtin::N_FINAL_PUNCTS_PROCESSED),
             Some(1)
         );
         assert_eq!(pe.tap("snk").unwrap().len(), 2);

@@ -70,7 +70,9 @@ impl OperatorRegistry {
             Ok(Box::new(ops::Sink::from_params(&op.name, &op.params)?))
         });
         r.register("FaultInject", |op| {
-            Ok(Box::new(ops::FaultInject::from_params(&op.name, &op.params)?))
+            Ok(Box::new(ops::FaultInject::from_params(
+                &op.name, &op.params,
+            )?))
         });
         r.register("PassThrough", |_| Ok(Box::new(ops::PassThrough)));
         r.register("Export", |_| Ok(Box::new(ops::PassThrough)));

@@ -12,7 +12,9 @@ use sps_sim::{SimDuration, SimTime};
 fn arb_value() -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
         any::<i64>().prop_map(Value::Int),
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
         // Arbitrary unicode strings are fine for the binary codec.
         ".{0,24}".prop_map(Value::Str),
         any::<bool>().prop_map(Value::Bool),
@@ -24,15 +26,13 @@ fn arb_value() -> impl Strategy<Value = Value> {
 }
 
 fn arb_tuple() -> impl Strategy<Value = Tuple> {
-    prop::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,10}", arb_value()), 0..8).prop_map(
-        |attrs| {
-            let mut t = Tuple::new();
-            for (k, v) in attrs {
-                t.set(&k, v);
-            }
-            t
-        },
-    )
+    prop::collection::vec(("[a-zA-Z][a-zA-Z0-9_]{0,10}", arb_value()), 0..8).prop_map(|attrs| {
+        let mut t = Tuple::new();
+        for (k, v) in attrs {
+            t.set(&k, v);
+        }
+        t
+    })
 }
 
 proptest! {

@@ -615,10 +615,7 @@ mod tests {
         let mut adl = sample_adl();
         let dup = adl.operators[0].clone();
         adl.operators.push(dup);
-        assert!(matches!(
-            adl.validate(),
-            Err(ModelError::DuplicateName(_))
-        ));
+        assert!(matches!(adl.validate(), Err(ModelError::DuplicateName(_))));
     }
 
     #[test]

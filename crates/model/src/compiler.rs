@@ -73,7 +73,11 @@ impl<'m> Expander<'m> {
         // First pass: create operators and recursively expand child
         // composites, remembering each local node's flat interface.
         enum Resolved {
-            Op { name: String, inputs: usize, outputs: usize },
+            Op {
+                name: String,
+                inputs: usize,
+                outputs: usize,
+            },
             Comp(Expansion),
         }
         let mut local: BTreeMap<&str, Resolved> = BTreeMap::new();
@@ -227,9 +231,7 @@ impl<'m> Expander<'m> {
             match &local[node.as_str()] {
                 Resolved::Op { name, outputs, .. } => {
                     if *port >= *outputs {
-                        return Err(ModelError::BadPort(format!(
-                            "output binding {node}:{port}"
-                        )));
+                        return Err(ModelError::BadPort(format!("output binding {node}:{port}")));
                     }
                     output_bindings.push((name.clone(), *port));
                 }
@@ -450,7 +452,10 @@ fn merge_to_target(uf: &mut UnionFind, ops: &[FlatOp], streams: &[AdlStream], ta
         // first, ties broken by root indices for determinism.
         let mut best: Option<(usize, usize, usize)> = None;
         for s in streams {
-            let (Some(&a), Some(&b)) = (index_of.get(s.from_op.as_str()), index_of.get(s.to_op.as_str())) else {
+            let (Some(&a), Some(&b)) = (
+                index_of.get(s.from_op.as_str()),
+                index_of.get(s.to_op.as_str()),
+            ) else {
                 continue;
             };
             let (ra, rb) = (uf.find(a), uf.find(b));
@@ -545,7 +550,7 @@ mod tests {
         assert!(names.contains(&"c1.op3"));
         assert!(names.contains(&"c2.op6"));
         assert_eq!(adl.operators.len(), 12); // 2 sources + 2*4 composite ops + 2 sinks
-        // Composite containment chain recorded.
+                                             // Composite containment chain recorded.
         let op3 = adl.operator("c1.op3").unwrap();
         assert_eq!(
             op3.composite_path,
@@ -597,7 +602,9 @@ mod tests {
         let mut c = CompositeGraphBuilder::new("composite1", 1, 1);
         c.operator(
             "op3",
-            OperatorInvocation::new("Split").ports(1, 2).param("peGroupParam", "unset"),
+            OperatorInvocation::new("Split")
+                .ports(1, 2)
+                .param("peGroupParam", "unset"),
         );
         c.operator("op4", OperatorInvocation::new("Work"));
         c.operator("op5", OperatorInvocation::new("Work"));
@@ -612,12 +619,24 @@ mod tests {
         let mut app = AppModelBuilder::new("Figure3");
         app.add_composite(c.build().unwrap()).unwrap();
         let mut m = CompositeGraphBuilder::main();
-        m.operator("op1", OperatorInvocation::new("Beacon").source().colocate("pe1"));
-        m.operator("op2", OperatorInvocation::new("Beacon").source().colocate("pe3"));
+        m.operator(
+            "op1",
+            OperatorInvocation::new("Beacon").source().colocate("pe1"),
+        );
+        m.operator(
+            "op2",
+            OperatorInvocation::new("Beacon").source().colocate("pe3"),
+        );
         m.composite("c1", "composite1");
         m.composite("c2", "composite1");
-        m.operator("op7", OperatorInvocation::new("Sink").sink().colocate("pe2"));
-        m.operator("op8", OperatorInvocation::new("Sink").sink().colocate("pe2"));
+        m.operator(
+            "op7",
+            OperatorInvocation::new("Sink").sink().colocate("pe2"),
+        );
+        m.operator(
+            "op8",
+            OperatorInvocation::new("Sink").sink().colocate("pe2"),
+        );
         m.pipe("op1", "c1");
         m.pipe("op2", "c2");
         m.pipe("c1", "op7");
@@ -641,11 +660,10 @@ mod tests {
         // At least one composite instance is split across PEs OR two
         // instances share a PE — the disambiguation premise of the paper.
         let pe_of = |name: &str| adl.pe_of(name).unwrap();
-        let c1_pes: std::collections::BTreeSet<usize> =
-            ["c1.op3", "c1.op4", "c1.op5", "c1.op6"]
-                .iter()
-                .map(|n| pe_of(n))
-                .collect();
+        let c1_pes: std::collections::BTreeSet<usize> = ["c1.op3", "c1.op4", "c1.op5", "c1.op6"]
+            .iter()
+            .map(|n| pe_of(n))
+            .collect();
         let shared = adl.pes.iter().any(|pe| {
             pe.operators.iter().any(|o| o.starts_with("c1."))
                 && pe.operators.iter().any(|o| o.starts_with("c2."))
@@ -657,7 +675,10 @@ mod tests {
     fn colocation_fuses_and_orders_pes_deterministically() {
         let app = AppModelBuilder::new("A");
         let mut m = CompositeGraphBuilder::main();
-        m.operator("s", OperatorInvocation::new("Beacon").source().colocate("g"));
+        m.operator(
+            "s",
+            OperatorInvocation::new("Beacon").source().colocate("g"),
+        );
         m.operator("f", OperatorInvocation::new("Filter").colocate("g"));
         m.operator("k", OperatorInvocation::new("Sink").sink());
         m.pipe("s", "f");
@@ -688,11 +709,17 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "a",
-            OperatorInvocation::new("X").source().colocate("g").exlocate("repl"),
+            OperatorInvocation::new("X")
+                .source()
+                .colocate("g")
+                .exlocate("repl"),
         );
         m.operator(
             "b",
-            OperatorInvocation::new("Y").sink().colocate("g").exlocate("repl"),
+            OperatorInvocation::new("Y")
+                .sink()
+                .colocate("g")
+                .exlocate("repl"),
         );
         m.pipe("a", "b");
         let model = app.build(m.build().unwrap()).unwrap();
@@ -732,11 +759,17 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "a",
-            OperatorInvocation::new("X").source().colocate("g").host_pool("p1"),
+            OperatorInvocation::new("X")
+                .source()
+                .colocate("g")
+                .host_pool("p1"),
         );
         m.operator(
             "b",
-            OperatorInvocation::new("Y").sink().colocate("g").host_pool("p2"),
+            OperatorInvocation::new("Y")
+                .sink()
+                .colocate("g")
+                .host_pool("p2"),
         );
         m.pipe("a", "b");
         let model = app.build(m.build().unwrap()).unwrap();
@@ -750,7 +783,10 @@ mod tests {
     fn unknown_host_pool_rejected() {
         let app = AppModelBuilder::new("A");
         let mut m = CompositeGraphBuilder::main();
-        m.operator("a", OperatorInvocation::new("X").source().host_pool("ghost"));
+        m.operator(
+            "a",
+            OperatorInvocation::new("X").source().host_pool("ghost"),
+        );
         let model = app.build(m.build().unwrap()).unwrap();
         assert!(matches!(
             compile(&model, CompileOptions::default()),

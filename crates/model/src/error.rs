@@ -32,7 +32,10 @@ impl fmt::Display for ModelError {
             ModelError::Unknown(n) => write!(f, "unknown reference: {n}"),
             ModelError::BadPort(m) => write!(f, "bad port: {m}"),
             ModelError::RecursiveComposite(n) => {
-                write!(f, "composite type {n} instantiates itself (directly or indirectly)")
+                write!(
+                    f,
+                    "composite type {n} instantiates itself (directly or indirectly)"
+                )
             }
             ModelError::ConstraintConflict(m) => write!(f, "constraint conflict: {m}"),
             ModelError::PlacementFailure(m) => write!(f, "placement failure: {m}"),

@@ -101,8 +101,7 @@ impl GraphStore {
         let mut downstream = vec![Vec::new(); ops.len()];
         let mut upstream = vec![Vec::new(); ops.len()];
         for s in &adl.streams {
-            let (Some(&from), Some(&to)) =
-                (op_index.get(&s.from_op), op_index.get(&s.to_op))
+            let (Some(&from), Some(&to)) = (op_index.get(&s.from_op), op_index.get(&s.to_op))
             else {
                 continue;
             };
@@ -188,9 +187,7 @@ impl GraphStore {
     /// instance y?" — innermost enclosing composite (§4.2).
     pub fn enclosing_composite(&self, op_name: &str) -> Option<&CompositeInstance> {
         let op = self.operator(op_name)?;
-        op.composite_chain
-            .last()
-            .map(|&i| &self.composites[i])
+        op.composite_chain.last().map(|&i| &self.composites[i])
     }
 
     /// The full enclosing chain, outermost first.

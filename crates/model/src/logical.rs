@@ -331,13 +331,7 @@ impl CompositeGraphBuilder {
     }
 
     /// Connects `(from, from_port)` to `(to, to_port)`.
-    pub fn stream(
-        &mut self,
-        from: &str,
-        from_port: usize,
-        to: &str,
-        to_port: usize,
-    ) -> &mut Self {
+    pub fn stream(&mut self, from: &str, from_port: usize, to: &str, to_port: usize) -> &mut Self {
         self.streams.push(StreamDef {
             from_node: from.to_string(),
             from_port,
@@ -493,9 +487,7 @@ impl AppModel {
             for (_, node) in &def.nodes {
                 if let NodeRef::Composite { type_name } = node {
                     if !self.composites.contains_key(type_name) {
-                        return Err(ModelError::Unknown(format!(
-                            "composite type '{type_name}'"
-                        )));
+                        return Err(ModelError::Unknown(format!("composite type '{type_name}'")));
                     }
                 }
             }
@@ -510,11 +502,7 @@ impl AppModel {
 
     fn check_recursion(&self) -> Result<(), ModelError> {
         // DFS with an explicit path over the composite-type reference graph.
-        fn visit(
-            model: &AppModel,
-            ty: &str,
-            path: &mut Vec<String>,
-        ) -> Result<(), ModelError> {
+        fn visit(model: &AppModel, ty: &str, path: &mut Vec<String>) -> Result<(), ModelError> {
             if path.iter().any(|p| p == ty) {
                 return Err(ModelError::RecursiveComposite(ty.to_string()));
             }

@@ -288,10 +288,7 @@ impl Schema {
     }
 
     pub fn type_of(&self, name: &str) -> Option<AttrType> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| *t)
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
     }
 
     /// Checks that `values` conform positionally to this schema.
@@ -392,11 +389,7 @@ mod tests {
             Value::Timestamp(1)
         ]));
         assert!(!s.check(&[Value::Str("IBM".into()), Value::Float(100.0)]));
-        assert!(!s.check(&[
-            Value::Float(1.0),
-            Value::Float(100.0),
-            Value::Timestamp(1)
-        ]));
+        assert!(!s.check(&[Value::Float(1.0), Value::Float(100.0), Value::Timestamp(1)]));
     }
 
     #[test]

@@ -142,7 +142,9 @@ pub fn parse(input: &str) -> Result<XmlNode, ModelError> {
     let root = p.parse_element()?;
     p.skip_ws();
     if p.chars.peek().is_some() {
-        return Err(ModelError::Parse("trailing content after root element".into()));
+        return Err(ModelError::Parse(
+            "trailing content after root element".into(),
+        ));
     }
     Ok(root)
 }
@@ -273,9 +275,7 @@ impl<'a> Parser<'a> {
                     out.push(*c);
                     self.chars.next();
                 }
-                None => {
-                    return Err(ModelError::Parse("unexpected end of input in text".into()))
-                }
+                None => return Err(ModelError::Parse("unexpected end of input in text".into())),
             }
         }
     }
@@ -287,9 +287,7 @@ impl<'a> Parser<'a> {
                 Some((_, '"')) => return Ok(out),
                 Some((i, '&')) => out.push(self.parse_entity(i)?),
                 Some((_, c)) => out.push(c),
-                None => {
-                    return Err(ModelError::Parse("unterminated attribute value".into()))
-                }
+                None => return Err(ModelError::Parse("unterminated attribute value".into())),
             }
         }
     }
@@ -408,7 +406,9 @@ mod tests {
     fn deep_nesting_roundtrip() {
         let mut node = XmlNode::new("leaf").attr("depth", "0");
         for d in 1..50 {
-            node = XmlNode::new("level").attr("depth", d.to_string()).child(node);
+            node = XmlNode::new("level")
+                .attr("depth", d.to_string())
+                .child(node);
         }
         let s = node.to_string_pretty();
         assert_eq!(parse(&s).unwrap(), node);

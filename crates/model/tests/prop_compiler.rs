@@ -60,7 +60,9 @@ fn build(spec: &ModelSpec) -> sps_model::AppModel {
     let mut m = CompositeGraphBuilder::main();
     m.operator(
         "src",
-        OperatorInvocation::new("Beacon").source().param("rate", 10.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 10.0),
     );
     let mut prev = "src".to_string();
     for (i, node) in spec.nodes.iter().enumerate() {

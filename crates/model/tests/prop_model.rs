@@ -16,7 +16,9 @@ fn arb_value() -> impl Strategy<Value = Value> {
     let leaf = prop_oneof![
         any::<i64>().prop_map(Value::Int),
         // Finite floats only: NaN breaks PartialEq-based roundtrip checks.
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
         // Strings without the list separator control character.
         "[a-zA-Z0-9 _.:<>&\"'/-]{0,20}".prop_map(Value::Str),
         any::<bool>().prop_map(Value::Bool),
@@ -48,20 +50,18 @@ proptest! {
 fn arb_xml() -> impl Strategy<Value = XmlNode> {
     let name = "[a-zA-Z][a-zA-Z0-9_.-]{0,8}";
     let attr_val = "[^\\x00-\\x08\\x0b-\\x1f]{0,16}"; // printable-ish incl. specials
-    let leaf = (name, prop::collection::vec((name, attr_val), 0..3)).prop_map(
-        |(n, attrs)| {
-            let mut node = XmlNode::new(&n);
-            // Deduplicate attribute keys (XML requires uniqueness; our
-            // writer does not enforce it, so generate unique keys).
-            let mut seen = std::collections::BTreeSet::new();
-            for (k, v) in attrs {
-                if seen.insert(k.clone()) {
-                    node = node.attr(&k, v);
-                }
+    let leaf = (name, prop::collection::vec((name, attr_val), 0..3)).prop_map(|(n, attrs)| {
+        let mut node = XmlNode::new(&n);
+        // Deduplicate attribute keys (XML requires uniqueness; our
+        // writer does not enforce it, so generate unique keys).
+        let mut seen = std::collections::BTreeSet::new();
+        for (k, v) in attrs {
+            if seen.insert(k.clone()) {
+                node = node.attr(&k, v);
             }
-            node
-        },
-    );
+        }
+        node
+    });
     leaf.prop_recursive(3, 20, 3, |inner| {
         (
             "[a-zA-Z][a-zA-Z0-9]{0,6}",

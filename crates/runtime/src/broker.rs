@@ -85,10 +85,8 @@ impl Broker {
                 .map(|imp| (imp.job, imp.op.clone()))
                 .collect();
             if !targets.is_empty() {
-                self.routes.insert(
-                    (export.job, export.op.clone(), export.port),
-                    targets,
-                );
+                self.routes
+                    .insert((export.job, export.op.clone(), export.port), targets);
             }
         }
     }
@@ -259,8 +257,18 @@ mod tests {
     #[test]
     fn app_filter_restricts_source() {
         let mut b = Broker::new();
-        b.register_job(JobId(1), "AppA", vec![("o".into(), 0, by_id_export("s"))], vec![]);
-        b.register_job(JobId(2), "AppB", vec![("o".into(), 0, by_id_export("s"))], vec![]);
+        b.register_job(
+            JobId(1),
+            "AppA",
+            vec![("o".into(), 0, by_id_export("s"))],
+            vec![],
+        );
+        b.register_job(
+            JobId(2),
+            "AppB",
+            vec![("o".into(), 0, by_id_export("s"))],
+            vec![],
+        );
         b.register_job(
             JobId(3),
             "C",

@@ -218,7 +218,10 @@ mod tests {
     #[test]
     fn process_location_and_removal() {
         let mut c = Cluster::with_hosts(2);
-        c.host_mut("host1").unwrap().processes.insert(PeId(7), proc(7));
+        c.host_mut("host1")
+            .unwrap()
+            .processes
+            .insert(PeId(7), proc(7));
         assert_eq!(c.host_of_pe(PeId(7)), Some("host1"));
         assert_eq!(c.host_of_pe(PeId(9)), None);
         assert!(c.process(PeId(7)).is_some());

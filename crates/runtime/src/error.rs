@@ -61,7 +61,9 @@ mod tests {
 
     #[test]
     fn display_and_from() {
-        assert!(RuntimeError::UnknownJob(JobId(1)).to_string().contains("job1"));
+        assert!(RuntimeError::UnknownJob(JobId(1))
+            .to_string()
+            .contains("job1"));
         assert!(RuntimeError::PlacementFailed("no hosts".into())
             .to_string()
             .contains("no hosts"));

@@ -116,15 +116,12 @@ impl Kernel {
         let mut pe_ids = Vec::with_capacity(adl.pes.len());
 
         for pe_def in &adl.pes {
-            let pool = pe_def
-                .host_pool
-                .as_ref()
-                .map(|name| {
-                    adl.host_pools
-                        .iter()
-                        .find(|p| &p.name == name)
-                        .expect("ADL validated: pool exists")
-                });
+            let pool = pe_def.host_pool.as_ref().map(|name| {
+                adl.host_pools
+                    .iter()
+                    .find(|p| &p.name == name)
+                    .expect("ADL validated: pool exists")
+            });
             let excluded: &BTreeSet<String> = pe_def
                 .host_exlocate
                 .as_ref()
@@ -167,9 +164,7 @@ impl Kernel {
                         runtime,
                     },
                 );
-            if pool.is_some_and(|p| p.exclusive)
-                && self.sam.host_reservation(&host) != Some(job)
-            {
+            if pool.is_some_and(|p| p.exclusive) && self.sam.host_reservation(&host) != Some(job) {
                 // Reserve eagerly so later PEs of this submission pack onto
                 // the same hosts.
                 self.sam.reserve_host(&host, job);
@@ -201,7 +196,11 @@ impl Kernel {
         self.trace.push(
             self.now,
             "sam",
-            format!("job {job} ({}) submitted with {} PEs", adl.app_name, pe_ids.len()),
+            format!(
+                "job {job} ({}) submitted with {} PEs",
+                adl.app_name,
+                pe_ids.len()
+            ),
         );
         self.sam.insert_job(JobInfo {
             id: job,
@@ -267,9 +266,7 @@ impl Kernel {
             }
             // Exclusive pools additionally require the host to be free of
             // other jobs' processes.
-            if pool.is_some_and(|p| p.exclusive)
-                && host.processes.values().any(|p| p.job != job)
-            {
+            if pool.is_some_and(|p| p.exclusive) && host.processes.values().any(|p| p.job != job) {
                 continue;
             }
             let load = host.live_processes();
@@ -292,8 +289,11 @@ impl Kernel {
         }
         self.broker.unregister_job(job);
         self.srm.forget_job(job);
-        self.trace
-            .push(self.now, "sam", format!("job {job} ({}) cancelled", info.app_name));
+        self.trace.push(
+            self.now,
+            "sam",
+            format!("job {job} ({}) cancelled", info.app_name),
+        );
         Ok(())
     }
 
@@ -326,12 +326,9 @@ impl Kernel {
                     .host_pool
                     .as_ref()
                     .and_then(|name| adl.host_pools.iter().find(|p| &p.name == name));
-                self.pick_host(job, pool, &BTreeSet::new())
-                    .ok_or_else(|| {
-                        RuntimeError::PlacementFailed(format!(
-                            "no host available to restart PE {pe}"
-                        ))
-                    })?
+                self.pick_host(job, pool, &BTreeSet::new()).ok_or_else(|| {
+                    RuntimeError::PlacementFailed(format!("no host available to restart PE {pe}"))
+                })?
             }
         };
         let new_pe = self.sam.alloc_pe_id();
@@ -408,8 +405,11 @@ impl Kernel {
             })
             .collect();
         self.srm.set_host_status(host_name, false);
-        self.trace
-            .push(self.now, "srm", format!("host {host_name} down ({} PEs lost)", victims.len()));
+        self.trace.push(
+            self.now,
+            "srm",
+            format!("host {host_name} down ({} PEs lost)", victims.len()),
+        );
         for pe in victims {
             self.notify_pe_failure(pe, CrashReason::HostFailure);
         }
@@ -425,7 +425,8 @@ impl Kernel {
             .ok_or_else(|| RuntimeError::Invalid(format!("unknown host {host_name}")))?;
         host.up = true;
         self.srm.set_host_status(host_name, true);
-        self.trace.push(self.now, "srm", format!("host {host_name} up"));
+        self.trace
+            .push(self.now, "srm", format!("host {host_name} up"));
         Ok(())
     }
 
@@ -645,7 +646,6 @@ mod tests {
         AppModelBuilder, CompositeGraphBuilder, ExportSpec, HostPool, ImportSpec,
         OperatorInvocation,
     };
-    
 
     fn kernel(hosts: usize) -> Kernel {
         Kernel::new(
@@ -671,7 +671,9 @@ mod tests {
         m.operator("snk", OperatorInvocation::new("Sink").sink());
         m.pipe("src", "flt");
         m.pipe("flt", "snk");
-        let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+        let model = AppModelBuilder::new(name)
+            .build(m.build().unwrap())
+            .unwrap();
         compile(&model, CompileOptions::default()).unwrap()
     }
 
@@ -707,7 +709,9 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "a",
-            OperatorInvocation::new("Beacon").source().host_pool("ghost_pool"),
+            OperatorInvocation::new("Beacon")
+                .source()
+                .host_pool("ghost_pool"),
         );
         m.operator("b", OperatorInvocation::new("Sink").sink());
         m.pipe("a", "b");
@@ -830,14 +834,18 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "src",
-            OperatorInvocation::new("Beacon").source().param("rate", 50.0),
+            OperatorInvocation::new("Beacon")
+                .source()
+                .param("rate", 50.0),
         );
         m.operator(
             "bomb",
             OperatorInvocation::new("FaultInject").param("fault_after", 3i64),
         );
         m.pipe("src", "bomb");
-        let model = AppModelBuilder::new("Boom").build(m.build().unwrap()).unwrap();
+        let model = AppModelBuilder::new("Boom")
+            .build(m.build().unwrap())
+            .unwrap();
         let adl = compile(&model, CompileOptions::default()).unwrap();
         let job = k.submit_job(adl, Some(orca)).unwrap();
         run(&mut k, 30);
@@ -902,7 +910,9 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "src",
-            OperatorInvocation::new("Beacon").source().param("rate", 50.0),
+            OperatorInvocation::new("Beacon")
+                .source()
+                .param("rate", 50.0),
         );
         m.operator(
             "out",
@@ -935,7 +945,10 @@ mod tests {
         assert_eq!(k.broker.num_connections(), 1);
         run(&mut k, 20);
         let tap = k.tap(c, "snk").unwrap();
-        assert!(!tap.is_empty(), "imported tuples should reach consumer sink");
+        assert!(
+            !tap.is_empty(),
+            "imported tuples should reach consumer sink"
+        );
         // Cancelling the consumer dissolves the connection.
         k.cancel_job(c).unwrap();
         assert_eq!(k.broker.num_connections(), 0);
@@ -947,7 +960,9 @@ mod tests {
         let make = |name: &str| {
             let mut m = CompositeGraphBuilder::main();
             m.operator("src", OperatorInvocation::new("Beacon").source());
-            let model = AppModelBuilder::new(name).build(m.build().unwrap()).unwrap();
+            let model = AppModelBuilder::new(name)
+                .build(m.build().unwrap())
+                .unwrap();
             let mut adl = compile(&model, CompileOptions::default()).unwrap();
             adl.make_host_pools_exclusive(name);
             adl
@@ -979,11 +994,15 @@ mod tests {
         let mut m = CompositeGraphBuilder::main();
         m.operator(
             "a",
-            OperatorInvocation::new("Beacon").source().host_exlocate("spread"),
+            OperatorInvocation::new("Beacon")
+                .source()
+                .host_exlocate("spread"),
         );
         m.operator(
             "b",
-            OperatorInvocation::new("Beacon").source().host_exlocate("spread"),
+            OperatorInvocation::new("Beacon")
+                .source()
+                .host_exlocate("spread"),
         );
         let model = AppModelBuilder::new("S").build(m.build().unwrap()).unwrap();
         let adl = compile(&model, CompileOptions::default()).unwrap();
@@ -1006,7 +1025,9 @@ mod tests {
         .unwrap();
         run(&mut k, 2);
         assert_eq!(k.tap(job, "snk").unwrap().len(), 1);
-        assert!(k.inject(job, "ghost", 0, StreamItem::Punct(sps_engine::Punct::Final)).is_err());
+        assert!(k
+            .inject(job, "ghost", 0, StreamItem::Punct(sps_engine::Punct::Final))
+            .is_err());
     }
 
     #[test]

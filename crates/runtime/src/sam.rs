@@ -294,13 +294,16 @@ mod tests {
         assert!(sam.drain_notifications(o1).is_empty());
         assert!(sam.drain_notifications(o2).is_empty());
         // Unknown orchestrator: silently dropped.
-        sam.push_notification(OrcaId(99), OrcaNotification::PeFailure {
-            job: JobId(1),
-            pe: PeId(1),
-            adl_index: 0,
-            reason: CrashReason::HostFailure,
-            detected_at: SimTime::ZERO,
-        });
+        sam.push_notification(
+            OrcaId(99),
+            OrcaNotification::PeFailure {
+                job: JobId(1),
+                pe: PeId(1),
+                adl_index: 0,
+                reason: CrashReason::HostFailure,
+                detected_at: SimTime::ZERO,
+            },
+        );
         assert!(sam.drain_notifications(OrcaId(99)).is_empty());
     }
 

@@ -62,7 +62,10 @@ impl Srm {
         values: Vec<(MetricKey, i64)>,
     ) {
         self.pushes += 1;
-        self.metrics.entry(job).or_default().insert(pe, (at, values));
+        self.metrics
+            .entry(job)
+            .or_default()
+            .insert(pe, (at, values));
     }
 
     /// Total HC pushes received.
@@ -155,8 +158,18 @@ mod tests {
     #[test]
     fn repeated_push_replaces_pe_values() {
         let mut srm = Srm::new();
-        srm.push_pe_metrics(JobId(1), PeId(10), SimTime::from_secs(3), vec![(key("a", "m"), 5)]);
-        srm.push_pe_metrics(JobId(1), PeId(10), SimTime::from_secs(6), vec![(key("a", "m"), 9)]);
+        srm.push_pe_metrics(
+            JobId(1),
+            PeId(10),
+            SimTime::from_secs(3),
+            vec![(key("a", "m"), 5)],
+        );
+        srm.push_pe_metrics(
+            JobId(1),
+            PeId(10),
+            SimTime::from_secs(6),
+            vec![(key("a", "m"), 9)],
+        );
         let result = srm.query_jobs(&[JobId(1)]);
         let snap = &result[&JobId(1)];
         assert_eq!(snap.values, vec![(key("a", "m"), 9)]);

@@ -157,7 +157,9 @@ mod tests {
             assert_eq!(c1.next_u64(), c2.next_u64());
         }
         let mut other = SimRng::new(7).fork(101);
-        let same = (0..100).filter(|_| c1.next_u64() == other.next_u64()).count();
+        let same = (0..100)
+            .filter(|_| c1.next_u64() == other.next_u64())
+            .count();
         assert!(same < 3);
     }
 

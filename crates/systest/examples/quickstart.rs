@@ -75,7 +75,9 @@ fn build_app() -> sps_model::Adl {
     let mut m = CompositeGraphBuilder::main();
     m.operator(
         "src",
-        OperatorInvocation::new("Beacon").source().param("rate", 25.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 25.0),
     );
     m.operator(
         "flt",
@@ -138,6 +140,9 @@ fn main() {
         svc.stats().events_delivered
     );
     let trace = world.kernel.trace.find("restarted");
-    assert!(!trace.is_empty(), "the orchestrator must have restarted the PE");
+    assert!(
+        !trace.is_empty(),
+        "the orchestrator must have restarted the PE"
+    );
     println!("[harness] recovery confirmed: {}", trace[0].message);
 }

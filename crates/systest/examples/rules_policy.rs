@@ -19,7 +19,9 @@ fn app() -> sps_model::Adl {
     let mut m = CompositeGraphBuilder::main();
     m.operator(
         "src",
-        OperatorInvocation::new("Beacon").source().param("rate", 40.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 40.0),
     );
     m.operator("snk", OperatorInvocation::new("Sink").sink());
     m.pipe("src", "snk");

@@ -34,9 +34,15 @@ fn main() {
     );
     let idx = world.add_controller(Box::new(service));
 
-    println!("initial cause model: {:?}", stores.cause_model.snapshot().known_causes);
+    println!(
+        "initial cause model: {:?}",
+        stores.cause_model.snapshot().known_causes
+    );
     println!("cause drift scheduled at t=120s (antenna complaints)\n");
-    println!("{:>6} {:>8} {:>8} {:>8}", "epoch", "t(s)", "ratio", "model_v");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8}",
+        "epoch", "t(s)", "ratio", "model_v"
+    );
 
     world.run_for(SimDuration::from_secs(400));
 
@@ -51,7 +57,11 @@ fn main() {
                 s.at.as_secs_f64(),
                 s.ratio,
                 s.model_version,
-                if s.ratio > 1.0 { "  <-- above threshold" } else { "" }
+                if s.ratio > 1.0 {
+                    "  <-- above threshold"
+                } else {
+                    ""
+                }
             );
         }
     }

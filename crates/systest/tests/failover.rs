@@ -73,7 +73,11 @@ fn figure9_output_signature() {
     let r1_latest = tap(&world, r1);
     let last0 = r0_latest.last().unwrap();
     let last1 = r1_latest.last().unwrap();
-    assert_eq!(last0.get_bool("full"), Some(false), "restarted: partial window");
+    assert_eq!(
+        last0.get_bool("full"),
+        Some(false),
+        "restarted: partial window"
+    );
     assert_eq!(last1.get_bool("full"), Some(true));
     // Same instant, same symbol → different (incorrect) statistics, because
     // replica 0's window only covers post-restart ticks.
@@ -103,7 +107,12 @@ fn host_failure_fails_over_and_relocates() {
     world.run_for(SimDuration::from_secs(30));
     let active_job = trend(&world, idx).active_job();
     let some_pe = world.kernel.pe_id_of(active_job, 0).unwrap();
-    let host = world.kernel.cluster.host_of_pe(some_pe).unwrap().to_string();
+    let host = world
+        .kernel
+        .cluster
+        .host_of_pe(some_pe)
+        .unwrap()
+        .to_string();
 
     // Losing the host kills all PEs of the active replica at once; the
     // orchestrator receives one failure event per PE (same epoch) and must

@@ -25,10 +25,16 @@ fn figure2_adl_tagged(fusion: FusionPolicy, figure3_tags: bool) -> Adl {
             inv
         }
     };
-    c.operator("op3", tag(OperatorInvocation::new("Split").ports(1, 2), "peA"));
+    c.operator(
+        "op3",
+        tag(OperatorInvocation::new("Split").ports(1, 2), "peA"),
+    );
     c.operator("op4", tag(OperatorInvocation::new("Work"), "peA"));
     c.operator("op5", tag(OperatorInvocation::new("Work"), "peB"));
-    c.operator("op6", tag(OperatorInvocation::new("Merge").ports(2, 1), "peB"));
+    c.operator(
+        "op6",
+        tag(OperatorInvocation::new("Merge").ports(2, 1), "peB"),
+    );
     c.stream("op3", 0, "op4", 0);
     c.stream("op3", 1, "op5", 0);
     c.stream("op4", 0, "op6", 0);
@@ -41,11 +47,15 @@ fn figure2_adl_tagged(fusion: FusionPolicy, figure3_tags: bool) -> Adl {
     let mut m = CompositeGraphBuilder::main();
     m.operator(
         "op1",
-        OperatorInvocation::new("Beacon").source().param("rate", 30.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 30.0),
     );
     m.operator(
         "op2",
-        OperatorInvocation::new("Beacon").source().param("rate", 30.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 30.0),
     );
     m.composite("c1", "composite1");
     m.composite("c2", "composite1");

@@ -20,7 +20,9 @@ fn overload_adl() -> Adl {
     let mut m = CompositeGraphBuilder::main();
     m.operator(
         "src",
-        OperatorInvocation::new("Beacon").source().param("rate", 400.0),
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", 400.0),
     );
     m.operator(
         "work",
@@ -342,12 +344,7 @@ impl Orchestrator for JournaledLogic {
         ctx.register_event_scope(orca::PeFailureScope::new("f"));
         ctx.submit_app("Overload").unwrap();
     }
-    fn on_pe_failure(
-        &mut self,
-        ctx: &mut OrcaCtx<'_>,
-        e: &orca::PeFailureContext,
-        _s: &[String],
-    ) {
+    fn on_pe_failure(&mut self, ctx: &mut OrcaCtx<'_>, e: &orca::PeFailureContext, _s: &[String]) {
         let _ = ctx.restart_pe(e.pe);
         ctx.set_status("last_failure", &e.pe.to_string());
     }
@@ -417,8 +414,11 @@ impl Orchestrator for OverlapLogic {
         e: &OperatorMetricContext,
         scopes: &[String],
     ) {
-        self.deliveries
-            .push((format!("{}:{}", e.instance_name, e.metric), e.epoch, scopes.to_vec()));
+        self.deliveries.push((
+            format!("{}:{}", e.instance_name, e.metric),
+            e.epoch,
+            scopes.to_vec(),
+        ));
     }
 }
 
@@ -451,8 +451,14 @@ fn overlapping_subscopes_deliver_once_with_all_keys() {
     assert!(!doubly.is_empty());
     let mut epochs_seen = std::collections::BTreeSet::new();
     for (_, epoch, scopes) in &doubly {
-        assert!(epochs_seen.insert(*epoch), "duplicate delivery in epoch {epoch}");
-        assert_eq!(scopes, &vec!["byInstance".to_string(), "byMetric".to_string()]);
+        assert!(
+            epochs_seen.insert(*epoch),
+            "duplicate delivery in epoch {epoch}"
+        );
+        assert_eq!(
+            scopes,
+            &vec!["byInstance".to_string(), "byMetric".to_string()]
+        );
     }
     // Singly-matched events carry a single key.
     assert!(logic
@@ -535,7 +541,10 @@ fn port_and_pe_metric_scopes_deliver_end_to_end() {
     }
     // PE events: bytes counters for every PE of the job, values grow.
     assert!(!logic.pe_events.is_empty());
-    assert!(logic.pe_events.iter().all(|(_, m, _)| m == "nTupleBytesProcessed"));
+    assert!(logic
+        .pe_events
+        .iter()
+        .all(|(_, m, _)| m == "nTupleBytesProcessed"));
     assert!(logic.pe_events.iter().any(|(_, _, v)| *v > 0));
 }
 
@@ -567,11 +576,18 @@ fn windowed_join_pipeline_end_to_end() {
             .param("key", "sym")
             .param("window_secs", 2.0),
     );
-    m.operator("snk", OperatorInvocation::new("Sink").sink().param("keep", 2048i64));
+    m.operator(
+        "snk",
+        OperatorInvocation::new("Sink")
+            .sink()
+            .param("keep", 2048i64),
+    );
     m.stream("quotes", 0, "join", 0);
     m.stream("trades", 0, "join", 1);
     m.pipe("join", "snk");
-    let model = AppModelBuilder::new("JoinApp").build(m.build().unwrap()).unwrap();
+    let model = AppModelBuilder::new("JoinApp")
+        .build(m.build().unwrap())
+        .unwrap();
     let adl = compile(&model, CompileOptions::default()).unwrap();
 
     let stores = SharedStores::new();

@@ -3,9 +3,7 @@
 //! `fig10` harness binaries).
 
 use orca::{OrcaDescriptor, OrcaService};
-use orca_apps::sentiment::{
-    sentiment_app, sentiment_app_embedded, SentimentOrca, SentimentParams,
-};
+use orca_apps::sentiment::{sentiment_app, sentiment_app_embedded, SentimentOrca, SentimentParams};
 use orca_apps::social::{composition_descriptor, CompositionOrca};
 use orca_apps::SharedStores;
 use sps_runtime::{Cluster, Kernel, RuntimeConfig, World};
@@ -27,7 +25,10 @@ fn sentiment_use_case_full_cycle() {
     let service = OrcaService::submit(
         &mut world.kernel,
         OrcaDescriptor::new("SentimentOrca").app(sentiment_app(params)),
-        Box::new(SentimentOrca::new(stores.clone(), SimDuration::from_secs(3))),
+        Box::new(SentimentOrca::new(
+            stores.clone(),
+            SimDuration::from_secs(3),
+        )),
     );
     let idx = world.add_controller(Box::new(service));
     world.run_for(SimDuration::from_secs(300));
@@ -158,7 +159,10 @@ fn identical_seeds_reproduce_identical_runs() {
         let service = OrcaService::submit(
             &mut world.kernel,
             OrcaDescriptor::new("S").app(sentiment_app(params)),
-            Box::new(SentimentOrca::new(stores.clone(), SimDuration::from_secs(3))),
+            Box::new(SentimentOrca::new(
+                stores.clone(),
+                SimDuration::from_secs(3),
+            )),
         );
         let idx = world.add_controller(Box::new(service));
         world.run_for(SimDuration::from_secs(150));

@@ -1,0 +1,266 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the criterion API subset the bench suite uses — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `Throughput`, `BatchSize`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! measurer: each benchmark is warmed up once, then timed over a fixed
+//! iteration budget and reported as mean ns/iter (plus derived throughput).
+//! There is no statistical analysis, HTML report, or CLI filtering beyond a
+//! single optional substring argument.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timed iterations a benchmark runs (after one warm-up call).
+const DEFAULT_ITERS: u64 = 30;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads an optional substring filter from the command line (the only
+    /// CLI feature this stand-in honours). A positional argument is only
+    /// treated as the filter when it does not follow a `--flag` (which would
+    /// make it that flag's value, e.g. `--save-baseline main`); real
+    /// criterion flags are otherwise ignored rather than misread.
+    pub fn configure_from_args(mut self) -> Self {
+        // Flags known to take no value; a positional after one of these IS
+        // the filter (cargo itself invokes bench binaries with `--bench`).
+        let valueless = ["--bench", "--test", "--"];
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args
+            .iter()
+            .enumerate()
+            .find(|(i, a)| {
+                !a.starts_with('-')
+                    && (*i == 0
+                        || !args[i - 1].starts_with("--")
+                        || valueless.contains(&args[i - 1].as_str()))
+            })
+            .map(|(_, a)| a.clone());
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let filter = self.filter.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            filter,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let filter = self.filter.clone();
+        run_one(&filter, name, None, f);
+        self
+    }
+
+    /// No-op: reports are printed as benchmarks run.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the fixed iteration budget ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the fixed iteration budget ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&self.filter, &full, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&self.filter, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    filter: &Option<String>,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {name}: no iterations recorded");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gib = n as f64 / ns_per_iter; // bytes/ns == GB/s
+            println!("bench {name}: {ns_per_iter:>12.1} ns/iter ({gib:.3} GB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 / ns_per_iter * 1e3; // elem/ns -> Melem/s
+            println!("bench {name}: {ns_per_iter:>12.1} ns/iter ({meps:.3} Melem/s)");
+        }
+        None => println!("bench {name}: {ns_per_iter:>12.1} ns/iter"),
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..DEFAULT_ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += DEFAULT_ITERS;
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up
+        for _ in 0..DEFAULT_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Batch sizing hints; the stand-in always materialises one input per call.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Function-plus-parameter benchmark identifier.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Measured quantity per iteration, for derived rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

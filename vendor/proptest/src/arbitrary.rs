@@ -1,0 +1,90 @@
+//! `any::<T>()` and the [`Arbitrary`] trait for primitives.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` (with edge cases over-weighted).
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary_value(rng: &mut TestRng) -> $ty {
+                    // 1-in-8: an edge value; otherwise uniform bits.
+                    if rng.ratio(1, 8) {
+                        const EDGES: [$ty; 5] = [0, 1, <$ty>::MAX, <$ty>::MIN, <$ty>::MAX / 2];
+                        EDGES[rng.below(EDGES.len() as u64) as usize]
+                    } else {
+                        rng.next_u64() as $ty
+                    }
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        if rng.ratio(1, 8) {
+            const EDGES: [f64; 8] = [
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+                f64::MIN_POSITIVE,
+            ];
+            EDGES[rng.below(EDGES.len() as u64) as usize]
+        } else {
+            // sign * mantissa * 2^exp over a wide but mostly-sane range.
+            let sign = if rng.bool() { 1.0 } else { -1.0 };
+            let mantissa = rng.next_f64();
+            let exp = rng.below(120) as i32 - 60;
+            sign * mantissa * (2.0f64).powi(exp)
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> f32 {
+        f64::arbitrary_value(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut TestRng) -> char {
+        if rng.ratio(1, 4) {
+            crate::regex::generate(".", rng).chars().next().unwrap()
+        } else {
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A miniature property-testing framework exposing the proptest API surface
+//! this repository uses: the [`proptest!`] / [`prop_oneof!`] /
+//! [`prop_assert!`] macros, the [`Strategy`] trait with `prop_map` /
+//! `prop_filter` / `prop_flat_map` / `prop_recursive`, `any::<T>()`,
+//! range and regex-literal string strategies, and the `prop::{collection,
+//! option, array}` modules.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case panics with the generating seed; cases
+//!   are deterministic, so the failure reproduces exactly.
+//! - **Deterministic seeding.** Each test's RNG is seeded from the test's
+//!   module path + name + case index (plus the optional `PROPTEST_SEED` env
+//!   var), so `cargo test` is bit-for-bit reproducible run to run.
+//! - **Bounded case counts.** `PROPTEST_CASES` overrides every suite's case
+//!   count, letting CI pin the budget.
+
+pub mod arbitrary;
+pub mod array;
+pub mod collection;
+pub mod option;
+pub mod regex;
+pub mod rng;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use rng::TestRng;
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Per-suite configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Resolves the case count for a suite: the `PROPTEST_CASES` environment
+/// variable wins (bounding the whole run), otherwise the suite's config.
+pub fn effective_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => {
+            let n: u32 = v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_CASES must be an integer, got {v:?}"));
+            // 0 would turn every property suite into a silently green no-op.
+            assert!(n > 0, "PROPTEST_CASES must be positive, got {v:?}");
+            n
+        }
+        Err(_) => config.cases,
+    }
+}
+
+/// Base seed for a named test: FNV-1a over the test path, XORed with the
+/// optional `PROPTEST_SEED` env var for ad-hoc exploration.
+pub fn base_seed(test_path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if let Ok(v) = std::env::var("PROPTEST_SEED") {
+        let extra: u64 = v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be an integer, got {v:?}"));
+        h ^= extra;
+    }
+    h
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`,
+    /// `prop::array::uniform3`, ...).
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let __cases = $crate::effective_cases(&__cfg);
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let __base = $crate::base_seed(__path);
+                for __case in 0..__cases {
+                    let __seed = __base ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let __run = || {
+                        let mut __rng = $crate::TestRng::new(__seed);
+                        $(let $pat = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                        $body
+                    };
+                    if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                        eprintln!(
+                            "proptest failure in {} at case {}/{} (seed {:#x})",
+                            __path, __case, __cases, __seed
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Equal-weight choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,344 @@
+//! String generation from a practical regex subset.
+//!
+//! Supports what the repository's property tests use: literal characters,
+//! `.` (any char except newline), character classes `[...]` with ranges,
+//! negation and `\xNN` escapes, and the quantifiers `{m}`, `{m,n}`, `*`,
+//! `+`, `?` (star/plus capped at 8 repetitions). Alternation and groups are
+//! not supported — patterns using them panic loudly so the gap is visible.
+
+use crate::rng::TestRng;
+
+#[derive(Clone, Debug)]
+enum CharSet {
+    /// Any char except `\n`.
+    Dot,
+    /// A single literal char.
+    Literal(char),
+    /// Inclusive ranges; `negated` inverts membership.
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+/// Occasional non-ASCII candidates so `.`-style classes exercise multi-byte
+/// UTF-8 in codecs and parsers.
+const UNICODE_POOL: &[char] = ['\t', 'é', 'ß', 'λ', '中', '🦀', '\u{80}', '\u{7ff}'].as_slice();
+
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = if atom.min == atom.max {
+            atom.min
+        } else {
+            atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32
+        };
+        for _ in 0..n {
+            out.push(sample(&atom.set, rng));
+        }
+    }
+    out
+}
+
+fn sample(set: &CharSet, rng: &mut TestRng) -> char {
+    match set {
+        CharSet::Literal(c) => *c,
+        CharSet::Dot => sample_any_except(rng, &[('\n', '\n')]),
+        CharSet::Class { ranges, negated } => {
+            if *negated {
+                sample_any_except(rng, ranges)
+            } else {
+                let total: u64 = ranges.iter().map(|r| range_size(*r)).sum();
+                let mut pick = rng.below(total);
+                for r in ranges {
+                    let span = range_size(*r);
+                    if pick < span {
+                        return nth_char_of_range(*r, pick);
+                    }
+                    pick -= span;
+                }
+                unreachable!("class weight bookkeeping")
+            }
+        }
+    }
+}
+
+const SURROGATE_LO: u32 = 0xD800;
+const SURROGATE_HI: u32 = 0xDFFF;
+const SURROGATE_COUNT: u64 = (SURROGATE_HI - SURROGATE_LO + 1) as u64;
+
+/// Number of valid scalar values in an inclusive char range (`char` bounds
+/// can never be surrogates, but a range may span the whole gap).
+fn range_size((lo, hi): (char, char)) -> u64 {
+    let raw = (hi as u64) - (lo as u64) + 1;
+    if (lo as u32) < SURROGATE_LO && (hi as u32) > SURROGATE_HI {
+        raw - SURROGATE_COUNT
+    } else {
+        raw
+    }
+}
+
+/// The `pick`-th valid scalar value of a range, stepping over the surrogate
+/// gap; `pick` must be below `range_size`.
+fn nth_char_of_range((lo, hi): (char, char), pick: u64) -> char {
+    let mut code = lo as u32 + pick as u32;
+    if (lo as u32) < SURROGATE_LO && code >= SURROGATE_LO {
+        code += SURROGATE_COUNT as u32;
+    }
+    debug_assert!(code <= hi as u32);
+    char::from_u32(code).expect("surrogate gap stepped over")
+}
+
+/// Samples a char not contained in `excluded`: mostly printable ASCII, with
+/// an occasional draw from the unicode pool.
+fn sample_any_except(rng: &mut TestRng, excluded: &[(char, char)]) -> char {
+    let contains = |c: char| excluded.iter().any(|(lo, hi)| (*lo..=*hi).contains(&c));
+    for _ in 0..64 {
+        let c = if rng.ratio(1, 8) {
+            UNICODE_POOL[rng.below(UNICODE_POOL.len() as u64) as usize]
+        } else {
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+        };
+        if !contains(c) {
+            return c;
+        }
+    }
+    panic!("negated class excludes the entire sampling pool: {excluded:?}");
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                CharSet::Dot
+            }
+            '[' => {
+                let (set, next) = parse_class(pattern, &chars, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                let (c, next) = parse_escape(pattern, &chars, i + 1);
+                i = next;
+                CharSet::Literal(c)
+            }
+            '(' | ')' | '|' => {
+                panic!("regex stand-in does not support groups/alternation: {pattern:?}")
+            }
+            c => {
+                i += 1;
+                CharSet::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unclosed {{ in {pattern:?}"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().unwrap_or_else(|_| bad_quant(pattern)),
+                            hi.trim().parse().unwrap_or_else(|_| bad_quant(pattern)),
+                        ),
+                        None => {
+                            let n = body.trim().parse().unwrap_or_else(|_| bad_quant(pattern));
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad quantifier bounds in {pattern:?}");
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+fn bad_quant(pattern: &str) -> u32 {
+    panic!("bad quantifier in {pattern:?}")
+}
+
+/// Parses a `[...]` class body starting just past the `[`; returns the set
+/// and the index just past the closing `]`.
+fn parse_class(pattern: &str, chars: &[char], mut i: usize) -> (CharSet, usize) {
+    let mut negated = false;
+    if chars.get(i) == Some(&'^') {
+        negated = true;
+        i += 1;
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut first = true;
+    while i < chars.len() && (chars[i] != ']' || first) {
+        first = false;
+        let lo = if chars[i] == '\\' {
+            let (c, next) = parse_escape(pattern, chars, i + 1);
+            i = next;
+            c
+        } else {
+            let c = chars[i];
+            i += 1;
+            c
+        };
+        // A `-` forms a range only with a following non-`]` char.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1; // consume '-'
+            let hi = if chars[i] == '\\' {
+                let (c, next) = parse_escape(pattern, chars, i + 1);
+                i = next;
+                c
+            } else {
+                let c = chars[i];
+                i += 1;
+                c
+            };
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(
+        chars.get(i) == Some(&']'),
+        "unclosed character class in {pattern:?}"
+    );
+    (CharSet::Class { ranges, negated }, i + 1)
+}
+
+/// Parses an escape starting just past the `\`; returns the char and the
+/// index just past the escape.
+fn parse_escape(pattern: &str, chars: &[char], i: usize) -> (char, usize) {
+    match chars.get(i) {
+        Some('x') => {
+            let hex: String = chars
+                .get(i + 1..i + 3)
+                .unwrap_or_else(|| panic!("truncated \\x escape in {pattern:?}"))
+                .iter()
+                .collect();
+            let code = u32::from_str_radix(&hex, 16)
+                .unwrap_or_else(|_| panic!("bad \\x escape in {pattern:?}"));
+            (char::from_u32(code).unwrap(), i + 3)
+        }
+        Some('n') => ('\n', i + 1),
+        Some('t') => ('\t', i + 1),
+        Some('r') => ('\r', i + 1),
+        Some('0') => ('\0', i + 1),
+        // Alphanumeric escapes we don't implement (\d, \w, \s, \b, \p{..},
+        // \u{..}...) must fail loudly, not degrade to a literal letter that
+        // would silently weaken a property.
+        Some(&c) if c.is_ascii_alphanumeric() => {
+            panic!("unsupported escape \\{c} in {pattern:?}")
+        }
+        Some(&c) => (c, i + 1), // \\, \., \-, \], \" etc.
+        None => panic!("dangling backslash in {pattern:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn literal_and_counted() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("ab{2,4}c", &mut r);
+            assert!(s.starts_with('a') && s.ends_with('c'));
+            let bs = s.len() - 2;
+            assert!((2..=4).contains(&bs));
+        }
+    }
+
+    #[test]
+    fn classes_respect_membership() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z][a-zA-Z0-9_]{0,10}", &mut r);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_alphabetic());
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn negated_class_excludes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[^\\x00-\\x08\\x0b-\\x1f]{0,16}", &mut r);
+            assert!(s.chars().all(|c| {
+                let u = c as u32;
+                !(u <= 0x08 || (0x0b..=0x1f).contains(&u))
+            }));
+        }
+    }
+
+    #[test]
+    fn dot_never_yields_newline() {
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(!generate(".{0,24}", &mut r).contains('\n'));
+        }
+    }
+
+    #[test]
+    fn class_spanning_surrogate_gap_stays_in_class() {
+        let mut r = rng();
+        // \x escapes only cover two hex digits, so build the pattern with
+        // literal chars around the gap: U+D7FF and U+E000.
+        let pattern = "[\u{d000}-\u{e100}]{8}";
+        for _ in 0..500 {
+            for c in generate(pattern, &mut r).chars() {
+                assert!(
+                    ('\u{d000}'..='\u{e100}').contains(&c),
+                    "generated {c:?} outside class"
+                );
+                assert_ne!(c, '\u{fffd}');
+            }
+        }
+    }
+
+    #[test]
+    fn literal_dash_at_class_end() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-c-]{4}", &mut r);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '-')));
+        }
+    }
+}

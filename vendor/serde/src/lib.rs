@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The repository only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations on model types; nothing actually serializes through serde at
+//! runtime (the ADL uses its own XML writer). Since the build environment has
+//! no registry access, this crate provides the two derive macros as no-ops so
+//! the annotations compile. If real serde serialization is ever needed,
+//! replace this with the registry crate via `[patch]` removal.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
