@@ -1,0 +1,183 @@
+//! Seeded fault-injection campaign driver.
+//!
+//! ```text
+//! cargo run --release -p orca_bench --bin campaign -- --plans 200 --seed 7
+//! cargo run --release -p orca_bench --bin campaign -- --app trend --plans 50
+//! cargo run --release -p orca_bench --bin campaign -- --broken-oracle convergence
+//! HARNESS_APP=trend HARNESS_SEED=123 HARNESS_PLAN=6500:kp:0:1 \
+//!     cargo run --release -p orca_bench --bin campaign -- --replay
+//! ```
+//!
+//! Stdout is bit-identical across runs with the same arguments (timings go
+//! to stderr), so campaign output itself can be diffed for determinism.
+
+use orca_harness::{
+    default_oracles, evaluate, run_campaign, scenario, CampaignConfig, FaultPlan, Scenario,
+};
+use std::process::ExitCode;
+
+struct Args {
+    plans: usize,
+    seed: u64,
+    app: Option<String>,
+    broken_convergence: bool,
+    check_determinism: bool,
+    replay: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        plans: 50,
+        seed: 7,
+        app: None,
+        broken_convergence: false,
+        check_determinism: true,
+        replay: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--plans" => args.plans = value("--plans")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--app" => args.app = Some(value("--app")?),
+            "--broken-oracle" => {
+                let which = value("--broken-oracle")?;
+                if which != "convergence" {
+                    return Err(format!("unknown oracle `{which}` (try: convergence)"));
+                }
+                args.broken_convergence = true;
+            }
+            "--no-determinism" => args.check_determinism = false,
+            "--replay" => args.replay = true,
+            "--help" | "-h" => {
+                return Err("usage: campaign [--plans N] [--seed S] [--app NAME] \
+                     [--broken-oracle convergence] [--no-determinism] [--replay]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn scenarios_for(app: &Option<String>) -> Result<Vec<Scenario>, String> {
+    match app {
+        None => Ok(scenario::all()),
+        Some(name) => scenario::by_name(name)
+            .map(|s| vec![s])
+            .ok_or_else(|| format!("unknown app `{name}` (try: live, sentiment, social, trend)")),
+    }
+}
+
+/// Replays one plan from `HARNESS_APP` / `HARNESS_SEED` / `HARNESS_PLAN`.
+fn replay(args: &Args) -> Result<ExitCode, String> {
+    let app = std::env::var("HARNESS_APP")
+        .ok()
+        .or_else(|| args.app.clone())
+        .ok_or("replay needs HARNESS_APP or --app")?;
+    let seed: u64 = std::env::var("HARNESS_SEED")
+        .map_err(|_| "replay needs HARNESS_SEED")?
+        .parse()
+        .map_err(|e| format!("bad HARNESS_SEED: {e}"))?;
+    let plan = FaultPlan::decode(
+        &std::env::var("HARNESS_PLAN").map_err(|_| "replay needs HARNESS_PLAN")?,
+    )?;
+    let sc = scenario::by_name(&app).ok_or_else(|| format!("unknown app `{app}`"))?;
+    let oracles = default_oracles(args.broken_convergence);
+    let (digest, violations) = evaluate(&sc, seed, &plan, &oracles, args.check_determinism);
+    println!(
+        "replay app={} seed={} plan={} digest={:016x}",
+        sc.name,
+        seed,
+        plan.encode(),
+        digest
+    );
+    if violations.is_empty() {
+        println!("all oracles passed");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            println!("oracle {} violated: {}", v.oracle, v.message);
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.replay {
+        return match replay(&args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let scenarios = match scenarios_for(&args.app) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = CampaignConfig {
+        plans: args.plans,
+        seed: args.seed,
+        check_determinism: args.check_determinism,
+        broken_convergence: args.broken_convergence,
+        ..Default::default()
+    };
+    let mut failed = false;
+    for sc in &scenarios {
+        let start = std::time::Instant::now();
+        let report = run_campaign(sc, &cfg);
+        eprintln!(
+            "[{}] {} plans in {:.1}s",
+            sc.name,
+            report.plans_run,
+            start.elapsed().as_secs_f64()
+        );
+        println!(
+            "campaign app={} plans={} seed={} digest={:016x} failures={}",
+            report.scenario, report.plans_run, args.seed, report.digest, report.plans_failed
+        );
+        failed |= report.plans_failed > 0;
+        for f in &report.failures {
+            println!(
+                "  FAIL seed={} original={} shrunk={}",
+                f.plan_seed,
+                f.original.encode(),
+                f.shrunk.encode()
+            );
+            for v in &f.violations {
+                println!("    oracle {}: {}", v.oracle, v.message);
+            }
+            println!(
+                "  reproduce: {} cargo run --release -p orca_bench --bin campaign -- --replay{}",
+                f.reproducer,
+                if args.broken_convergence {
+                    " --broken-oracle convergence"
+                } else {
+                    ""
+                }
+            );
+        }
+        let extra = report.plans_failed.saturating_sub(report.failures.len());
+        if extra > 0 {
+            println!("  ... and {extra} more failing plans (shrunk reproducers capped)");
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -686,6 +686,28 @@ impl OrcaService {
         self.core.queue.len()
     }
 
+    /// Jobs currently managed by this service (submitted, not cancelled).
+    pub fn managed_jobs(&self) -> Vec<JobId> {
+        self.core.jobs.keys().copied().collect()
+    }
+
+    /// Convergence probe for the fault-injection campaign harness: the
+    /// service has no undelivered events, SAM holds no pending notifications
+    /// for it, and every PE of every managed job is running. After the last
+    /// injected fault, a correct adaptation logic must bring this back to
+    /// `true` within a bounded number of quanta.
+    pub fn quiescent(&self, kernel: &Kernel) -> bool {
+        self.core.queue.is_empty()
+            && kernel.sam.notifications_pending(self.core.orca_id) == 0
+            && self.core.jobs.keys().all(|&job| {
+                kernel.sam.job(job).is_some_and(|info| {
+                    info.pe_ids
+                        .iter()
+                        .all(|&pe| kernel.pe_status(pe) == Some(sps_runtime::PeStatus::Up))
+                })
+            })
+    }
+
     /// The event/actuation journal (§7 extension): one entry per delivered
     /// event, carrying its transaction id and the actuations the handler
     /// performed — sufficient to audit or replay adaptation decisions.
@@ -1257,6 +1279,40 @@ mod tests {
         let svc = world.controller::<OrcaService>(idx).unwrap();
         let stats = svc.stats();
         assert!(stats.metric_observations_seen > stats.metric_events_matched);
+    }
+
+    #[test]
+    fn quiescence_probe_tracks_failure_and_recovery() {
+        let rec = Recorder {
+            submit_on_start: vec!["App"],
+            act_on_failure_restart: true,
+            ..Default::default()
+        };
+        let (mut world, idx) = world_with(rec, vec![pipeline_adl("App")]);
+        world.run_for(SimDuration::from_secs(1));
+        assert!(world
+            .controller::<OrcaService>(idx)
+            .unwrap()
+            .quiescent(&world.kernel));
+        let job = world.kernel.sam.running_jobs()[0];
+        let pe = world.kernel.pe_id_of(job, 1).unwrap();
+        world.kernel.kill_pe(pe).unwrap();
+        // A crashed PE (and, once drained, the replacement's spawn gap)
+        // breaks quiescence…
+        assert!(!world
+            .controller::<OrcaService>(idx)
+            .unwrap()
+            .quiescent(&world.kernel));
+        // …until the handler restarted it and the spawn delay elapsed.
+        world.run_for(SimDuration::from_secs(3));
+        assert!(world
+            .controller::<OrcaService>(idx)
+            .unwrap()
+            .quiescent(&world.kernel));
+        assert_eq!(
+            world.controller::<OrcaService>(idx).unwrap().managed_jobs(),
+            vec![job]
+        );
     }
 
     #[test]

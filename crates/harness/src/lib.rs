@@ -1,0 +1,41 @@
+//! Seeded fault-injection campaign harness.
+//!
+//! Converts the hand-scripted failover suites into thousands of
+//! machine-generated failure scenarios: a seeded [`FaultPlan`] generator
+//! samples kill/revive schedules (PE kills, host kills and revives,
+//! simultaneous cascades, kills aimed into the restart gap) over any
+//! registered application scenario; the [`runner`] executes plans through
+//! the simulated [`sps_runtime::World`] and checks a pluggable set of
+//! invariant [`oracle`]s — every killed PE returns to running or is cleanly
+//! reaped, the ORCA loop reconverges within a bounded number of quanta, SAM
+//! notifications are conserved, and the same seed reproduces a bit-identical
+//! `sim::trace`. Failing schedules are greedily [`shrink`]ed to a 1-minimal
+//! reproducer and reported as a one-line `HARNESS_SEED=… HARNESS_PLAN=…`
+//! environment stanza.
+//!
+//! Replay a failing plan locally with the `campaign` binary:
+//!
+//! ```text
+//! HARNESS_APP=trend HARNESS_SEED=123 HARNESS_PLAN=6500:kp:0:1 \
+//!     cargo run -p orca_bench --bin campaign -- --replay
+//! ```
+
+pub mod inject;
+pub mod oracle;
+pub mod plan;
+pub mod runner;
+pub mod scenario;
+pub mod shrink;
+
+pub use inject::{FaultInjector, Janitor};
+pub use oracle::{
+    default_oracles, ConvergenceOracle, NotificationOracle, Oracle, OracleCtx, RecoveryOracle,
+    Violation,
+};
+pub use plan::{FaultAction, FaultEvent, FaultPlan, PlanSpec};
+pub use runner::{
+    evaluate, quiescent, render_artifacts, run_campaign, run_plan, CampaignConfig, CampaignFailure,
+    CampaignReport, PlanOutcome,
+};
+pub use scenario::{by_name, Built, Scenario};
+pub use shrink::shrink;

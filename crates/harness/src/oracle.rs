@@ -1,0 +1,164 @@
+//! Invariant oracles checked after every campaign plan.
+//!
+//! Oracles are pluggable: the runner evaluates each against the settled
+//! world and collects violations. The built-in set covers the paper's
+//! correctness claims — failed PEs come back (or are cleanly reaped), the
+//! adaptation loop reconverges within a bounded number of quanta, and SAM's
+//! failure notifications are conserved (none lost, none duplicated). Trace
+//! determinism (same seed ⇒ bit-identical `sim::trace`) is enforced by the
+//! runner itself, which replays every plan and compares digests.
+
+use orca::OrcaService;
+use sps_runtime::{PeStatus, World};
+
+/// Everything an oracle may inspect after the settle phase.
+pub struct OracleCtx<'a> {
+    pub world: &'a World,
+    /// Controller index of the ORCA service, when the scenario has one.
+    pub orca_idx: Option<usize>,
+    /// First settle quantum (1-based) at which the system was quiescent,
+    /// if it ever was.
+    pub quanta_to_quiesce: Option<usize>,
+    /// The scenario's convergence budget, in quanta.
+    pub convergence_bound: usize,
+}
+
+impl OracleCtx<'_> {
+    fn service(&self) -> Option<&OrcaService> {
+        self.world.controller::<OrcaService>(self.orca_idx?)
+    }
+}
+
+/// One invariant check.
+pub trait Oracle {
+    fn name(&self) -> &'static str;
+    fn check(&self, ctx: &OracleCtx<'_>) -> Result<(), String>;
+}
+
+/// A named oracle violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub oracle: &'static str,
+    pub message: String,
+}
+
+/// Every killed PE returned to `Up` or was cleanly reaped: after the settle
+/// phase, no process anywhere in the cluster is `Crashed`, `Stopped`, or
+/// stuck `Starting`, and every running job's PE table points at live
+/// processes.
+pub struct RecoveryOracle;
+
+impl Oracle for RecoveryOracle {
+    fn name(&self) -> &'static str {
+        "recovery"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let kernel = &ctx.world.kernel;
+        for host in kernel.cluster.hosts() {
+            for proc in host.processes.values() {
+                if proc.status != PeStatus::Up {
+                    return Err(format!(
+                        "PE {} ({:?}) left {:?} on {} after settle",
+                        proc.pe_id, proc.job, proc.status, host.name
+                    ));
+                }
+            }
+        }
+        for job in kernel.sam.running_jobs() {
+            let info = kernel.sam.job(job).expect("running job");
+            for &pe in &info.pe_ids {
+                if kernel.pe_status(pe) != Some(PeStatus::Up) {
+                    return Err(format!(
+                        "job {job}: PE {pe} is {:?}, not Up",
+                        kernel.pe_status(pe)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The adaptation loop reconverged (no crashed PEs, no undelivered events or
+/// notifications) within the scenario's quantum budget after the last fault.
+pub struct ConvergenceOracle {
+    /// Overrides the scenario bound; `Some(1)` is the intentionally-broken
+    /// oracle used to demonstrate schedule shrinking.
+    pub bound_override: Option<usize>,
+}
+
+impl Oracle for ConvergenceOracle {
+    fn name(&self) -> &'static str {
+        "convergence"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let bound = self.bound_override.unwrap_or(ctx.convergence_bound);
+        match ctx.quanta_to_quiesce {
+            Some(q) if q <= bound => Ok(()),
+            Some(q) => Err(format!("reconverged after {q} quanta (bound {bound})")),
+            None => Err(format!("never reconverged (bound {bound})")),
+        }
+    }
+}
+
+/// SAM notification conservation: every crash of an owned PE produced
+/// exactly one notification, nothing was duplicated (a PE id can crash at
+/// most once — restarts mint fresh ids), and the orchestrator drained its
+/// queue completely.
+pub struct NotificationOracle;
+
+impl Oracle for NotificationOracle {
+    fn name(&self) -> &'static str {
+        "notifications"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let kernel = &ctx.world.kernel;
+        let owned_crashes = kernel.crash_log().iter().filter(|c| c.owned).count() as u64;
+        let pushed = kernel.sam.total_notifications_pushed();
+        if pushed != owned_crashes {
+            return Err(format!(
+                "{owned_crashes} owned crashes but {pushed} notifications pushed"
+            ));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for c in kernel.crash_log() {
+            if !seen.insert(c.pe) {
+                return Err(format!("PE {} crashed twice without a restart", c.pe));
+            }
+        }
+        if let Some(service) = ctx.service() {
+            let orca = service.orca_id();
+            let pending = kernel.sam.notifications_pending(orca);
+            if pending != 0 {
+                return Err(format!("{pending} notifications never drained"));
+            }
+            let (p, d) = (
+                kernel.sam.notifications_pushed(orca),
+                kernel.sam.notifications_drained(orca),
+            );
+            if p != d {
+                return Err(format!("pushed {p} != drained {d}"));
+            }
+        } else if pushed != 0 {
+            return Err(format!(
+                "{pushed} notifications pushed with no orchestrator registered"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The standard oracle set; `broken_convergence` swaps in the deliberately
+/// broken 1-quantum convergence bound (shrinking demo).
+pub fn default_oracles(broken_convergence: bool) -> Vec<Box<dyn Oracle>> {
+    vec![
+        Box::new(RecoveryOracle),
+        Box::new(ConvergenceOracle {
+            bound_override: broken_convergence.then_some(1),
+        }),
+        Box::new(NotificationOracle),
+    ]
+}

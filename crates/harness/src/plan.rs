@@ -1,0 +1,325 @@
+//! Fault plans: seeded, symbolic kill/revive schedules.
+//!
+//! A plan is a time-ordered list of *symbolic* fault actions. Actions name
+//! jobs, PEs, and hosts by **slot** — an index resolved modulo the live
+//! population at fire time — rather than by concrete id, because PE ids
+//! change on every restart and job sets change under dynamic composition.
+//! The same plan therefore stays meaningful across apps and across the very
+//! perturbations it causes, and a plan round-trips through a compact string
+//! encoding (`HARNESS_PLAN=…`) for one-line reproducers.
+
+use sps_sim::{SimDuration, SimRng, SimTime};
+use std::fmt;
+
+/// One symbolic fault action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill the PE at `pe_slot` (mod the job's PE count) of the running job
+    /// at `job_slot` (mod the number of running jobs).
+    KillPe { job_slot: u8, pe_slot: u8 },
+    /// Take down the host at `host_slot` (mod the cluster size).
+    KillHost { host_slot: u8 },
+    /// Bring the host at `host_slot` back up.
+    ReviveHost { host_slot: u8 },
+}
+
+/// A fault action bound to an absolute simulation time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub action: FaultAction,
+}
+
+/// A complete fault schedule, ordered by time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub events: Vec<FaultEvent>,
+}
+
+/// Bounds for plan generation, derived from the scenario under test.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanSpec {
+    /// Cluster size (host slots are drawn in `0..hosts`).
+    pub hosts: usize,
+    /// Faults are injected within `[window.0, window.1)`.
+    pub window: (SimTime, SimTime),
+    /// Maximum number of sampled incidents (an incident may expand to
+    /// several events: cascades, kill-during-restart, kill+revive pairs).
+    pub max_incidents: usize,
+    /// Cap on hosts that may be down simultaneously, so generated plans
+    /// never exhaust placement capacity by construction.
+    pub max_hosts_down: usize,
+    /// The runtime's PE spawn latency — used to aim kills into the restart
+    /// gap.
+    pub restart_delay: SimDuration,
+    /// When true, every host kill is paired with a revive inside the
+    /// window (needed by scenarios whose adaptation logic never retries a
+    /// failed placement).
+    pub revive_all: bool,
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::KillPe { job_slot, pe_slot } => write!(f, "kp:{job_slot}:{pe_slot}"),
+            FaultAction::KillHost { host_slot } => write!(f, "kh:{host_slot}"),
+            FaultAction::ReviveHost { host_slot } => write!(f, "rh:{host_slot}"),
+        }
+    }
+}
+
+/// Hosts down at instant `t` according to the events generated so far.
+fn hosts_down_at(events: &[FaultEvent], t: SimTime) -> Vec<u8> {
+    let mut down: Vec<u8> = Vec::new();
+    let mut ordered: Vec<&FaultEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.at);
+    for e in ordered {
+        if e.at > t {
+            break;
+        }
+        match e.action {
+            FaultAction::KillHost { host_slot } => {
+                if !down.contains(&host_slot) {
+                    down.push(host_slot);
+                }
+            }
+            FaultAction::ReviveHost { host_slot } => down.retain(|&h| h != host_slot),
+            FaultAction::KillPe { .. } => {}
+        }
+    }
+    down
+}
+
+/// Slot draw ranges — wide enough to reach every member of the largest
+/// populations the scenarios produce (social peaks at 8 running jobs,
+/// sentiment at 6 PEs per job); slots resolve modulo the live population at
+/// fire time, so oversized draws still land on real targets.
+const JOB_SLOTS: u64 = 8;
+const PE_SLOTS: u64 = 6;
+
+impl FaultPlan {
+    /// Samples a plan from `rng` under `spec`. Incident mix: plain PE
+    /// kills, host kill (+revive), simultaneous-kill cascades, and kills
+    /// aimed into the restart gap of a just-killed PE.
+    pub fn generate(rng: &mut SimRng, spec: &PlanSpec) -> FaultPlan {
+        let (start, end) = (spec.window.0.as_millis(), spec.window.1.as_millis());
+        assert!(start < end, "empty fault window");
+        let n = rng.gen_range(1, spec.max_incidents as u64 + 1) as usize;
+        let mut times: Vec<u64> = (0..n).map(|_| rng.gen_range(start, end)).collect();
+        times.sort_unstable();
+
+        let mut events: Vec<FaultEvent> = Vec::new();
+        let kill_pe = |rng: &mut SimRng, events: &mut Vec<FaultEvent>, t: u64| {
+            events.push(FaultEvent {
+                at: SimTime::from_millis(t),
+                action: FaultAction::KillPe {
+                    job_slot: rng.gen_range(0, JOB_SLOTS) as u8,
+                    pe_slot: rng.gen_range(0, PE_SLOTS) as u8,
+                },
+            });
+        };
+        for t in times {
+            match rng.pick_weighted(&[40.0, 25.0, 15.0, 20.0]) {
+                // Plain PE kill.
+                0 => kill_pe(rng, &mut events, t),
+                // Host kill, usually paired with a revive.
+                1 => {
+                    let at = SimTime::from_millis(t);
+                    let down = hosts_down_at(&events, at);
+                    let up: Vec<u8> = (0..spec.hosts as u8)
+                        .filter(|h| !down.contains(h))
+                        .collect();
+                    if down.len() >= spec.max_hosts_down || up.is_empty() {
+                        // Concurrency budget exhausted: degrade to a PE kill
+                        // so the incident count is preserved.
+                        kill_pe(rng, &mut events, t);
+                        continue;
+                    }
+                    let host_slot = up[rng.gen_range(0, up.len() as u64) as usize];
+                    events.push(FaultEvent {
+                        at,
+                        action: FaultAction::KillHost { host_slot },
+                    });
+                    if spec.revive_all || rng.gen_bool(0.7) {
+                        let lo = spec.restart_delay.as_millis().max(100);
+                        let revive_at = (t + lo + rng.gen_range(0, lo + 1))
+                            .min(end - 1)
+                            .max(t + 100);
+                        events.push(FaultEvent {
+                            at: SimTime::from_millis(revive_at),
+                            action: FaultAction::ReviveHost { host_slot },
+                        });
+                    }
+                }
+                // Cascade: several PEs die in the same instant (one physical
+                // event as seen by the failure-epoch correlator).
+                2 => {
+                    for _ in 0..rng.gen_range(2, 4) {
+                        kill_pe(rng, &mut events, t);
+                    }
+                }
+                // Kill-during-restart: the same slot dies again mid-spawn.
+                _ => {
+                    let (job_slot, pe_slot) = (
+                        rng.gen_range(0, JOB_SLOTS) as u8,
+                        rng.gen_range(0, PE_SLOTS) as u8,
+                    );
+                    for dt in [0, spec.restart_delay.as_millis() / 2] {
+                        events.push(FaultEvent {
+                            at: SimTime::from_millis(t + dt),
+                            action: FaultAction::KillPe { job_slot, pe_slot },
+                        });
+                    }
+                }
+            }
+        }
+        // Stable sort: simultaneous events keep their generation order.
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// Last event time, if any.
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.events.iter().map(|e| e.at).max()
+    }
+
+    /// Compact, shell-safe encoding: `millis:action[,millis:action…]`; the
+    /// empty plan encodes as `-`.
+    pub fn encode(&self) -> String {
+        if self.events.is_empty() {
+            return "-".to_string();
+        }
+        self.events
+            .iter()
+            .map(|e| format!("{}:{}", e.at.as_millis(), e.action))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses [`FaultPlan::encode`] output.
+    pub fn decode(s: &str) -> Result<FaultPlan, String> {
+        let s = s.trim();
+        if s.is_empty() || s == "-" {
+            return Ok(FaultPlan::default());
+        }
+        let mut events = Vec::new();
+        for part in s.split(',') {
+            let fields: Vec<&str> = part.split(':').collect();
+            let err = |what: &str| format!("bad plan event `{part}`: {what}");
+            let ms: u64 = fields
+                .first()
+                .and_then(|f| f.parse().ok())
+                .ok_or_else(|| err("missing/invalid time"))?;
+            let num = |i: usize| -> Result<u8, String> {
+                fields
+                    .get(i)
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| err("missing/invalid slot"))
+            };
+            let action = match (fields.get(1).copied(), fields.len()) {
+                (Some("kp"), 4) => FaultAction::KillPe {
+                    job_slot: num(2)?,
+                    pe_slot: num(3)?,
+                },
+                (Some("kh"), 3) => FaultAction::KillHost { host_slot: num(2)? },
+                (Some("rh"), 3) => FaultAction::ReviveHost { host_slot: num(2)? },
+                _ => return Err(err("unknown action")),
+            };
+            events.push(FaultEvent {
+                at: SimTime::from_millis(ms),
+                action,
+            });
+        }
+        events.sort_by_key(|e| e.at);
+        Ok(FaultPlan { events })
+    }
+
+    /// The plan without the event at `index` (shrinking candidate).
+    pub fn without(&self, index: usize) -> FaultPlan {
+        let mut events = self.events.clone();
+        events.remove(index);
+        FaultPlan { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> PlanSpec {
+        PlanSpec {
+            hosts: 4,
+            window: (SimTime::from_secs(5), SimTime::from_secs(15)),
+            max_incidents: 5,
+            max_hosts_down: 1,
+            restart_delay: SimDuration::from_secs(2),
+            revive_all: true,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_in_window() {
+        let a = FaultPlan::generate(&mut SimRng::new(9), &spec());
+        let b = FaultPlan::generate(&mut SimRng::new(9), &spec());
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty());
+        for e in &a.events {
+            assert!(e.at >= SimTime::from_secs(5));
+            assert!(e.at < SimTime::from_secs(16), "{e:?}"); // +restart-gap slack
+        }
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn host_down_budget_is_respected_and_revives_pair_up() {
+        for seed in 0..200u64 {
+            let plan = FaultPlan::generate(&mut SimRng::new(seed), &spec());
+            let mut down = 0usize;
+            let mut kills = 0usize;
+            for e in &plan.events {
+                match e.action {
+                    FaultAction::KillHost { .. } => {
+                        down += 1;
+                        kills += 1;
+                        assert!(down <= 1, "seed {seed}: >1 host down in {plan:?}");
+                    }
+                    FaultAction::ReviveHost { .. } => down = down.saturating_sub(1),
+                    FaultAction::KillPe { .. } => {}
+                }
+            }
+            // revive_all: every kill has its revive.
+            let revives = plan
+                .events
+                .iter()
+                .filter(|e| matches!(e.action, FaultAction::ReviveHost { .. }))
+                .count();
+            assert_eq!(kills, revives, "seed {seed}: {plan:?}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for seed in [1u64, 7, 42, 99] {
+            let plan = FaultPlan::generate(&mut SimRng::new(seed), &spec());
+            let encoded = plan.encode();
+            assert_eq!(FaultPlan::decode(&encoded).unwrap(), plan, "{encoded}");
+        }
+        assert_eq!(FaultPlan::decode("-").unwrap(), FaultPlan::default());
+        assert_eq!(FaultPlan::default().encode(), "-");
+        assert!(FaultPlan::decode("1000:xx:0").is_err());
+        assert!(FaultPlan::decode("abc:kp:0:1").is_err());
+        assert!(FaultPlan::decode("1000:kp:0").is_err());
+    }
+
+    #[test]
+    fn without_removes_exactly_one_event() {
+        let plan = FaultPlan::decode("1000:kp:0:1,2000:kh:1,3000:rh:1").unwrap();
+        let smaller = plan.without(1);
+        assert_eq!(smaller.events.len(), 2);
+        assert!(smaller
+            .events
+            .iter()
+            .all(|e| !matches!(e.action, FaultAction::KillHost { .. })));
+        assert_eq!(plan.horizon(), Some(SimTime::from_secs(3)));
+    }
+}

@@ -1,0 +1,253 @@
+//! The campaign runner: executes N seeded fault plans against a scenario,
+//! checks the oracle set after each, verifies trace determinism by replay,
+//! and shrinks failing schedules to minimal reproducers.
+
+use crate::inject::{FaultInjector, Janitor};
+use crate::oracle::{default_oracles, Oracle, OracleCtx, Violation};
+use crate::plan::FaultPlan;
+use crate::scenario::{Built, Scenario};
+use crate::shrink::shrink;
+use orca::OrcaService;
+use rand::RngCore;
+use sps_runtime::{PeStatus, World};
+use sps_sim::{fnv1a, SimRng, FNV_OFFSET};
+
+/// Campaign-wide knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Number of generated plans.
+    pub plans: usize,
+    /// Master seed: drives both plan generation and every world's RNG.
+    pub seed: u64,
+    /// Re-run every plan and require bit-identical trace digests.
+    pub check_determinism: bool,
+    /// Swap in the intentionally-broken convergence oracle (shrinking demo).
+    pub broken_convergence: bool,
+    /// Stop shrinking/collecting after this many distinct failures.
+    pub max_failures: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            plans: 50,
+            seed: 7,
+            check_determinism: true,
+            broken_convergence: false,
+            max_failures: 3,
+        }
+    }
+}
+
+/// Result of executing one plan once.
+pub struct PlanOutcome {
+    /// Trace digest of the settled world.
+    pub digest: u64,
+    /// First settle quantum at which the system was quiescent.
+    pub quanta_to_quiesce: Option<usize>,
+    pub violations: Vec<Violation>,
+}
+
+/// A failing plan, minimized.
+#[derive(Clone, Debug)]
+pub struct CampaignFailure {
+    pub plan_seed: u64,
+    pub original: FaultPlan,
+    pub shrunk: FaultPlan,
+    pub violations: Vec<Violation>,
+    /// One-line environment reproducer (`HARNESS_APP=… HARNESS_SEED=…
+    /// HARNESS_PLAN=…`).
+    pub reproducer: String,
+}
+
+/// Aggregate campaign result for one scenario.
+pub struct CampaignReport {
+    pub scenario: &'static str,
+    pub plans_run: usize,
+    /// Every plan that violated an oracle — including those beyond
+    /// `max_failures`, which are counted here but not shrunk.
+    pub plans_failed: usize,
+    /// Fold of every plan's trace digest — two campaign runs with the same
+    /// seed must report the same value.
+    pub digest: u64,
+    /// Shrunk reproducers for the first `max_failures` failing plans.
+    pub failures: Vec<CampaignFailure>,
+}
+
+/// Whole-system quiescence: every running job's PEs are `Up`, and the ORCA
+/// service (when present) reports itself converged.
+pub fn quiescent(world: &World, orca_idx: Option<usize>) -> bool {
+    let kernel = &world.kernel;
+    let all_up = kernel.sam.running_jobs().iter().all(|&job| {
+        kernel.sam.job(job).is_some_and(|info| {
+            info.pe_ids
+                .iter()
+                .all(|&pe| kernel.pe_status(pe) == Some(PeStatus::Up))
+        })
+    });
+    if !all_up {
+        return false;
+    }
+    match orca_idx {
+        Some(idx) => world
+            .controller::<OrcaService>(idx)
+            .is_some_and(|s| s.quiescent(kernel)),
+        None => true,
+    }
+}
+
+/// Renders the application-visible artifacts — SRM snapshots plus the sink
+/// taps of every running job. The campaign determinism digest and the
+/// systest determinism suite compare exactly this rendering, so they cannot
+/// silently diverge in coverage.
+pub fn render_artifacts(world: &World, taps: &[&str]) -> String {
+    let jobs = world.kernel.sam.running_jobs();
+    let mut out = format!("{:?}\n", world.kernel.srm.query_jobs(&jobs));
+    for &job in &jobs {
+        for tap in taps {
+            if let Some(tuples) = world.kernel.tap(job, tap) {
+                out.push_str(&format!("{job:?}.{tap}: {tuples:?}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Executes one plan against a fresh world: warmup, injection, settle, then
+/// the oracle pass.
+pub fn run_plan(
+    scenario: &Scenario,
+    seed: u64,
+    plan: &FaultPlan,
+    oracles: &[Box<dyn Oracle>],
+) -> PlanOutcome {
+    let Built {
+        mut world,
+        orca_idx,
+    } = (scenario.build)(seed);
+    if scenario.janitor {
+        world.add_controller(Box::new(Janitor::default()));
+    }
+    world.run_for(scenario.warmup);
+    world.add_controller(Box::new(FaultInjector::new(plan.clone())));
+
+    // Drive through the fault window; restart-gap kills may overshoot the
+    // nominal window, so extend to the plan's horizon plus one quantum.
+    let quantum = world.kernel.config.quantum;
+    let mut fault_end = world.now() + scenario.fault_window;
+    if let Some(h) = plan.horizon() {
+        if h + quantum > fault_end {
+            fault_end = h + quantum;
+        }
+    }
+    world.run_until(fault_end);
+
+    // Settle: track the first quantum at which the system is quiescent.
+    let settle_quanta = (scenario.settle.as_millis() / quantum.as_millis()) as usize;
+    let mut quanta_to_quiesce = None;
+    for q in 0..settle_quanta {
+        world.step();
+        if quanta_to_quiesce.is_none() && quiescent(&world, orca_idx) {
+            quanta_to_quiesce = Some(q + 1);
+        }
+    }
+
+    // The run digest covers the kernel trace *and* the application-visible
+    // state (SRM snapshots, sink taps), so the determinism replay catches
+    // nondeterministic operator state even when the lifecycle trace agrees.
+    let mut digest = fnv1a(FNV_OFFSET, &world.kernel.trace.digest().to_le_bytes());
+    digest = fnv1a(digest, render_artifacts(&world, scenario.taps).as_bytes());
+    let ctx = OracleCtx {
+        world: &world,
+        orca_idx,
+        quanta_to_quiesce,
+        convergence_bound: scenario.convergence_bound,
+    };
+    let violations = oracles
+        .iter()
+        .filter_map(|o| {
+            o.check(&ctx).err().map(|message| Violation {
+                oracle: o.name(),
+                message,
+            })
+        })
+        .collect();
+    PlanOutcome {
+        digest,
+        quanta_to_quiesce,
+        violations,
+    }
+}
+
+/// Runs a plan and, when requested, replays it to enforce the determinism
+/// oracle. Returns all violations (oracle + determinism).
+pub fn evaluate(
+    scenario: &Scenario,
+    seed: u64,
+    plan: &FaultPlan,
+    oracles: &[Box<dyn Oracle>],
+    check_determinism: bool,
+) -> (u64, Vec<Violation>) {
+    let outcome = run_plan(scenario, seed, plan, oracles);
+    let mut violations = outcome.violations;
+    if check_determinism {
+        let replay = run_plan(scenario, seed, plan, oracles);
+        if replay.digest != outcome.digest {
+            violations.push(Violation {
+                oracle: "determinism",
+                message: format!(
+                    "trace digests diverged for identical seed/plan: {:#018x} vs {:#018x}",
+                    outcome.digest, replay.digest
+                ),
+            });
+        }
+    }
+    (outcome.digest, violations)
+}
+
+/// Runs a full campaign over one scenario.
+pub fn run_campaign(scenario: &Scenario, cfg: &CampaignConfig) -> CampaignReport {
+    let oracles = default_oracles(cfg.broken_convergence);
+    let mut master = SimRng::new(cfg.seed);
+    let mut digest = FNV_OFFSET;
+    let mut failures: Vec<CampaignFailure> = Vec::new();
+    let mut plans_failed = 0usize;
+    for _ in 0..cfg.plans {
+        // Independent per-plan stream: seeds world RNG and plan sampling.
+        let plan_seed = master.next_u64();
+        let plan = FaultPlan::generate(&mut SimRng::new(plan_seed), &scenario.plan_spec());
+        let (plan_digest, violations) =
+            evaluate(scenario, plan_seed, &plan, &oracles, cfg.check_determinism);
+        digest = fnv1a(digest, &plan_digest.to_le_bytes());
+        if !violations.is_empty() {
+            plans_failed += 1;
+        }
+        if !violations.is_empty() && failures.len() < cfg.max_failures {
+            // The determinism replay doubles every shrink candidate's cost;
+            // only pay for it when the failure actually is a divergence.
+            let det_shrink =
+                cfg.check_determinism && violations.iter().any(|v| v.oracle == "determinism");
+            let shrunk = shrink(scenario, plan_seed, &plan, &oracles, det_shrink);
+            let reproducer = format!(
+                "HARNESS_APP={} HARNESS_SEED={} HARNESS_PLAN={}",
+                scenario.name,
+                plan_seed,
+                shrunk.encode()
+            );
+            failures.push(CampaignFailure {
+                plan_seed,
+                original: plan,
+                shrunk,
+                violations,
+                reproducer,
+            });
+        }
+    }
+    CampaignReport {
+        scenario: scenario.name,
+        plans_run: cfg.plans,
+        plans_failed,
+        digest,
+        failures,
+    }
+}

@@ -1,0 +1,42 @@
+//! Greedy fault-schedule shrinking.
+//!
+//! Given a failing plan, repeatedly try dropping one event at a time; keep
+//! any candidate that still violates an oracle. The result is 1-minimal:
+//! removing any single remaining event makes the plan pass. Plans are small
+//! (≤ ~10 events), so the O(n²) re-execution cost is negligible next to one
+//! campaign.
+
+use crate::oracle::Oracle;
+use crate::plan::FaultPlan;
+use crate::runner::evaluate;
+use crate::scenario::Scenario;
+
+/// Minimizes `plan` while it keeps failing under the given oracle set.
+pub fn shrink(
+    scenario: &Scenario,
+    seed: u64,
+    plan: &FaultPlan,
+    oracles: &[Box<dyn Oracle>],
+    check_determinism: bool,
+) -> FaultPlan {
+    let still_fails = |candidate: &FaultPlan| -> bool {
+        !evaluate(scenario, seed, candidate, oracles, check_determinism)
+            .1
+            .is_empty()
+    };
+    let mut current = plan.clone();
+    loop {
+        let mut reduced = false;
+        for i in 0..current.events.len() {
+            let candidate = current.without(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return current;
+        }
+    }
+}

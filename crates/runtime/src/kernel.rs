@@ -55,6 +55,32 @@ pub enum KillTarget {
     Host(String),
 }
 
+/// One PE crash, as observed by SAM's failure-notification path. The
+/// campaign harness' notification-conservation oracle checks these against
+/// the per-orchestrator notification counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashRecord {
+    pub at: SimTime,
+    pub pe: PeId,
+    /// `None` when the PE was not (or no longer) known to SAM.
+    pub job: Option<JobId>,
+    /// [`CrashReason::class`] of the failure.
+    pub reason: &'static str,
+    /// Whether the crashed PE's job had an owning orchestrator (and a
+    /// notification was therefore pushed).
+    pub owned: bool,
+}
+
+/// One successful PE restart (per-PE restart history).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RestartRecord {
+    pub at: SimTime,
+    pub old_pe: PeId,
+    pub new_pe: PeId,
+    pub job: JobId,
+    pub host: String,
+}
+
 /// The assembled runtime.
 pub struct Kernel {
     pub config: RuntimeConfig,
@@ -68,6 +94,8 @@ pub struct Kernel {
     rng: SimRng,
     scheduled_kills: Vec<(SimTime, KillTarget)>,
     last_metrics_push: SimTime,
+    crash_log: Vec<CrashRecord>,
+    restart_log: Vec<RestartRecord>,
 }
 
 impl Kernel {
@@ -88,6 +116,8 @@ impl Kernel {
             trace: TraceRing::new(65_536),
             scheduled_kills: Vec::new(),
             last_metrics_push: SimTime::ZERO,
+            crash_log: Vec::new(),
+            restart_log: Vec::new(),
         }
     }
 
@@ -315,24 +345,48 @@ impl Kernel {
         let adl = info.adl.clone();
         let pe_def = &adl.pes[adl_index];
         let old_host = self.cluster.host_of_pe(pe).map(str::to_string);
-        self.cluster.remove_process(pe);
 
+        let pool = pe_def
+            .host_pool
+            .as_ref()
+            .and_then(|name| adl.host_pools.iter().find(|p| &p.name == name));
         // Prefer the previous host when it is still up; otherwise re-place
-        // under the original constraints.
-        let host = match old_host.filter(|h| self.cluster.host(h).is_some_and(|h| h.up)) {
+        // under the original constraints. Placement happens *before* the old
+        // process is removed, so a failed restart (no host available) leaves
+        // the crashed process in place and a later attempt can still succeed.
+        let host = match old_host
+            .clone()
+            .filter(|h| self.cluster.host(h).is_some_and(|h| h.up))
+        {
             Some(h) => h,
-            None => {
-                let pool = pe_def
-                    .host_pool
-                    .as_ref()
-                    .and_then(|name| adl.host_pools.iter().find(|p| &p.name == name));
-                self.pick_host(job, pool, &BTreeSet::new()).ok_or_else(|| {
-                    RuntimeError::PlacementFailed(format!("no host available to restart PE {pe}"))
-                })?
-            }
+            None => self.pick_host(job, pool, &BTreeSet::new()).ok_or_else(|| {
+                RuntimeError::PlacementFailed(format!("no host available to restart PE {pe}"))
+            })?,
         };
         let new_pe = self.sam.alloc_pe_id();
         let runtime = PeRuntime::build(&adl, adl_index, &self.registry, self.rng.fork(new_pe.0))?;
+        // Placement and build succeeded: swap the processes.
+        self.cluster.remove_process(pe);
+        // Exclusive-pool relocation migrates the reservation: the claim on
+        // the dead host follows the job to its new home, so a later revive
+        // returns that host to the free pool instead of leaving it locked by
+        // a job that no longer lives there. The old claim is released only
+        // once no process of the job remains there (other crashed PEs of the
+        // same job may still await their own relocation).
+        if pool.is_some_and(|p| p.exclusive) {
+            if let Some(old) = &old_host {
+                if old != &host
+                    && self.sam.host_reservation(old) == Some(job)
+                    && self
+                        .cluster
+                        .host(old)
+                        .is_none_or(|h| !h.processes.values().any(|p| p.job == job))
+                {
+                    self.sam.unreserve_host(old);
+                }
+            }
+            self.sam.reserve_host(&host, job);
+        }
         self.cluster
             .host_mut(&host)
             .expect("host exists")
@@ -351,6 +405,13 @@ impl Kernel {
             );
         self.sam.replace_pe(job, adl_index, new_pe);
         self.srm.forget_pe(job, pe);
+        self.restart_log.push(RestartRecord {
+            at: self.now,
+            old_pe: pe,
+            new_pe,
+            job,
+            host: host.clone(),
+        });
         self.trace.push(
             self.now,
             "sam",
@@ -373,14 +434,16 @@ impl Kernel {
         Ok(())
     }
 
-    /// Kills a PE process (fault injection / external crash).
+    /// Kills a PE process (fault injection / external crash). A `Starting`
+    /// process can crash just like an `Up` one — mid-spawn is exactly when
+    /// kill-during-restart faults land.
     pub fn kill_pe(&mut self, pe: PeId) -> Result<(), RuntimeError> {
         let proc = self
             .cluster
             .process_mut(pe)
             .ok_or(RuntimeError::UnknownPe(pe))?;
-        if proc.status != PeStatus::Up {
-            return Err(RuntimeError::BadPeState(pe, "up"));
+        if !matches!(proc.status, PeStatus::Up | PeStatus::Starting) {
+            return Err(RuntimeError::BadPeState(pe, "up or starting"));
         }
         proc.status = PeStatus::Crashed;
         self.trace.push(self.now, "hc", format!("PE {pe} killed"));
@@ -395,10 +458,13 @@ impl Kernel {
             .host_mut(host_name)
             .ok_or_else(|| RuntimeError::Invalid(format!("unknown host {host_name}")))?;
         host.up = false;
+        // `Starting` processes die with the host too: otherwise a PE whose
+        // restart was in flight when the host failed would sit `Starting`
+        // forever (the promotion loop skips down hosts) with nobody notified.
         let victims: Vec<PeId> = host
             .processes
             .values_mut()
-            .filter(|p| p.status == PeStatus::Up)
+            .filter(|p| matches!(p.status, PeStatus::Up | PeStatus::Starting))
             .map(|p| {
                 p.status = PeStatus::Crashed;
                 p.pe_id
@@ -437,10 +503,19 @@ impl Kernel {
     }
 
     fn notify_pe_failure(&mut self, pe: PeId, reason: CrashReason) {
-        let Some((job, adl_index)) = self.sam.pe_lookup(pe) else {
+        let lookup = self.sam.pe_lookup(pe);
+        let owner = lookup.and_then(|(job, _)| self.sam.job(job).and_then(|j| j.owner));
+        self.crash_log.push(CrashRecord {
+            at: self.now,
+            pe,
+            job: lookup.map(|(job, _)| job),
+            reason: reason.class(),
+            owned: owner.is_some(),
+        });
+        let Some((job, adl_index)) = lookup else {
             return;
         };
-        let Some(owner) = self.sam.job(job).and_then(|j| j.owner) else {
+        let Some(owner) = owner else {
             return; // unmanaged job: nobody to tell
         };
         let now = self.now;
@@ -465,6 +540,17 @@ impl Kernel {
 
     pub fn pe_status(&self, pe: PeId) -> Option<PeStatus> {
         self.cluster.process(pe).map(|p| p.status)
+    }
+
+    /// Every PE crash observed so far (oldest first).
+    pub fn crash_log(&self) -> &[CrashRecord] {
+        &self.crash_log
+    }
+
+    /// Every successful PE restart so far (oldest first) — the per-PE
+    /// restart history the campaign oracles correlate against crashes.
+    pub fn restart_log(&self) -> &[RestartRecord] {
+        &self.restart_log
     }
 
     /// Contents of a sink-like operator.
@@ -825,6 +911,141 @@ mod tests {
         // Revive and verify status propagates.
         k.revive_host(&host0).unwrap();
         assert_eq!(k.srm.host_up(&host0), Some(true));
+    }
+
+    /// Regression: `kill_host` racing an in-flight `restart_pe` on the same
+    /// host. The replacement process is still `Starting` when the host dies;
+    /// it must crash with everything else (and notify the owner) rather than
+    /// sit `Starting` forever on a downed host.
+    #[test]
+    fn kill_host_crashes_inflight_restarts() {
+        let mut k = kernel(2);
+        let orca = k.sam.register_orchestrator();
+        let job = k.submit_job(pipeline_adl("P", 10.0), Some(orca)).unwrap();
+        run(&mut k, 5);
+        let pe = k.pe_id_of(job, 0).unwrap();
+        let host = k.cluster.host_of_pe(pe).unwrap().to_string();
+        k.kill_pe(pe).unwrap();
+        // Restart lands on the same (still-up) host and is mid-spawn…
+        let new_pe = k.restart_pe(pe).unwrap();
+        assert_eq!(k.pe_status(new_pe), Some(PeStatus::Starting));
+        assert_eq!(k.cluster.host_of_pe(new_pe), Some(host.as_str()));
+        // …when the host goes down.
+        k.kill_host(&host).unwrap();
+        assert_eq!(
+            k.pe_status(new_pe),
+            Some(PeStatus::Crashed),
+            "a Starting PE must die with its host"
+        );
+        // Every crash was pushed to the owner: the original kill, the
+        // Starting replacement, and the host's other Up PE (3 PEs across 2
+        // hosts → the killed host also ran one sibling).
+        let notes = k.sam.drain_notifications(orca);
+        assert_eq!(notes.len(), 3);
+        // Reviving the host must not resurrect the crashed process.
+        k.revive_host(&host).unwrap();
+        run(&mut k, 30);
+        assert_eq!(k.pe_status(new_pe), Some(PeStatus::Crashed));
+        // The crashed replacement restarts cleanly on the surviving host.
+        let third = k.restart_pe(new_pe).unwrap();
+        run(&mut k, 21);
+        assert_eq!(k.pe_status(third), Some(PeStatus::Up));
+        // The whole history is in the logs: three crashes, two restarts.
+        assert_eq!(k.crash_log().len(), 3);
+        assert!(k.crash_log().iter().all(|c| c.owned));
+        let restarted: Vec<_> = k.restart_log().iter().map(|r| r.old_pe).collect();
+        assert_eq!(restarted, vec![pe, new_pe]);
+    }
+
+    /// A scheduled kill that lands during the restart gap (the PE is
+    /// `Starting`) takes effect instead of erroring out.
+    #[test]
+    fn scheduled_kill_during_restart_gap_crashes_pe() {
+        let mut k = kernel(1);
+        let job = k.submit_job(pipeline_adl("P", 10.0), None).unwrap();
+        let pe = k.pe_id_of(job, 0).unwrap();
+        k.kill_pe(pe).unwrap();
+        let new_pe = k.restart_pe(pe).unwrap();
+        k.schedule_kill(SimTime::from_millis(500), KillTarget::Pe(new_pe));
+        run(&mut k, 5); // restart delay is 2 s: still Starting at 500 ms
+        assert_eq!(k.pe_status(new_pe), Some(PeStatus::Crashed));
+        assert!(k.trace.find("scheduled kill failed").is_empty());
+    }
+
+    #[test]
+    fn exclusive_restart_relocation_migrates_reservation() {
+        let mut k = kernel(3);
+        let mut m = CompositeGraphBuilder::main();
+        m.operator("src", OperatorInvocation::new("Beacon").source());
+        let model = AppModelBuilder::new("R").build(m.build().unwrap()).unwrap();
+        let mut adl = compile(&model, CompileOptions::default()).unwrap();
+        adl.make_host_pools_exclusive("R");
+        let job = k.submit_job(adl, None).unwrap();
+        let pe = k.pe_id_of(job, 0).unwrap();
+        let old_host = k.cluster.host_of_pe(pe).unwrap().to_string();
+        assert_eq!(k.sam.host_reservation(&old_host), Some(job));
+        k.kill_host(&old_host).unwrap();
+        let new_pe = k.restart_pe(pe).unwrap();
+        let new_host = k.cluster.host_of_pe(new_pe).unwrap().to_string();
+        assert_ne!(new_host, old_host);
+        // The reservation followed the job; the dead host is free again.
+        assert_eq!(k.sam.host_reservation(&old_host), None);
+        assert_eq!(k.sam.host_reservation(&new_host), Some(job));
+    }
+
+    /// A failed restart (no host available) must leave the crashed process
+    /// in place so the restart can be retried once capacity returns.
+    #[test]
+    fn failed_restart_is_retryable() {
+        let mut k = kernel(1);
+        let job = k.submit_job(pipeline_adl("P", 10.0), None).unwrap();
+        let pe = k.pe_id_of(job, 0).unwrap();
+        k.kill_host("host0").unwrap();
+        assert!(matches!(
+            k.restart_pe(pe),
+            Err(RuntimeError::PlacementFailed(_))
+        ));
+        // The process survived the failed attempt…
+        assert_eq!(k.pe_status(pe), Some(PeStatus::Crashed));
+        // …and the retry succeeds after the host comes back.
+        k.revive_host("host0").unwrap();
+        let new_pe = k.restart_pe(pe).unwrap();
+        run(&mut k, 21);
+        assert_eq!(k.pe_status(new_pe), Some(PeStatus::Up));
+    }
+
+    /// Migration releases the old host's exclusive claim only after the
+    /// *last* process of the job has left it: with two crashed PEs on the
+    /// dead host, the first relocation must not open the host to others.
+    #[test]
+    fn partial_relocation_keeps_old_reservation_until_empty() {
+        let mut k = kernel(3);
+        let mut m = CompositeGraphBuilder::main();
+        m.operator("a", OperatorInvocation::new("Beacon").source());
+        m.operator("b", OperatorInvocation::new("Beacon").source());
+        let model = AppModelBuilder::new("R").build(m.build().unwrap()).unwrap();
+        let mut adl = compile(&model, CompileOptions::default()).unwrap();
+        adl.make_host_pools_exclusive("R");
+        let job = k.submit_job(adl, None).unwrap();
+        let (pe_a, pe_b) = (k.pe_id_of(job, 0).unwrap(), k.pe_id_of(job, 1).unwrap());
+        // Exclusive pools pack: both PEs share one reserved host.
+        let old_host = k.cluster.host_of_pe(pe_a).unwrap().to_string();
+        assert_eq!(k.cluster.host_of_pe(pe_b), Some(old_host.as_str()));
+        k.kill_host(&old_host).unwrap();
+
+        let new_a = k.restart_pe(pe_a).unwrap();
+        let new_host = k.cluster.host_of_pe(new_a).unwrap().to_string();
+        assert_ne!(new_host, old_host);
+        // pe_b still sits crashed on the old host → the claim stays.
+        assert_eq!(k.sam.host_reservation(&old_host), Some(job));
+        assert_eq!(k.sam.host_reservation(&new_host), Some(job));
+
+        let new_b = k.restart_pe(pe_b).unwrap();
+        // The second relocation packs onto the job's new home and finally
+        // releases the emptied old host.
+        assert_eq!(k.cluster.host_of_pe(new_b), Some(new_host.as_str()));
+        assert_eq!(k.sam.host_reservation(&old_host), None);
+        assert_eq!(k.sam.host_reservation(&new_host), Some(job));
     }
 
     #[test]

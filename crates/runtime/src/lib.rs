@@ -29,7 +29,7 @@ pub use broker::Broker;
 pub use cluster::{Cluster, Host, PeProcess, PeStatus};
 pub use error::RuntimeError;
 pub use ids::{JobId, OrcaId, PeId};
-pub use kernel::{Kernel, KillTarget, RuntimeConfig};
+pub use kernel::{CrashRecord, Kernel, KillTarget, RestartRecord, RuntimeConfig};
 pub use sam::{CrashReason, JobInfo, JobStatus, OrcaNotification, Sam};
 pub use srm::{MetricSnapshot, Srm};
 pub use world::{Controller, World};

@@ -84,6 +84,10 @@ pub struct Sam {
     orca_queues: BTreeMap<OrcaId, VecDeque<OrcaNotification>>,
     /// host → owning job for exclusive host pools (§4.3).
     exclusive_hosts: BTreeMap<String, JobId>,
+    /// Delivery accounting per orchestrator (campaign-oracle hooks): how
+    /// many notifications were ever enqueued and how many were drained.
+    pushed: BTreeMap<OrcaId, u64>,
+    drained: BTreeMap<OrcaId, u64>,
 }
 
 impl Sam {
@@ -117,16 +121,42 @@ impl Sam {
     pub fn push_notification(&mut self, orca: OrcaId, n: OrcaNotification) {
         if let Some(q) = self.orca_queues.get_mut(&orca) {
             q.push_back(n);
+            *self.pushed.entry(orca).or_insert(0) += 1;
         }
     }
 
     /// The ORCA service pulls its pending notifications (the simulated
     /// SAM→ORCA RPC).
     pub fn drain_notifications(&mut self, orca: OrcaId) -> Vec<OrcaNotification> {
-        self.orca_queues
+        let out: Vec<OrcaNotification> = self
+            .orca_queues
             .get_mut(&orca)
             .map(|q| q.drain(..).collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        if !out.is_empty() {
+            *self.drained.entry(orca).or_insert(0) += out.len() as u64;
+        }
+        out
+    }
+
+    /// Notifications ever enqueued for an orchestrator.
+    pub fn notifications_pushed(&self, orca: OrcaId) -> u64 {
+        self.pushed.get(&orca).copied().unwrap_or(0)
+    }
+
+    /// Notifications an orchestrator has drained so far.
+    pub fn notifications_drained(&self, orca: OrcaId) -> u64 {
+        self.drained.get(&orca).copied().unwrap_or(0)
+    }
+
+    /// Currently queued, undelivered notifications for an orchestrator.
+    pub fn notifications_pending(&self, orca: OrcaId) -> usize {
+        self.orca_queues.get(&orca).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Total notifications ever enqueued across all orchestrators.
+    pub fn total_notifications_pushed(&self) -> u64 {
+        self.pushed.values().sum()
     }
 
     // ---- job / PE tables ---------------------------------------------------
@@ -305,6 +335,31 @@ mod tests {
             },
         );
         assert!(sam.drain_notifications(OrcaId(99)).is_empty());
+    }
+
+    #[test]
+    fn notification_counters_balance() {
+        let mut sam = Sam::new();
+        let o = sam.register_orchestrator();
+        let n = OrcaNotification::PeFailure {
+            job: JobId(1),
+            pe: PeId(1),
+            adl_index: 0,
+            reason: CrashReason::Killed,
+            detected_at: SimTime::ZERO,
+        };
+        sam.push_notification(o, n.clone());
+        sam.push_notification(o, n.clone());
+        assert_eq!(sam.notifications_pushed(o), 2);
+        assert_eq!(sam.notifications_pending(o), 2);
+        assert_eq!(sam.notifications_drained(o), 0);
+        sam.drain_notifications(o);
+        assert_eq!(sam.notifications_drained(o), 2);
+        assert_eq!(sam.notifications_pending(o), 0);
+        // Pushes to unknown orchestrators are dropped, not counted.
+        sam.push_notification(OrcaId(99), n);
+        assert_eq!(sam.total_notifications_pushed(), 2);
+        assert_eq!(sam.notifications_pushed(OrcaId(99)), 0);
     }
 
     #[test]

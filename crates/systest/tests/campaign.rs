@@ -1,0 +1,119 @@
+//! Integration: the fault-injection campaign harness over all four
+//! use-case applications — fixed-seed campaigns pass every oracle, reports
+//! are bit-deterministic, and a deliberately broken oracle demonstrates
+//! shrinking down to a 1-minimal reproducible plan.
+
+use orca_harness::{default_oracles, evaluate, run_campaign, scenario, CampaignConfig, FaultPlan};
+use sps_sim::SimRng;
+
+fn cfg(plans: usize) -> CampaignConfig {
+    CampaignConfig {
+        plans,
+        seed: 0xC0FFEE,
+        check_determinism: true,
+        broken_convergence: false,
+        max_failures: 3,
+    }
+}
+
+#[test]
+fn fixed_seed_campaigns_pass_all_oracles_on_every_app() {
+    for sc in scenario::all() {
+        let report = run_campaign(&sc, &cfg(4));
+        assert_eq!(report.plans_run, 4);
+        assert_eq!(report.plans_failed, 0, "[{}]", sc.name);
+        assert!(
+            report.failures.is_empty(),
+            "[{}] campaign failed:\n{}",
+            sc.name,
+            report
+                .failures
+                .iter()
+                .map(|f| format!("  {} -> {:?}", f.reproducer, f.violations))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn campaign_reports_are_bit_deterministic() {
+    let sc = scenario::trend();
+    let a = run_campaign(&sc, &cfg(3));
+    let b = run_campaign(&sc, &cfg(3));
+    assert_eq!(a.digest, b.digest, "same seed must fold the same digests");
+    assert_eq!(a.failures.len(), b.failures.len());
+    // A different seed explores different plans.
+    let c = run_campaign(
+        &sc,
+        &CampaignConfig {
+            seed: 0xBEEF,
+            ..cfg(3)
+        },
+    );
+    assert_ne!(a.digest, c.digest);
+}
+
+#[test]
+fn generated_plans_actually_perturb_the_system() {
+    // The trace digest of a faulted run must differ from the fault-free
+    // baseline of the same seed — i.e. campaigns exercise real failures.
+    let sc = scenario::trend();
+    let oracles = default_oracles(false);
+    let seed = 0xDEAD_BEEF_u64;
+    let plan = FaultPlan::generate(&mut SimRng::new(seed), &sc.plan_spec());
+    assert!(!plan.events.is_empty());
+    let (faulted, violations) = evaluate(&sc, seed, &plan, &oracles, false);
+    assert!(violations.is_empty(), "{violations:?}");
+    let (baseline, _) = evaluate(&sc, seed, &FaultPlan::default(), &oracles, false);
+    assert_ne!(faulted, baseline, "plan {} left no mark", plan.encode());
+}
+
+#[test]
+fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
+    let sc = scenario::trend();
+    let config = CampaignConfig {
+        plans: 5,
+        seed: 7,
+        check_determinism: false, // halve the cost; determinism is covered above
+        broken_convergence: true,
+        max_failures: 1,
+    };
+    let report = run_campaign(&sc, &config);
+    assert!(
+        !report.failures.is_empty(),
+        "the inverted convergence bound must trip on some plan"
+    );
+    // Every failing plan is counted, even beyond the shrink cap.
+    assert!(report.plans_failed >= report.failures.len());
+    let f = &report.failures[0];
+    assert!(f.violations.iter().any(|v| v.oracle == "convergence"));
+    assert!(f.shrunk.events.len() <= f.original.events.len());
+    assert!(!f.shrunk.events.is_empty());
+
+    // The reproducer round-trips and still fails.
+    let oracles = default_oracles(true);
+    let decoded = FaultPlan::decode(&f.shrunk.encode()).unwrap();
+    assert_eq!(decoded, f.shrunk);
+    let (_, violations) = evaluate(&sc, f.plan_seed, &decoded, &oracles, false);
+    assert!(!violations.is_empty(), "shrunk plan no longer fails");
+
+    // 1-minimality: removing any single remaining event makes it pass.
+    for i in 0..f.shrunk.events.len() {
+        let smaller = f.shrunk.without(i);
+        let (_, v) = evaluate(&sc, f.plan_seed, &smaller, &oracles, false);
+        assert!(
+            v.is_empty(),
+            "shrunk plan is not minimal: dropping event {i} still fails ({v:?})"
+        );
+    }
+
+    // The one-line reproducer carries everything needed for replay.
+    assert!(f.reproducer.contains("HARNESS_APP=trend"));
+    assert!(f
+        .reproducer
+        .contains(&format!("HARNESS_SEED={}", f.plan_seed)));
+    assert!(f
+        .reproducer
+        .contains(&format!("HARNESS_PLAN={}", f.shrunk.encode())));
+}

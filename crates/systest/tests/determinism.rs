@@ -1,12 +1,16 @@
 //! Determinism: the sim crate's stated design requirement is that a seeded
-//! run reproduces bit-for-bit. This suite runs the same seeded `World`
-//! scenario twice — full §5.2 trend failover, with fault injection and an
-//! attached orchestrator — and asserts the complete kernel event trace, the
-//! SRM metric snapshots, and the application output are identical.
+//! run reproduces bit-for-bit. This suite covers all four use-case apps
+//! (`live`, `sentiment`, `social`, `trend`) through a shared helper that
+//! drives each campaign scenario under a fixed fault plan and compares the
+//! complete kernel event trace (text and digest), the SRM metric snapshots,
+//! and the application output across runs — plus the original scripted §5.2
+//! trend failover with `schedule_kill`.
 
 use orca::{OrcaDescriptor, OrcaService};
+use orca_apps::live::stream_taps;
 use orca_apps::trend::{trend_app, TrendOrca, TrendParams};
 use orca_apps::SharedStores;
+use orca_harness::{scenario, Built, FaultInjector, FaultPlan, Janitor, Scenario};
 use sps_runtime::{Cluster, Kernel, KillTarget, RuntimeConfig, World};
 use sps_sim::{SimDuration, SimTime};
 
@@ -102,6 +106,105 @@ fn same_seed_reproduces_bit_identical_run() {
         output_a, output_b,
         "application output diverged for identical seeds"
     );
+}
+
+// ---------------------------------------------------------------------------
+// All four apps, via the shared campaign-scenario helper
+// ---------------------------------------------------------------------------
+
+/// Shared helper: drives one campaign scenario under a fixed fault plan and
+/// returns every observable artifact rendered to strings — the full trace
+/// ring plus its digest, and the SRM snapshots + sink-tap contents of every
+/// running job.
+fn run_app_scenario(sc: &Scenario, plan: &str, seed: u64) -> (String, u64, String) {
+    let plan = FaultPlan::decode(plan).expect("valid fixed plan");
+    let Built {
+        mut world,
+        orca_idx: _,
+    } = (sc.build)(seed);
+    if sc.janitor {
+        world.add_controller(Box::new(Janitor::default()));
+    }
+    world.run_for(sc.warmup);
+    world.add_controller(Box::new(FaultInjector::new(plan)));
+    world.run_for(sc.fault_window + sc.settle);
+
+    let trace = world.kernel.trace.dump();
+    let digest = world.kernel.trace.digest();
+    // Same rendering the campaign determinism digest folds in, so this
+    // suite's coverage tracks the campaign oracle's exactly.
+    let outputs = orca_harness::render_artifacts(&world, sc.taps);
+    (trace, digest, outputs)
+}
+
+/// Fixed plan per scenario: a PE kill, a host kill + revive, and a second
+/// PE kill — all inside the scenario's fault window.
+fn fixed_plan(sc: &Scenario) -> String {
+    let w = sc.warmup.as_millis();
+    format!(
+        "{}:kp:0:1,{}:kh:1,{}:kp:1:2,{}:rh:1",
+        w + 1000,
+        w + 3000,
+        w + 4000,
+        w + 5500
+    )
+}
+
+#[test]
+fn all_four_apps_reproduce_bit_identical_runs() {
+    for sc in scenario::all() {
+        let plan = fixed_plan(&sc);
+        let (trace_a, digest_a, out_a) = run_app_scenario(&sc, &plan, 0x5EED_0001);
+        let (trace_b, digest_b, out_b) = run_app_scenario(&sc, &plan, 0x5EED_0001);
+        // The plan must have actually exercised the failure machinery.
+        assert!(
+            trace_a.contains("killed") || trace_a.contains("down"),
+            "[{}] fault injection left no trace:\n{trace_a}",
+            sc.name
+        );
+        assert_eq!(trace_a, trace_b, "[{}] traces diverged", sc.name);
+        assert_eq!(digest_a, digest_b, "[{}] digests diverged", sc.name);
+        assert_eq!(out_a, out_b, "[{}] outputs diverged", sc.name);
+        // A different seed must actually change the workload (traces only
+        // record lifecycle events, so compare the application artifacts).
+        let (_, _, out_c) = run_app_scenario(&sc, &plan, 0x5EED_0002);
+        assert_ne!(out_a, out_c, "[{}] seed had no effect", sc.name);
+    }
+}
+
+/// The `live` streaming module itself is deterministic under faults: the
+/// sampled tap updates (times, attribution, tuple payloads) reproduce
+/// bit-for-bit alongside the kernel trace.
+#[test]
+fn live_tap_streaming_reproduces_bit_identically() {
+    fn streamed(seed: u64) -> (String, u64) {
+        let sc = scenario::live();
+        let Built { mut world, .. } = (sc.build)(seed);
+        world.add_controller(Box::new(Janitor::default()));
+        world.run_for(sc.warmup);
+        world.add_controller(Box::new(FaultInjector::new(
+            FaultPlan::decode(&fixed_plan(&sc)).unwrap(),
+        )));
+        let taps: Vec<_> = world
+            .kernel
+            .sam
+            .running_jobs()
+            .into_iter()
+            .map(|job| (job, "snk".to_string()))
+            .collect();
+        let until = world.now() + sc.fault_window + sc.settle;
+        let rx = stream_taps(&mut world, &taps, SimDuration::from_secs(1), until);
+        let rendered: String = rx
+            .try_iter()
+            .map(|u| format!("[{}] {} {} {:?}\n", u.at, u.job, u.op, u.tuples))
+            .collect();
+        (rendered, world.kernel.trace.digest())
+    }
+    let (a, da) = streamed(0xA11CE);
+    let (b, db) = streamed(0xA11CE);
+    assert!(!a.is_empty(), "no tap updates streamed");
+    assert_eq!(a, b, "streamed tap updates diverged");
+    assert_eq!(da, db);
 }
 
 #[test]
