@@ -23,7 +23,9 @@ use orca::{
     TimerContext,
 };
 use parking_lot::Mutex;
-use sps_engine::{OpCtx, Operator, OperatorRegistry, Tuple};
+use sps_engine::{
+    EngineError, OpCtx, Operator, OperatorRegistry, StateBlob, StateReader, StateWriter, Tuple,
+};
 use sps_model::compiler::{compile, CompileOptions};
 use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
 use sps_model::{Adl, Value};
@@ -216,6 +218,20 @@ impl Operator for TweetSource {
             ctx.submit(0, t);
         }
     }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_f64(self.credit);
+        w.put_rng(self.rng.as_ref().expect("rng present"));
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.credit = r.get_f64()?;
+        self.rng = Some(r.get_rng()?);
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -287,6 +303,41 @@ impl Operator for CauseCorrelator {
         let now = ctx.now();
         self.refresh_metrics(now, ctx);
     }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        // Loaded model mirror: a revived correlator must not silently jump
+        // to a newer model version than the one it was classifying with.
+        w.put_u64(self.loaded.version);
+        w.put_u32(self.loaded.known_causes.len() as u32);
+        for c in &self.loaded.known_causes {
+            w.put_str(c);
+        }
+        w.put_u32(self.window.len() as u32);
+        for (at, known) in &self.window {
+            w.put_time(*at);
+            w.put_bool(*known);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.loaded.version = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        self.loaded.known_causes.clear();
+        for _ in 0..n {
+            self.loaded.known_causes.push(r.get_str()?);
+        }
+        let n = r.get_u32()? as usize;
+        self.window.clear();
+        for _ in 0..n {
+            let at = r.get_time()?;
+            let known = r.get_bool()?;
+            self.window.push_back((at, known));
+        }
+        Ok(())
+    }
 }
 
 /// Figure 1 baseline, operator op8: watches the correlator output in-graph
@@ -323,6 +374,30 @@ impl Operator for EmbeddedDetector {
             ctx.submit(0, Tuple::new().with("trigger", true));
         }
     }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_opt(&self.last_trigger, |w, t| w.put_time(*t));
+        w.put_u32(self.window.len() as u32);
+        for (at, known) in &self.window {
+            w.put_time(*at);
+            w.put_bool(*known);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.last_trigger = r.get_opt(|r| r.get_time())?;
+        let n = r.get_u32()? as usize;
+        self.window.clear();
+        for _ in 0..n {
+            let at = r.get_time()?;
+            let known = r.get_bool()?;
+            self.window.push_back((at, known));
+        }
+        Ok(())
+    }
 }
 
 /// Figure 1 baseline, operator op9: "calls an external script that invokes
@@ -350,6 +425,17 @@ impl Operator for EmbeddedActuator {
                 HadoopJobSim::recompute(&self.archive, &self.model);
             }
         }
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_opt(&self.pending_done_at, |w, t| w.put_time(*t));
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        self.pending_done_at = StateReader::new(blob).get_opt(|r| r.get_time())?;
+        Ok(())
     }
 }
 

@@ -27,7 +27,10 @@ use orca::{
 };
 use parking_lot::Mutex;
 use sps_engine::metrics::builtin;
-use sps_engine::{OpCtx, Operator, OperatorRegistry, Punct, Tuple};
+use sps_engine::{
+    EngineError, OpCtx, Operator, OperatorRegistry, Punct, StateBlob, StateReader, StateWriter,
+    Tuple,
+};
 use sps_model::compiler::{compile, CompileOptions};
 use sps_model::logical::{
     AppModelBuilder, CompositeGraphBuilder, ExportSpec, ImportSpec, OperatorInvocation,
@@ -147,6 +150,20 @@ impl Operator for SocialStreamReader {
             );
         }
     }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_f64(self.credit);
+        w.put_rng(&self.rng);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.credit = r.get_f64()?;
+        self.rng = r.get_rng()?;
+        Ok(())
+    }
 }
 
 /// C2: enriches imported profiles via a keyword-search "service" and
@@ -194,6 +211,18 @@ impl Operator for SocialQuery {
         }
         self.store.merge(profile);
         ctx.submit(0, tuple);
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_rng(&self.rng);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.rng = r.get_rng()?;
+        Ok(())
     }
 }
 
@@ -243,6 +272,19 @@ impl Operator for AttributeAggregator {
         }
         ctx.metric_set("nProfilesSegmented", 1);
         ctx.submit_punct(0, Punct::Final);
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        // `done` is the crucial bit: a revived C3 that already emitted must
+        // not scan the store and emit (plus a second Final) again.
+        w.put_bool(self.done);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        self.done = StateReader::new(blob).get_bool()?;
+        Ok(())
     }
 }
 

@@ -10,7 +10,9 @@
 //! history → most likely full windows) before restarting the crashed PE.
 
 use orca::{OrcaCtx, OrcaStartContext, Orchestrator, PeFailureContext, PeFailureScope};
-use sps_engine::{OpCtx, Operator, OperatorRegistry, Tuple};
+use sps_engine::{
+    EngineError, OpCtx, Operator, OperatorRegistry, StateBlob, StateReader, StateWriter, Tuple,
+};
 use sps_model::compiler::{compile, CompileOptions};
 use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
 use sps_model::{Adl, Value};
@@ -71,6 +73,36 @@ impl Operator for TickSource {
                 .with("ts", Value::Timestamp(ctx.now().as_millis()));
             ctx.submit(0, t);
         }
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_f64(self.credit);
+        w.put_u64(self.next_symbol as u64);
+        w.put_u32(self.prices.len() as u32);
+        for p in &self.prices {
+            w.put_f64(*p);
+        }
+        w.put_rng(&self.rng);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.credit = r.get_f64()?;
+        self.next_symbol = r.get_u64()? as usize;
+        let n = r.get_u32()? as usize;
+        if n != self.prices.len() {
+            return Err(EngineError::Checkpoint(format!(
+                "tick source has {} symbols, checkpoint has {n}",
+                self.prices.len()
+            )));
+        }
+        for p in &mut self.prices {
+            *p = r.get_f64()?;
+        }
+        self.rng = r.get_rng()?;
+        Ok(())
     }
 }
 

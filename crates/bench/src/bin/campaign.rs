@@ -4,15 +4,23 @@
 //! cargo run --release -p orca_bench --bin campaign -- --plans 200 --seed 7
 //! cargo run --release -p orca_bench --bin campaign -- --app trend --plans 50
 //! cargo run --release -p orca_bench --bin campaign -- --broken-oracle convergence
+//! cargo run --release -p orca_bench --bin campaign -- --checkpoint-interval 10
+//! cargo run --release -p orca_bench --bin campaign -- --checkpoint-interval 10 --lossy-restore
 //! HARNESS_APP=trend HARNESS_SEED=123 HARNESS_PLAN=6500:kp:0:1 \
 //!     cargo run --release -p orca_bench --bin campaign -- --replay
 //! ```
+//!
+//! `--checkpoint-interval N` enables PE checkpointing every N scheduling
+//! quanta and activates the `StatePreservation` oracle; reproducer lines
+//! then carry `HARNESS_CKPT=N` (and `HARNESS_LOSSY=1` under
+//! `--lossy-restore`) so replays run under the same policy.
 //!
 //! Stdout is bit-identical across runs with the same arguments (timings go
 //! to stderr), so campaign output itself can be diffed for determinism.
 
 use orca_harness::{
-    default_oracles, evaluate, run_campaign, scenario, CampaignConfig, FaultPlan, Scenario,
+    compute_baseline, default_oracles, evaluate, run_campaign, scenario, CampaignConfig,
+    CheckpointPolicy, FaultPlan, Scenario,
 };
 use std::process::ExitCode;
 
@@ -23,6 +31,8 @@ struct Args {
     broken_convergence: bool,
     check_determinism: bool,
     replay: bool,
+    checkpoint_interval: u32,
+    lossy_restore: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -33,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         broken_convergence: false,
         check_determinism: true,
         replay: false,
+        checkpoint_interval: 0,
+        lossy_restore: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -48,15 +60,25 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.broken_convergence = true;
             }
+            "--checkpoint-interval" => {
+                args.checkpoint_interval = value("--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--lossy-restore" => args.lossy_restore = true,
             "--no-determinism" => args.check_determinism = false,
             "--replay" => args.replay = true,
             "--help" | "-h" => {
                 return Err("usage: campaign [--plans N] [--seed S] [--app NAME] \
-                     [--broken-oracle convergence] [--no-determinism] [--replay]"
+                     [--broken-oracle convergence] [--checkpoint-interval QUANTA] \
+                     [--lossy-restore] [--no-determinism] [--replay]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if args.lossy_restore && args.checkpoint_interval == 0 {
+        return Err("--lossy-restore requires --checkpoint-interval".to_string());
     }
     Ok(args)
 }
@@ -70,7 +92,8 @@ fn scenarios_for(app: &Option<String>) -> Result<Vec<Scenario>, String> {
     }
 }
 
-/// Replays one plan from `HARNESS_APP` / `HARNESS_SEED` / `HARNESS_PLAN`.
+/// Replays one plan from `HARNESS_APP` / `HARNESS_SEED` / `HARNESS_PLAN`
+/// (plus optional `HARNESS_CKPT` / `HARNESS_LOSSY` policy capture).
 fn replay(args: &Args) -> Result<ExitCode, String> {
     let app = std::env::var("HARNESS_APP")
         .ok()
@@ -83,13 +106,34 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
     let plan = FaultPlan::decode(
         &std::env::var("HARNESS_PLAN").map_err(|_| "replay needs HARNESS_PLAN")?,
     )?;
+    let checkpoint_interval = match std::env::var("HARNESS_CKPT") {
+        Ok(v) => v.parse().map_err(|e| format!("bad HARNESS_CKPT: {e}"))?,
+        Err(_) => args.checkpoint_interval,
+    };
+    let lossy = std::env::var("HARNESS_LOSSY").is_ok_and(|v| v == "1") || args.lossy_restore;
+    let opts = CheckpointPolicy {
+        every_quanta: checkpoint_interval,
+        lossy_restore: lossy,
+    };
     let sc = scenario::by_name(&app).ok_or_else(|| format!("unknown app `{app}`"))?;
-    let oracles = default_oracles(args.broken_convergence);
-    let (digest, violations) = evaluate(&sc, seed, &plan, &oracles, args.check_determinism);
+    let oracles = default_oracles(args.broken_convergence, opts.enabled());
+    let baseline = opts
+        .enabled()
+        .then(|| compute_baseline(&sc, seed, opts, plan.horizon()));
+    let (digest, violations) = evaluate(
+        &sc,
+        seed,
+        &plan,
+        &oracles,
+        args.check_determinism,
+        opts,
+        baseline.as_ref(),
+    );
     println!(
-        "replay app={} seed={} plan={} digest={:016x}",
+        "replay app={} seed={} ckpt={} plan={} digest={:016x}",
         sc.name,
         seed,
+        checkpoint_interval,
         plan.encode(),
         digest
     );
@@ -133,6 +177,10 @@ fn main() -> ExitCode {
         seed: args.seed,
         check_determinism: args.check_determinism,
         broken_convergence: args.broken_convergence,
+        checkpoint: CheckpointPolicy {
+            every_quanta: args.checkpoint_interval,
+            lossy_restore: args.lossy_restore,
+        },
         ..Default::default()
     };
     let mut failed = false;
@@ -146,8 +194,13 @@ fn main() -> ExitCode {
             start.elapsed().as_secs_f64()
         );
         println!(
-            "campaign app={} plans={} seed={} digest={:016x} failures={}",
-            report.scenario, report.plans_run, args.seed, report.digest, report.plans_failed
+            "campaign app={} plans={} seed={} ckpt={} digest={:016x} failures={}",
+            report.scenario,
+            report.plans_run,
+            args.seed,
+            args.checkpoint_interval,
+            report.digest,
+            report.plans_failed
         );
         failed |= report.plans_failed > 0;
         for f in &report.failures {

@@ -328,6 +328,7 @@ mod tests {
             custom_metrics: vec![],
             pe: 0,
             restartable: true,
+            checkpointable: true,
         };
         let operators = vec![
             mk("op1", "Beacon", None),

@@ -387,8 +387,10 @@ impl<'a> OrcaCtx<'a> {
         Ok(())
     }
 
-    /// Restarts a PE of a managed job (fresh operator state). Returns the
-    /// replacement PE id.
+    /// Restarts a PE of a managed job. Operator state is recovered from the
+    /// kernel's newest compatible checkpoint when checkpointing is enabled,
+    /// and comes back fresh otherwise (see [`Kernel::restart_pe`]). Returns
+    /// the replacement PE id.
     pub fn restart_pe(&mut self, pe: PeId) -> Result<PeId, OrcaError> {
         let (job, _) = self
             .kernel
@@ -397,8 +399,12 @@ impl<'a> OrcaCtx<'a> {
             .ok_or(OrcaError::Runtime(RuntimeError::UnknownPe(pe)))?;
         self.core.require_managed(job)?;
         let new_pe = self.kernel.restart_pe(pe).map_err(OrcaError::Runtime)?;
+        let how = match self.kernel.restart_log().last() {
+            Some(rec) if rec.new_pe == new_pe && rec.restore.restored() => "restored",
+            _ => "fresh",
+        };
         self.core
-            .record_actuation(format!("restart({pe}) -> {new_pe}"));
+            .record_actuation(format!("restart({pe}) -> {new_pe} [{how}]"));
         Ok(new_pe)
     }
 

@@ -211,6 +211,7 @@ mod tests {
             custom_metrics: vec![],
             pe: 0,
             restartable: true,
+            checkpointable: true,
         };
         let operators = vec![
             mk("src", "Beacon", vec![]),

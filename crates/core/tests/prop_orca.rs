@@ -61,6 +61,7 @@ fn arb_graph() -> impl Strategy<Value = (GraphStore, Vec<(String, String, i64)>)
                     custom_metrics: vec![],
                     pe: 0,
                     restartable: true,
+                    checkpointable: true,
                 });
                 let _ = has_metric;
             }

@@ -13,6 +13,9 @@ pub enum EngineError {
     Expr(String),
     /// Tuple decode failure.
     Codec(String),
+    /// Checkpoint/restore failure (malformed blob, shape mismatch, or an
+    /// operator that cannot reconstruct its state).
+    Checkpoint(String),
     /// An operator signalled a fatal fault — the containing PE crashes
     /// (uncaught-exception analogue, §4.2).
     OperatorFault { op: String, message: String },
@@ -27,6 +30,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Expr(m) => write!(f, "expression error: {m}"),
             EngineError::Codec(m) => write!(f, "tuple codec error: {m}"),
+            EngineError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             EngineError::OperatorFault { op, message } => {
                 write!(f, "operator '{op}' fault: {message}")
             }

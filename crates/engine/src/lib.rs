@@ -15,6 +15,7 @@
 //!   with bounded per-quantum budgets (so queues grow under overload and
 //!   `queueSize` metrics are meaningful).
 
+pub mod ckpt;
 pub mod codec;
 pub mod error;
 pub mod expr;
@@ -26,6 +27,7 @@ pub mod registry;
 pub mod tuple;
 pub mod window;
 
+pub use ckpt::{OpCheckpoint, PeCheckpoint, StateBlob, StateReader, StateWriter};
 pub use error::EngineError;
 pub use metrics::{MetricKey, MetricStore};
 pub use op::{OpCtx, Operator, Punct, StreamItem};

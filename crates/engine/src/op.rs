@@ -1,5 +1,7 @@
 //! The operator abstraction and its execution context.
 
+use crate::ckpt::{StateBlob, StateReader, StateWriter};
+use crate::error::EngineError;
 use crate::metrics::MetricStore;
 use crate::tuple::Tuple;
 use sps_sim::{SimDuration, SimRng, SimTime};
@@ -35,6 +37,7 @@ pub struct OpCtx<'a> {
     rng: &'a mut SimRng,
     emitted: Vec<(usize, StreamItem)>,
     fault: Option<String>,
+    all_inputs_final: bool,
 }
 
 impl<'a> OpCtx<'a> {
@@ -55,7 +58,22 @@ impl<'a> OpCtx<'a> {
             rng,
             emitted: Vec::new(),
             fault: None,
+            all_inputs_final: true,
         }
+    }
+
+    /// Set by the PE container before delivering punctuation: whether every
+    /// input port of this operator has now received a final punctuation.
+    pub(crate) fn set_all_inputs_final(&mut self, v: bool) {
+        self.all_inputs_final = v;
+    }
+
+    /// True when a final punctuation has arrived on *every* input port of
+    /// this operator (the container tracks per-port finals). The default
+    /// [`Operator::on_punct`] consults this so multi-input operators do not
+    /// finalize downstream as soon as their first input finishes.
+    pub fn all_inputs_final(&self) -> bool {
+        self.all_inputs_final
     }
 
     /// Current simulation time.
@@ -132,12 +150,19 @@ pub trait Operator {
     /// Called for every tuple arriving on `port`.
     fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpCtx);
 
-    /// Called for punctuation arriving on `port`. The default forwards the
-    /// punctuation to every output port, which is correct for single-input
-    /// pass-through operators; multi-input operators (e.g. Merge) must track
-    /// per-port finals themselves (see [`FinalPunctTracker`]).
+    /// Called for punctuation arriving on `port`. The default forwards
+    /// window punctuation to every output port, and forwards a `Final` only
+    /// once *every* input port has delivered its own final (the container
+    /// tracks per-port finals and exposes [`OpCtx::all_inputs_final`]) — so
+    /// a multi-input operator using the default does not finalize downstream
+    /// as soon as its first input finishes. Operators needing custom
+    /// finalization (flush-on-final, per-side bookkeeping) still override
+    /// this, typically with a [`FinalPunctTracker`].
     fn on_punct(&mut self, port: usize, punct: Punct, ctx: &mut OpCtx) {
         let _ = port;
+        if punct == Punct::Final && !ctx.all_inputs_final() {
+            return;
+        }
         for p in 0..ctx.num_outputs() {
             ctx.submit_punct(p, punct);
         }
@@ -158,6 +183,27 @@ pub trait Operator {
     /// PE container surfaces this via [`crate::pe::PeRuntime::tap`].
     fn tap(&self) -> Option<Vec<Tuple>> {
         None
+    }
+
+    /// Serializes this operator's recoverable state. The default (`None`)
+    /// declares the operator stateless; stateful operators return a
+    /// [`StateBlob`] the runtime's checkpoint store persists and feeds back
+    /// through [`Operator::restore`] when the PE is recovered after a crash.
+    /// Encoding must be canonical: checkpoint → restore → checkpoint has to
+    /// reproduce identical bytes, which is how restores self-verify.
+    fn checkpoint(&self) -> Option<StateBlob> {
+        None
+    }
+
+    /// Reconstructs state from a blob produced by [`Operator::checkpoint`].
+    /// Only called with blobs this operator kind wrote; the default errors
+    /// so an operator that checkpoints without implementing restore fails
+    /// loudly instead of silently coming back empty.
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let _ = blob;
+        Err(EngineError::Checkpoint(
+            "operator produced a checkpoint but does not implement restore".into(),
+        ))
     }
 }
 
@@ -193,6 +239,28 @@ impl FinalPunctTracker {
 
     pub fn is_complete(&self) -> bool {
         self.fired
+    }
+
+    /// Serializes the tracker into an operator state blob.
+    pub fn encode(&self, w: &mut StateWriter) {
+        w.put_u32(self.seen.len() as u32);
+        for &s in &self.seen {
+            w.put_bool(s);
+        }
+        w.put_bool(self.fired);
+    }
+
+    /// Reads a tracker back from [`FinalPunctTracker::encode`] output.
+    pub fn decode(r: &mut StateReader) -> Result<Self, EngineError> {
+        let n = r.get_u32()? as usize;
+        let mut seen = Vec::with_capacity(n);
+        for _ in 0..n {
+            seen.push(r.get_bool()?);
+        }
+        Ok(FinalPunctTracker {
+            seen,
+            fired: r.get_bool()?,
+        })
     }
 }
 
@@ -281,6 +349,49 @@ mod tests {
         assert!(emitted
             .iter()
             .all(|(_, i)| matches!(i, StreamItem::Punct(Punct::Final))));
+    }
+
+    /// Regression for the multi-input early-final bug: when the container
+    /// reports that not every input port is final yet, the default
+    /// `on_punct` must swallow a `Final` (but still pass `Window` through).
+    #[test]
+    fn default_punct_waits_for_all_inputs() {
+        struct PassThrough;
+        impl Operator for PassThrough {
+            fn on_tuple(&mut self, _p: usize, t: Tuple, ctx: &mut OpCtx) {
+                ctx.submit(0, t);
+            }
+        }
+        let (emitted, _) = with_ctx(|ctx| {
+            ctx.set_all_inputs_final(false);
+            let mut op = PassThrough;
+            op.on_punct(0, Punct::Final, ctx);
+            op.on_punct(0, Punct::Window, ctx);
+            assert!(!ctx.all_inputs_final());
+            ctx.set_all_inputs_final(true);
+            op.on_punct(1, Punct::Final, ctx);
+            ctx.take_emitted()
+        });
+        // One swallowed final, one window through (2 ports), then the real
+        // final (2 ports).
+        assert_eq!(emitted.len(), 4);
+        assert!(matches!(emitted[0].1, StreamItem::Punct(Punct::Window)));
+        assert!(matches!(emitted[2].1, StreamItem::Punct(Punct::Final)));
+    }
+
+    #[test]
+    fn final_tracker_roundtrips_through_state_blob() {
+        let mut t = FinalPunctTracker::new(3);
+        t.mark(1);
+        let mut w = crate::ckpt::StateWriter::new();
+        t.encode(&mut w);
+        let blob = w.finish();
+        let mut r = crate::ckpt::StateReader::new(&blob);
+        let mut back = FinalPunctTracker::decode(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert!(!back.mark(1)); // duplicate final still remembered
+        assert!(!back.mark(0));
+        assert!(back.mark(2)); // completes exactly as the original would
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Windowed aggregation over a numeric attribute, optionally grouped.
 
+use crate::ckpt::{StateBlob, StateReader, StateWriter};
 use crate::op::{OpCtx, Operator, Punct};
 use crate::ops::{opt_str, req_f64, req_str};
 use crate::tuple::Tuple;
@@ -127,6 +128,41 @@ impl Operator for Aggregate {
             self.last_emit = Some(ctx.now());
             self.emit_all(ctx);
         }
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_opt(&self.last_emit, |w, t| w.put_time(*t));
+        w.put_bool(self.got_final);
+        w.put_u32(self.groups.len() as u32);
+        for (group, window) in &self.groups {
+            w.put_str(group);
+            w.put_u32(window.len() as u32);
+            for (at, v) in window.iter() {
+                w.put_time(*at);
+                w.put_f64(*v);
+            }
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.last_emit = r.get_opt(|r| r.get_time())?;
+        self.got_final = r.get_bool()?;
+        let groups = r.get_u32()? as usize;
+        self.groups.clear();
+        for _ in 0..groups {
+            let group = r.get_str()?;
+            let mut window = SlidingTimeWindow::new(self.window);
+            for _ in 0..r.get_u32()? {
+                let at = r.get_time()?;
+                let v = r.get_f64()?;
+                window.push(at, v);
+            }
+            self.groups.insert(group, window);
+        }
+        Ok(())
     }
 }
 

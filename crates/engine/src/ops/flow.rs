@@ -1,6 +1,7 @@
 //! Flow-control and plumbing operators: Throttle, Work, FaultInject,
 //! PassThrough (Export), Import.
 
+use crate::ckpt::{StateBlob, StateReader, StateWriter};
 use crate::op::{OpCtx, Operator};
 use crate::ops::{opt_i64, req_f64};
 use crate::tuple::Tuple;
@@ -53,6 +54,20 @@ impl Operator for Throttle {
         } else {
             ctx.metric_add(crate::metrics::builtin::N_TUPLES_DROPPED, 1);
         }
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_opt(&self.window_start, |w, t| w.put_time(*t));
+        w.put_f64(self.forwarded_in_window);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.window_start = r.get_opt(|r| r.get_time())?;
+        self.forwarded_in_window = r.get_f64()?;
+        Ok(())
     }
 }
 
@@ -116,6 +131,17 @@ impl Operator for FaultInject {
             }
         }
         ctx.submit(0, tuple);
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_i64(self.processed);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        self.processed = StateReader::new(blob).get_i64()?;
+        Ok(())
     }
 }
 

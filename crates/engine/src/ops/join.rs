@@ -5,6 +5,7 @@
 //! correlating tweets with causes, §5.1's op5). Each arriving tuple probes
 //! the opposite window and emits one merged tuple per match.
 
+use crate::ckpt::{StateBlob, StateReader, StateWriter};
 use crate::op::{FinalPunctTracker, OpCtx, Operator, Punct};
 use crate::ops::{req_f64, req_str};
 use crate::tuple::Tuple;
@@ -106,7 +107,6 @@ impl Operator for Join {
             ctx.submit(0, self.merge(&tuple, side, &m));
         }
         self.windows[side].push(now, tuple);
-        let _ = self.span;
     }
 
     fn on_punct(&mut self, port: usize, punct: Punct, ctx: &mut OpCtx) {
@@ -118,6 +118,33 @@ impl Operator for Join {
                 }
             }
         }
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        self.finals.encode(&mut w);
+        for window in &self.windows {
+            w.put_u32(window.len() as u32);
+            for (at, t) in window.iter() {
+                w.put_time(*at);
+                w.put_tuple(t);
+            }
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.finals = FinalPunctTracker::decode(&mut r)?;
+        for window in &mut self.windows {
+            *window = SlidingTimeWindow::new(self.span);
+            for _ in 0..r.get_u32()? {
+                let at = r.get_time()?;
+                let t = r.get_tuple()?;
+                window.push(at, t);
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Relational-style operators: Filter, Functor, Split, Merge, DeDup.
 
+use crate::ckpt::{StateBlob, StateReader, StateWriter};
 use crate::expr::Expr;
 use crate::op::{FinalPunctTracker, OpCtx, Operator, Punct};
 use crate::ops::{opt_i64, opt_str, req_str};
@@ -156,6 +157,17 @@ impl Operator for Split {
         };
         ctx.submit(port, tuple);
     }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_u64(self.next as u64);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        self.next = StateReader::new(blob).get_u64()? as usize;
+        Ok(())
+    }
 }
 
 /// Merges all input ports onto output port 0, forwarding a final
@@ -186,6 +198,17 @@ impl Operator for Merge {
                 }
             }
         }
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        self.finals.encode(&mut w);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        self.finals = FinalPunctTracker::decode(&mut StateReader::new(blob))?;
+        Ok(())
     }
 }
 
@@ -239,6 +262,28 @@ impl Operator for DeDup {
             }
         }
         ctx.submit(0, tuple);
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_u32(self.order.len() as u32);
+        for key in &self.order {
+            w.put_str(key);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        let n = r.get_u32()? as usize;
+        self.order.clear();
+        self.seen.clear();
+        for _ in 0..n {
+            let key = r.get_str()?;
+            self.seen.insert(key.clone());
+            self.order.push_back(key);
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Sink: terminal operator collecting recent output for observation.
 
+use crate::ckpt::{StateBlob, StateReader, StateWriter};
 use crate::op::{OpCtx, Operator, Punct};
 use crate::ops::opt_i64;
 use crate::tuple::Tuple;
@@ -65,6 +66,29 @@ impl Operator for Sink {
 
     fn tap(&self) -> Option<Vec<Tuple>> {
         Some(self.recent.iter().cloned().collect())
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_u64(self.total);
+        w.put_u64(self.finals);
+        w.put_u32(self.recent.len() as u32);
+        for t in &self.recent {
+            w.put_tuple(t);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.total = r.get_u64()?;
+        self.finals = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        self.recent.clear();
+        for _ in 0..n {
+            self.recent.push_back(r.get_tuple()?);
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Beacon: a rate-controlled synthetic source.
 
+use crate::ckpt::{StateBlob, StateReader, StateWriter};
 use crate::op::{OpCtx, Operator, Punct};
 use crate::ops::{opt_f64, opt_i64, opt_str};
 use crate::tuple::Tuple;
@@ -79,6 +80,22 @@ impl Operator for Beacon {
                 ctx.submit_punct(0, Punct::Final);
             }
         }
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        let mut w = StateWriter::new();
+        w.put_i64(self.seq);
+        w.put_f64(self.credit);
+        w.put_bool(self.done);
+        Some(w.finish())
+    }
+
+    fn restore(&mut self, blob: &StateBlob) -> Result<(), EngineError> {
+        let mut r = StateReader::new(blob);
+        self.seq = r.get_i64()?;
+        self.credit = r.get_f64()?;
+        self.done = r.get_bool()?;
+        Ok(())
     }
 }
 

@@ -12,8 +12,9 @@ use sps_model::adl::AdlOperator;
 use std::collections::HashMap;
 
 /// Factory signature: given the ADL invocation, build a fresh operator
-/// instance. Called at job start and on every PE restart — operators must
-/// come back with empty state (that is what makes the §5.2 experiment tick).
+/// instance. Called at job start and on every PE restart — instances start
+/// with empty state (the §5.2 behavior); when checkpointing is enabled the
+/// runtime then feeds a recovered blob back through `Operator::restore`.
 pub type OperatorFactory = Box<dyn Fn(&AdlOperator) -> Result<Box<dyn Operator>, EngineError>>;
 
 /// Maps operator kinds to factories.
@@ -126,6 +127,7 @@ mod tests {
             custom_metrics: vec![],
             pe: 0,
             restartable: true,
+            checkpointable: true,
         }
     }
 

@@ -9,9 +9,12 @@
 //! invariant [`oracle`]s — every killed PE returns to running or is cleanly
 //! reaped, the ORCA loop reconverges within a bounded number of quanta, SAM
 //! notifications are conserved, and the same seed reproduces a bit-identical
-//! `sim::trace`. Failing schedules are greedily [`shrink`]ed to a 1-minimal
-//! reproducer and reported as a one-line `HARNESS_SEED=… HARNESS_PLAN=…`
-//! environment stanza.
+//! `sim::trace`. Under a checkpoint policy ([`CheckpointPolicy`]) the
+//! [`StatePreservationOracle`] additionally requires every stateful-PE
+//! recovery to revive verified operator state, compared against a
+//! fault-free baseline run of the same seed. Failing schedules are greedily
+//! [`shrink`]ed to a 1-minimal reproducer and reported as a one-line
+//! `HARNESS_SEED=… [HARNESS_CKPT=…] HARNESS_PLAN=…` environment stanza.
 //!
 //! Replay a failing plan locally with the `campaign` binary:
 //!
@@ -29,13 +32,14 @@ pub mod shrink;
 
 pub use inject::{FaultInjector, Janitor};
 pub use oracle::{
-    default_oracles, ConvergenceOracle, NotificationOracle, Oracle, OracleCtx, RecoveryOracle,
-    Violation,
+    default_oracles, BaselineSummary, ConvergenceOracle, NotificationOracle, Oracle, OracleCtx,
+    RecoveryOracle, StatePreservationOracle, Violation,
 };
 pub use plan::{FaultAction, FaultEvent, FaultPlan, PlanSpec};
 pub use runner::{
-    evaluate, quiescent, render_artifacts, run_campaign, run_plan, CampaignConfig, CampaignFailure,
-    CampaignReport, PlanOutcome,
+    compute_baseline, evaluate, quiescent, render_artifacts, reproducer_line, run_campaign,
+    run_plan, CampaignConfig, CampaignFailure, CampaignReport, PlanOutcome,
 };
 pub use scenario::{by_name, Built, Scenario};
 pub use shrink::shrink;
+pub use sps_runtime::CheckpointPolicy;

@@ -9,7 +9,20 @@
 //! runner itself, which replays every plan and compares digests.
 
 use orca::OrcaService;
-use sps_runtime::{PeStatus, World};
+use sps_engine::metrics::builtin;
+use sps_runtime::{CheckpointPolicy, FreshReason, JobId, PeStatus, RestoreOutcome, World};
+use std::collections::BTreeMap;
+
+/// Stateful artifacts of the fault-free run of the same seed, computed by
+/// [`crate::runner::compute_baseline`]. Covers only jobs alive since before
+/// the fault window — dynamically composed jobs may legitimately differ.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineSummary {
+    /// `(job, tap op)` → cumulative `nTuplesProcessed` at settle end.
+    pub taps: BTreeMap<(JobId, String), i64>,
+    /// Application name per baseline job, for identity matching.
+    pub apps: BTreeMap<JobId, String>,
+}
 
 /// Everything an oracle may inspect after the settle phase.
 pub struct OracleCtx<'a> {
@@ -21,6 +34,10 @@ pub struct OracleCtx<'a> {
     pub quanta_to_quiesce: Option<usize>,
     /// The scenario's convergence budget, in quanta.
     pub convergence_bound: usize,
+    /// The checkpoint policy this plan executed under.
+    pub opts: CheckpointPolicy,
+    /// Fault-free baseline of the same seed (present when checkpointing).
+    pub baseline: Option<&'a BaselineSummary>,
 }
 
 impl OracleCtx<'_> {
@@ -151,14 +168,166 @@ impl Oracle for NotificationOracle {
     }
 }
 
+/// Stateful-PE recovery preservation (active when checkpointing is on):
+///
+/// 1. **Faithful restores** — every checkpoint restore self-verified
+///    (re-checkpointing the revived container reproduced the stored
+///    digest), so no operator's state was dropped or corrupted on the way
+///    back in. This is what catches a deliberately lossy restore.
+/// 2. **Restore coverage** — no restart of a checkpointable PE silently
+///    rejected an existing snapshot as incompatible, and with the policy
+///    enabled, snapshots were actually being taken (every checkpointable
+///    `Up` PE of a running job holds one at settle end).
+/// 3. **Metric continuity** — monotone per-operator counters
+///    (`nTuplesProcessed`) recorded in each restored checkpoint never run
+///    backwards afterwards: recovered state persists instead of being
+///    quietly re-zeroed.
+/// 4. **Fault-free comparison** — against the baseline run of the same
+///    seed: every stable job's tap that produced output without faults
+///    still holds state (nonzero counter) in the faulted run, and never
+///    *exceeds* the fault-free throughput beyond a small restart-timing
+///    slack (restores must not fabricate or duplicate history).
+pub struct StatePreservationOracle;
+
+impl Oracle for StatePreservationOracle {
+    fn name(&self) -> &'static str {
+        "state"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        if !ctx.opts.enabled() {
+            return Ok(());
+        }
+        let kernel = &ctx.world.kernel;
+
+        // 1 + 2a: every restart either restored faithfully or had a
+        // legitimate reason to come back fresh.
+        for rec in kernel.restart_log() {
+            match &rec.restore {
+                RestoreOutcome::Restored {
+                    verified: false, ..
+                } => {
+                    return Err(format!(
+                        "PE {} (job {}, slot {}) was restored unfaithfully: \
+                         re-checkpoint digest differs (operator state lost)",
+                        rec.new_pe, rec.job, rec.adl_index
+                    ));
+                }
+                RestoreOutcome::Fresh {
+                    reason: FreshReason::Incompatible,
+                } => {
+                    return Err(format!(
+                        "PE {} (job {}, slot {}) rejected its checkpoint as \
+                         incompatible although the ADL never changed",
+                        rec.new_pe, rec.job, rec.adl_index
+                    ));
+                }
+                _ => {}
+            }
+        }
+
+        // 2b: the policy is live — snapshots exist for every checkpointable
+        // Up PE of a running job. Jobs composed in the final moments of the
+        // run (dynamic C3 launches) may not have crossed a snapshot
+        // boundary yet, so allow two checkpoint periods of grace.
+        if kernel.ckpt.saved() == 0 {
+            return Err("checkpointing enabled but no snapshot was ever taken".into());
+        }
+        let ckpt_period = sps_sim::SimDuration::from_millis(
+            kernel.config.quantum.as_millis() * 2 * ctx.opts.every_quanta as u64,
+        );
+        for job in kernel.sam.running_jobs() {
+            let Some(info) = kernel.sam.job(job) else {
+                continue;
+            };
+            if kernel.now().since(info.submitted_at) < ckpt_period {
+                continue;
+            }
+            for (adl_index, &pe) in info.pe_ids.iter().enumerate() {
+                if kernel.pe_status(pe) == Some(PeStatus::Up)
+                    && kernel.pe_checkpointable(job, adl_index)
+                    && kernel.ckpt.latest(job, adl_index).is_none()
+                {
+                    return Err(format!(
+                        "job {job} slot {adl_index} is Up and checkpointable \
+                         but holds no snapshot after settle"
+                    ));
+                }
+            }
+        }
+
+        // 3: restored monotone counters never go backwards.
+        for rec in kernel.restart_log() {
+            if !rec.restore.restored() || kernel.sam.job(rec.job).is_none() {
+                continue;
+            }
+            for (op, at_ckpt) in &rec.restored_op_counts {
+                let now = kernel
+                    .op_metric(rec.job, op, builtin::N_TUPLES_PROCESSED)
+                    .unwrap_or(0);
+                if now < *at_ckpt {
+                    return Err(format!(
+                        "operator {op} of job {} went backwards after restore: \
+                         {now} < {at_ckpt} recorded in the checkpoint",
+                        rec.job
+                    ));
+                }
+            }
+        }
+
+        // 4: compare recovered taps against the fault-free run.
+        let Some(baseline) = ctx.baseline else {
+            return Ok(());
+        };
+        for ((job, tap), &base_count) in &baseline.taps {
+            let Some(info) = kernel.sam.job(*job) else {
+                continue; // job gone (e.g. cancelled mid-plan): nothing to hold
+            };
+            if baseline.apps.get(job) != Some(&info.app_name) {
+                continue; // different job under a recycled id
+            }
+            let faulted = kernel
+                .op_metric(*job, tap, builtin::N_TUPLES_PROCESSED)
+                .unwrap_or(0);
+            if base_count > 0 && faulted == 0 {
+                return Err(format!(
+                    "stateful tap {job}.{tap} lost all state under faults \
+                     (fault-free run processed {base_count} tuples)"
+                ));
+            }
+            // Restart-timing slack: a restored periodic operator may emit
+            // once immediately on revival, and a restored *exporter* of
+            // another job can rewind and re-deliver a sliver of stream to
+            // this tap — bound both per restart, across the whole world
+            // (cross-job import/export means any restart can touch any tap).
+            let restarts = kernel.restart_log().len() as i64;
+            let slack = 2 * restarts + 8;
+            if faulted > base_count + slack {
+                return Err(format!(
+                    "tap {job}.{tap} processed {faulted} tuples under faults, \
+                     exceeding the fault-free {base_count} (+{slack} slack): \
+                     restores are fabricating history"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The standard oracle set; `broken_convergence` swaps in the deliberately
-/// broken 1-quantum convergence bound (shrinking demo).
-pub fn default_oracles(broken_convergence: bool) -> Vec<Box<dyn Oracle>> {
-    vec![
+/// broken 1-quantum convergence bound (shrinking demo), and
+/// `state_preservation` adds the checkpoint-recovery oracle (meaningful
+/// only when runs execute with checkpointing enabled).
+pub fn default_oracles(broken_convergence: bool, state_preservation: bool) -> Vec<Box<dyn Oracle>> {
+    let mut oracles: Vec<Box<dyn Oracle>> = vec![
         Box::new(RecoveryOracle),
         Box::new(ConvergenceOracle {
             bound_override: broken_convergence.then_some(1),
         }),
         Box::new(NotificationOracle),
-    ]
+    ];
+    if state_preservation {
+        oracles.push(Box::new(StatePreservationOracle));
+    }
+    oracles
 }

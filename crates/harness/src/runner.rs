@@ -3,13 +3,14 @@
 //! and shrinks failing schedules to minimal reproducers.
 
 use crate::inject::{FaultInjector, Janitor};
-use crate::oracle::{default_oracles, Oracle, OracleCtx, Violation};
+use crate::oracle::{default_oracles, BaselineSummary, Oracle, OracleCtx, Violation};
 use crate::plan::FaultPlan;
 use crate::scenario::{Built, Scenario};
 use crate::shrink::shrink;
 use orca::OrcaService;
 use rand::RngCore;
-use sps_runtime::{PeStatus, World};
+use sps_engine::metrics::builtin;
+use sps_runtime::{CheckpointPolicy, PeStatus, World};
 use sps_sim::{fnv1a, SimRng, FNV_OFFSET};
 
 /// Campaign-wide knobs.
@@ -25,6 +26,11 @@ pub struct CampaignConfig {
     pub broken_convergence: bool,
     /// Stop shrinking/collecting after this many distinct failures.
     pub max_failures: usize,
+    /// Kernel checkpoint policy for every world the campaign builds. When
+    /// enabled, the `StatePreservation` oracle joins the set and every plan
+    /// is compared against a fault-free baseline of the same seed; the
+    /// `lossy_restore` knob is the state-oracle shrinking demo.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for CampaignConfig {
@@ -35,6 +41,7 @@ impl Default for CampaignConfig {
             check_determinism: true,
             broken_convergence: false,
             max_failures: 3,
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -56,7 +63,7 @@ pub struct CampaignFailure {
     pub shrunk: FaultPlan,
     pub violations: Vec<Violation>,
     /// One-line environment reproducer (`HARNESS_APP=… HARNESS_SEED=…
-    /// HARNESS_PLAN=…`).
+    /// [HARNESS_CKPT=… [HARNESS_LOSSY=1]] HARNESS_PLAN=…`).
     pub reproducer: String,
 }
 
@@ -113,18 +120,21 @@ pub fn render_artifacts(world: &World, taps: &[&str]) -> String {
     out
 }
 
-/// Executes one plan against a fresh world: warmup, injection, settle, then
-/// the oracle pass.
-pub fn run_plan(
+/// Builds a world, drives warmup → fault window → settle, and returns the
+/// settled world plus the first quiescent settle quantum. Shared by
+/// [`run_plan`] and [`compute_baseline`] so the faulted run and its
+/// fault-free baseline are produced by the exact same machinery.
+fn settled_world(
     scenario: &Scenario,
     seed: u64,
     plan: &FaultPlan,
-    oracles: &[Box<dyn Oracle>],
-) -> PlanOutcome {
+    opts: CheckpointPolicy,
+    horizon_floor: Option<sps_sim::SimTime>,
+) -> (World, Option<usize>, Option<usize>) {
     let Built {
         mut world,
         orca_idx,
-    } = (scenario.build)(seed);
+    } = (scenario.build)(seed, opts);
     if scenario.janitor {
         world.add_controller(Box::new(Janitor::default()));
     }
@@ -133,9 +143,12 @@ pub fn run_plan(
 
     // Drive through the fault window; restart-gap kills may overshoot the
     // nominal window, so extend to the plan's horizon plus one quantum.
+    // `horizon_floor` lets a fault-free baseline run exactly as long as the
+    // faulted plan it will be compared against — otherwise the comparison
+    // would flag the extra quanta of processing as fabricated state.
     let quantum = world.kernel.config.quantum;
     let mut fault_end = world.now() + scenario.fault_window;
-    if let Some(h) = plan.horizon() {
+    for h in plan.horizon().into_iter().chain(horizon_floor) {
         if h + quantum > fault_end {
             fault_end = h + quantum;
         }
@@ -151,6 +164,56 @@ pub fn run_plan(
             quanta_to_quiesce = Some(q + 1);
         }
     }
+    (world, orca_idx, quanta_to_quiesce)
+}
+
+/// Runs the fault-free plan for `(scenario, seed)` and summarizes the
+/// stateful artifacts (per-job tap throughput of jobs present since warmup)
+/// the `StatePreservation` oracle compares faulted runs against.
+///
+/// `horizon` must be the horizon of the faulted plan the baseline will be
+/// compared against, so both runs cover the same simulated span (shrink
+/// candidates only ever run *shorter*, which the oracle bounds tolerate).
+pub fn compute_baseline(
+    scenario: &Scenario,
+    seed: u64,
+    opts: CheckpointPolicy,
+    horizon: Option<sps_sim::SimTime>,
+) -> BaselineSummary {
+    let (world, _, _) = settled_world(scenario, seed, &FaultPlan::default(), opts, horizon);
+    let kernel = &world.kernel;
+    let mut summary = BaselineSummary::default();
+    let stable_before = sps_sim::SimTime::ZERO + scenario.warmup;
+    for job in kernel.sam.running_jobs() {
+        let Some(info) = kernel.sam.job(job) else {
+            continue;
+        };
+        // Only jobs alive since before the fault window: late-spawned jobs
+        // (dynamic composition) may legitimately differ between runs.
+        if info.submitted_at > stable_before {
+            continue;
+        }
+        summary.apps.insert(job, info.app_name.clone());
+        for tap in scenario.taps {
+            if let Some(n) = kernel.op_metric(job, tap, builtin::N_TUPLES_PROCESSED) {
+                summary.taps.insert((job, tap.to_string()), n);
+            }
+        }
+    }
+    summary
+}
+
+/// Executes one plan against a fresh world: warmup, injection, settle, then
+/// the oracle pass.
+pub fn run_plan(
+    scenario: &Scenario,
+    seed: u64,
+    plan: &FaultPlan,
+    oracles: &[Box<dyn Oracle>],
+    opts: CheckpointPolicy,
+    baseline: Option<&BaselineSummary>,
+) -> PlanOutcome {
+    let (world, orca_idx, quanta_to_quiesce) = settled_world(scenario, seed, plan, opts, None);
 
     // The run digest covers the kernel trace *and* the application-visible
     // state (SRM snapshots, sink taps), so the determinism replay catches
@@ -162,6 +225,8 @@ pub fn run_plan(
         orca_idx,
         quanta_to_quiesce,
         convergence_bound: scenario.convergence_bound,
+        opts,
+        baseline,
     };
     let violations = oracles
         .iter()
@@ -187,11 +252,13 @@ pub fn evaluate(
     plan: &FaultPlan,
     oracles: &[Box<dyn Oracle>],
     check_determinism: bool,
+    opts: CheckpointPolicy,
+    baseline: Option<&BaselineSummary>,
 ) -> (u64, Vec<Violation>) {
-    let outcome = run_plan(scenario, seed, plan, oracles);
+    let outcome = run_plan(scenario, seed, plan, oracles, opts, baseline);
     let mut violations = outcome.violations;
     if check_determinism {
-        let replay = run_plan(scenario, seed, plan, oracles);
+        let replay = run_plan(scenario, seed, plan, oracles, opts, baseline);
         if replay.digest != outcome.digest {
             violations.push(Violation {
                 oracle: "determinism",
@@ -205,9 +272,29 @@ pub fn evaluate(
     (outcome.digest, violations)
 }
 
+/// Renders the one-line environment reproducer for a failing plan,
+/// capturing the checkpoint policy so replays run under the same regime.
+pub fn reproducer_line(
+    scenario: &Scenario,
+    plan_seed: u64,
+    plan: &FaultPlan,
+    opts: CheckpointPolicy,
+) -> String {
+    let mut line = format!("HARNESS_APP={} HARNESS_SEED={plan_seed}", scenario.name);
+    if opts.enabled() {
+        line.push_str(&format!(" HARNESS_CKPT={}", opts.every_quanta));
+    }
+    if opts.lossy_restore {
+        line.push_str(" HARNESS_LOSSY=1");
+    }
+    line.push_str(&format!(" HARNESS_PLAN={}", plan.encode()));
+    line
+}
+
 /// Runs a full campaign over one scenario.
 pub fn run_campaign(scenario: &Scenario, cfg: &CampaignConfig) -> CampaignReport {
-    let oracles = default_oracles(cfg.broken_convergence);
+    let opts = cfg.checkpoint;
+    let oracles = default_oracles(cfg.broken_convergence, opts.enabled());
     let mut master = SimRng::new(cfg.seed);
     let mut digest = FNV_OFFSET;
     let mut failures: Vec<CampaignFailure> = Vec::new();
@@ -216,8 +303,20 @@ pub fn run_campaign(scenario: &Scenario, cfg: &CampaignConfig) -> CampaignReport
         // Independent per-plan stream: seeds world RNG and plan sampling.
         let plan_seed = master.next_u64();
         let plan = FaultPlan::generate(&mut SimRng::new(plan_seed), &scenario.plan_spec());
-        let (plan_digest, violations) =
-            evaluate(scenario, plan_seed, &plan, &oracles, cfg.check_determinism);
+        // The state oracle compares against the fault-free run of the same
+        // seed; computed once per plan seed and shared with shrinking.
+        let baseline = opts
+            .enabled()
+            .then(|| compute_baseline(scenario, plan_seed, opts, plan.horizon()));
+        let (plan_digest, violations) = evaluate(
+            scenario,
+            plan_seed,
+            &plan,
+            &oracles,
+            cfg.check_determinism,
+            opts,
+            baseline.as_ref(),
+        );
         digest = fnv1a(digest, &plan_digest.to_le_bytes());
         if !violations.is_empty() {
             plans_failed += 1;
@@ -227,13 +326,16 @@ pub fn run_campaign(scenario: &Scenario, cfg: &CampaignConfig) -> CampaignReport
             // only pay for it when the failure actually is a divergence.
             let det_shrink =
                 cfg.check_determinism && violations.iter().any(|v| v.oracle == "determinism");
-            let shrunk = shrink(scenario, plan_seed, &plan, &oracles, det_shrink);
-            let reproducer = format!(
-                "HARNESS_APP={} HARNESS_SEED={} HARNESS_PLAN={}",
-                scenario.name,
+            let shrunk = shrink(
+                scenario,
                 plan_seed,
-                shrunk.encode()
+                &plan,
+                &oracles,
+                det_shrink,
+                opts,
+                baseline.as_ref(),
             );
+            let reproducer = reproducer_line(scenario, plan_seed, &shrunk, opts);
             failures.push(CampaignFailure {
                 plan_seed,
                 original: plan,

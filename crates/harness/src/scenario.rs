@@ -14,7 +14,7 @@ use orca_apps::trend::{trend_app, TrendOrca, TrendParams};
 use orca_apps::SharedStores;
 use sps_model::compiler::{compile, CompileOptions};
 use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
-use sps_runtime::{Cluster, Kernel, RuntimeConfig, World};
+use sps_runtime::{CheckpointPolicy, Cluster, Kernel, RuntimeConfig, World};
 use sps_sim::{SimDuration, SimTime};
 
 /// A freshly built world plus the controller index of its ORCA service (if
@@ -41,8 +41,8 @@ pub struct Scenario {
     /// Attach the harness [`crate::Janitor`] as the recovery policy.
     pub janitor: bool,
     pub max_incidents: usize,
-    /// Builds the world from a campaign seed.
-    pub build: fn(u64) -> Built,
+    /// Builds the world from a campaign seed and the checkpoint policy.
+    pub build: fn(u64, CheckpointPolicy) -> Built,
     /// Sink operators to include in determinism artifacts, by name.
     pub taps: &'static [&'static str],
 }
@@ -67,9 +67,10 @@ impl Scenario {
     }
 }
 
-fn config(seed: u64) -> RuntimeConfig {
+fn config(seed: u64, ckpt: CheckpointPolicy) -> RuntimeConfig {
     RuntimeConfig {
         seed,
+        checkpoint: ckpt,
         ..RuntimeConfig::default()
     }
 }
@@ -78,12 +79,12 @@ fn config(seed: u64) -> RuntimeConfig {
 /// no orchestrator — the population the `live` tap-streaming module
 /// watches). The campaign seed perturbs the source rates so every plan seed
 /// also explores a different workload.
-fn build_live(seed: u64) -> Built {
+fn build_live(seed: u64, ckpt: CheckpointPolicy) -> Built {
     let stores = SharedStores::new();
     let mut kernel = Kernel::new(
         Cluster::with_hosts(2),
         orca_apps::registry(&stores),
-        config(seed),
+        config(seed, ckpt),
     );
     let rate_a = 18.0 + (seed % 5) as f64;
     let rate_b = 27.0 + ((seed >> 3) % 5) as f64;
@@ -116,12 +117,12 @@ fn build_live(seed: u64) -> Built {
 
 /// `sentiment`: §5.1 drift-adaptation app; the orchestrator reacts to
 /// metrics, so PE recovery falls to the janitor.
-fn build_sentiment(seed: u64) -> Built {
+fn build_sentiment(seed: u64, ckpt: CheckpointPolicy) -> Built {
     let stores = SharedStores::new();
     let kernel = Kernel::new(
         Cluster::with_hosts(3),
         orca_apps::registry(&stores),
-        config(seed),
+        config(seed, ckpt),
     );
     let mut world = World::new(kernel);
     let params = SentimentParams {
@@ -144,12 +145,12 @@ fn build_sentiment(seed: u64) -> Built {
 
 /// `social`: §5.3 dynamic composition (C1/C2/C3); jobs come and go under
 /// the dependency manager while faults land.
-fn build_social(seed: u64) -> Built {
+fn build_social(seed: u64, ckpt: CheckpointPolicy) -> Built {
     let stores = SharedStores::new();
     let kernel = Kernel::new(
         Cluster::with_hosts(4),
         orca_apps::registry(&stores),
-        config(seed),
+        config(seed, ckpt),
     );
     let mut world = World::new(kernel);
     // Seeded variant of `composition_descriptor`: the campaign seed drives
@@ -175,12 +176,12 @@ fn build_social(seed: u64) -> Built {
 
 /// `trend`: §5.2 replica failover — the orchestrator itself is the recovery
 /// policy (no janitor).
-fn build_trend(seed: u64) -> Built {
+fn build_trend(seed: u64, ckpt: CheckpointPolicy) -> Built {
     let stores = SharedStores::new();
     let kernel = Kernel::new(
         Cluster::with_hosts(4),
         orca_apps::registry(&stores),
-        config(seed),
+        config(seed, ckpt),
     );
     let mut world = World::new(kernel);
     let service = OrcaService::submit(

@@ -6,10 +6,11 @@
 //! (≤ ~10 events), so the O(n²) re-execution cost is negligible next to one
 //! campaign.
 
-use crate::oracle::Oracle;
+use crate::oracle::{BaselineSummary, Oracle};
 use crate::plan::FaultPlan;
 use crate::runner::evaluate;
 use crate::scenario::Scenario;
+use sps_runtime::CheckpointPolicy;
 
 /// Minimizes `plan` while it keeps failing under the given oracle set.
 pub fn shrink(
@@ -18,11 +19,21 @@ pub fn shrink(
     plan: &FaultPlan,
     oracles: &[Box<dyn Oracle>],
     check_determinism: bool,
+    opts: CheckpointPolicy,
+    baseline: Option<&BaselineSummary>,
 ) -> FaultPlan {
     let still_fails = |candidate: &FaultPlan| -> bool {
-        !evaluate(scenario, seed, candidate, oracles, check_determinism)
-            .1
-            .is_empty()
+        !evaluate(
+            scenario,
+            seed,
+            candidate,
+            oracles,
+            check_determinism,
+            opts,
+            baseline,
+        )
+        .1
+        .is_empty()
     };
     let mut current = plan.clone();
     loop {

@@ -29,6 +29,10 @@ pub struct AdlOperator {
     /// Index into [`Adl::pes`].
     pub pe: usize,
     pub restartable: bool,
+    /// Whether the runtime may checkpoint/restore this operator's state
+    /// across PE restarts (a PE is checkpointed only when *all* its fused
+    /// operators are checkpointable).
+    pub checkpointable: bool,
 }
 
 /// One processing element (operating-system process at runtime).
@@ -136,7 +140,8 @@ impl Adl {
                 .attr("inputs", op.inputs.to_string())
                 .attr("outputs", op.outputs.to_string())
                 .attr("pe", op.pe.to_string())
-                .attr("restartable", op.restartable.to_string());
+                .attr("restartable", op.restartable.to_string())
+                .attr("checkpointable", op.checkpointable.to_string());
             for (inst, ty) in &op.composite_path {
                 node = node.child(
                     XmlNode::new("composite")
@@ -305,6 +310,11 @@ impl Adl {
                 custom_metrics,
                 pe: parse_usize(node.require_attr("pe")?, "pe")?,
                 restartable: parse_bool(node.require_attr("restartable")?, "restartable")?,
+                // Absent in pre-checkpointing documents: default on.
+                checkpointable: match node.get_attr("checkpointable") {
+                    None => true,
+                    Some(v) => parse_bool(v, "checkpointable")?,
+                },
             });
         }
 
@@ -504,6 +514,7 @@ mod tests {
                     custom_metrics: vec![],
                     pe: 0,
                     restartable: true,
+                    checkpointable: true,
                 },
                 AdlOperator {
                     name: "c1.work".into(),
@@ -515,6 +526,7 @@ mod tests {
                     custom_metrics: vec!["quality".into()],
                     pe: 1,
                     restartable: false,
+                    checkpointable: true,
                 },
                 AdlOperator {
                     name: "snk".into(),
@@ -526,6 +538,7 @@ mod tests {
                     custom_metrics: vec![],
                     pe: 1,
                     restartable: true,
+                    checkpointable: true,
                 },
             ],
             pes: vec![

@@ -414,6 +414,7 @@ pub fn compile(model: &AppModel, options: CompileOptions) -> Result<Adl, ModelEr
             custom_metrics: op.inv.custom_metrics.clone(),
             pe: group_of_op[i],
             restartable: op.inv.restartable,
+            checkpointable: op.inv.checkpointable,
         });
     }
 

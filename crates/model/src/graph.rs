@@ -36,6 +36,7 @@ pub struct OperatorMeta {
     pub inputs: usize,
     pub outputs: usize,
     pub restartable: bool,
+    pub checkpointable: bool,
 }
 
 /// Queryable logical+physical graph for one application.
@@ -90,6 +91,7 @@ impl GraphStore {
                 inputs: op.inputs,
                 outputs: op.outputs,
                 restartable: op.restartable,
+                checkpointable: op.checkpointable,
             });
         }
 
@@ -337,6 +339,7 @@ mod tests {
             },
             pe,
             restartable: true,
+            checkpointable: true,
         };
         let c1 = vec![("c1", "composite1")];
         let c2 = vec![("c2", "composite1")];
@@ -515,6 +518,7 @@ mod tests {
             custom_metrics: vec![],
             pe: 0,
             restartable: true,
+            checkpointable: true,
         });
         adl.pes[0].operators.push("c1.inner.opx".into());
         let g = GraphStore::from_adl(&adl);

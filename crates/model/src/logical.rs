@@ -147,6 +147,10 @@ pub struct OperatorInvocation {
     pub host_exlocate: Option<String>,
     /// Whether SAM may restart this operator's PE after a crash.
     pub restartable: bool,
+    /// Whether the runtime may checkpoint this operator's state and restore
+    /// it on restart (on by default; opt out for operators whose state must
+    /// never be revived, e.g. side-effectful actuators).
+    pub checkpointable: bool,
     /// Stream exports on output ports.
     pub exports: Vec<(usize, ExportSpec)>,
     /// Import subscription (only meaningful for `inputs == 0` pseudo-sources).
@@ -167,6 +171,7 @@ impl OperatorInvocation {
             host_pool: None,
             host_exlocate: None,
             restartable: true,
+            checkpointable: true,
             exports: Vec::new(),
             import: None,
         }
@@ -226,6 +231,11 @@ impl OperatorInvocation {
 
     pub fn not_restartable(mut self) -> Self {
         self.restartable = false;
+        self
+    }
+
+    pub fn not_checkpointable(mut self) -> Self {
+        self.checkpointable = false;
         self
     }
 

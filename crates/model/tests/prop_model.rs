@@ -132,6 +132,7 @@ fn arb_adl() -> impl Strategy<Value = Adl> {
                     custom_metrics: if i % 2 == 0 { vec!["m".into()] } else { vec![] },
                     pe,
                     restartable: i % 4 != 0,
+                    checkpointable: i % 4 != 0,
                 });
             }
             let pes = (0..n_pes)

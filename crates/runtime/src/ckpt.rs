@@ -1,0 +1,170 @@
+//! The runtime checkpoint store.
+//!
+//! The paper's recovery story distinguishes restarting a PE with *fresh*
+//! state (§5.2 — the Trend Calculator deliberately runs without
+//! checkpointing and pays a window-refill gap) from recovering it with its
+//! operator state intact. This module supplies the latter: the kernel
+//! periodically snapshots every checkpointable, `Up` PE into a
+//! [`PeCheckpoint`] keyed by `(job, ADL PE index)` — the identity that
+//! survives restarts, unlike [`PeId`]s which are minted fresh each time —
+//! and [`crate::kernel::Kernel::restart_pe`] restores the newest compatible
+//! snapshot into the replacement process, falling back to fresh state when
+//! none exists or the shape changed.
+//!
+//! The store models a highly available external service (the real system
+//! would keep this in a distributed file system): host failures do not lose
+//! checkpoints, only job cancellation discards them.
+
+use crate::ids::JobId;
+use sps_engine::PeCheckpoint;
+use sps_sim::SimDuration;
+use std::collections::BTreeMap;
+
+/// Per-kernel checkpointing policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Snapshot period, in scheduling quanta; `0` disables checkpointing
+    /// entirely (the seed behavior, and the paper's §5.2 setup).
+    pub every_quanta: u32,
+    /// Fault-injection knob for the harness: deliberately drop the last
+    /// stateful operator's blob from every restore, so the campaign's
+    /// `StatePreservation` oracle (which self-verifies restores) has a
+    /// demonstrably detectable failure mode. Never enable outside tests.
+    pub lossy_restore: bool,
+}
+
+impl CheckpointPolicy {
+    /// Checkpointing every `quanta` scheduling quanta.
+    pub fn every(quanta: u32) -> Self {
+        CheckpointPolicy {
+            every_quanta: quanta,
+            ..Default::default()
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.every_quanta > 0
+    }
+
+    /// The wall-clock period between snapshots under a given quantum.
+    pub fn period(&self, quantum: SimDuration) -> SimDuration {
+        SimDuration::from_millis(quantum.as_millis() * self.every_quanta as u64)
+    }
+}
+
+/// Newest checkpoint per `(job, ADL PE index)`, plus observability counters.
+#[derive(Default)]
+pub struct CheckpointStore {
+    slots: BTreeMap<(JobId, usize), PeCheckpoint>,
+    saved: u64,
+    restored: u64,
+    fallbacks: u64,
+}
+
+impl CheckpointStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a snapshot, replacing any older one for the same PE slot.
+    pub fn save(&mut self, job: JobId, adl_index: usize, ckpt: PeCheckpoint) {
+        self.saved += 1;
+        self.slots.insert((job, adl_index), ckpt);
+    }
+
+    /// Newest snapshot for a PE slot, if any.
+    pub fn latest(&self, job: JobId, adl_index: usize) -> Option<&PeCheckpoint> {
+        self.slots.get(&(job, adl_index))
+    }
+
+    /// Drops every snapshot of a cancelled job.
+    pub fn forget_job(&mut self, job: JobId) {
+        self.slots.retain(|(j, _), _| *j != job);
+    }
+
+    /// Number of PE slots currently holding a snapshot.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total snapshots ever taken.
+    pub fn saved(&self) -> u64 {
+        self.saved
+    }
+
+    /// Restores that applied a checkpoint.
+    pub fn restored(&self) -> u64 {
+        self.restored
+    }
+
+    /// Restarts that fell back to fresh state (no/incompatible checkpoint).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    pub(crate) fn count_restore(&mut self) {
+        self.restored += 1;
+    }
+
+    pub(crate) fn count_fallback(&mut self) {
+        self.fallbacks += 1;
+    }
+
+    /// Total serialized state bytes currently held (observability).
+    pub fn state_bytes(&self) -> usize {
+        self.slots.values().map(PeCheckpoint::state_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sps_engine::ckpt::CKPT_FORMAT_VERSION;
+    use sps_sim::SimTime;
+
+    fn ckpt(at: u64) -> PeCheckpoint {
+        PeCheckpoint {
+            format_version: CKPT_FORMAT_VERSION,
+            pe_index: 0,
+            taken_at: SimTime::from_secs(at),
+            ops: vec![],
+            metrics: vec![],
+        }
+    }
+
+    #[test]
+    fn save_replaces_and_forget_clears() {
+        let mut s = CheckpointStore::new();
+        assert!(s.is_empty());
+        s.save(JobId(1), 0, ckpt(1));
+        s.save(JobId(1), 0, ckpt(2));
+        s.save(JobId(1), 1, ckpt(2));
+        s.save(JobId(2), 0, ckpt(2));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.saved(), 4);
+        assert_eq!(
+            s.latest(JobId(1), 0).unwrap().taken_at,
+            SimTime::from_secs(2)
+        );
+        s.forget_job(JobId(1));
+        assert_eq!(s.len(), 1);
+        assert!(s.latest(JobId(1), 0).is_none());
+        assert!(s.latest(JobId(2), 0).is_some());
+    }
+
+    #[test]
+    fn policy_defaults_off() {
+        let p = CheckpointPolicy::default();
+        assert!(!p.enabled());
+        let p = CheckpointPolicy::every(10);
+        assert!(p.enabled());
+        assert_eq!(
+            p.period(SimDuration::from_millis(100)),
+            SimDuration::from_secs(1)
+        );
+    }
+}

@@ -30,8 +30,10 @@ pub struct PeProcess {
     pub started_at: SimTime,
     /// When a `Starting` process becomes `Up`.
     pub up_at: SimTime,
-    /// The engine container. Rebuilt from scratch on restart — operator
-    /// state (windows!) does not survive, which is the premise of §5.2.
+    /// The engine container. Rebuilt on restart; operator state (windows!)
+    /// survives only when the kernel's checkpoint policy is enabled and a
+    /// compatible snapshot exists — otherwise the replacement starts fresh,
+    /// which is the premise of §5.2.
     pub runtime: PeRuntime,
 }
 

@@ -8,13 +8,17 @@
 //! scheduling quantum.
 
 use crate::broker::Broker;
+use crate::ckpt::{CheckpointPolicy, CheckpointStore};
 use crate::cluster::{Cluster, PeProcess, PeStatus};
 use crate::error::RuntimeError;
 use crate::ids::{JobId, OrcaId, PeId};
 use crate::sam::{CrashReason, JobInfo, JobStatus, OrcaNotification, Sam};
 use crate::srm::Srm;
+use sps_engine::metrics::builtin;
 use sps_engine::pe::ExportedItem;
-use sps_engine::{EngineError, OperatorRegistry, PeRuntime, StreamItem, Tuple};
+use sps_engine::{
+    EngineError, MetricKey, OperatorRegistry, PeCheckpoint, PeRuntime, StreamItem, Tuple,
+};
 use sps_model::adl::Adl;
 use sps_model::logical::HostPool;
 use sps_sim::{SimDuration, SimRng, SimTime, TraceRing};
@@ -34,6 +38,8 @@ pub struct RuntimeConfig {
     /// Process spawn latency for PE restarts (the paper's recovery gap:
     /// a restarted replica produces no output while its process starts).
     pub restart_delay: SimDuration,
+    /// Checkpoint/restore policy (off by default — the seed behavior).
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -44,6 +50,7 @@ impl Default for RuntimeConfig {
             metrics_push_period: SimDuration::from_secs(3),
             seed: 0x5EED,
             restart_delay: SimDuration::from_secs(2),
+            checkpoint: CheckpointPolicy::default(),
         }
     }
 }
@@ -71,6 +78,55 @@ pub struct CrashRecord {
     pub owned: bool,
 }
 
+/// Why a restart came back with fresh operator state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FreshReason {
+    /// The kernel's checkpoint policy is off.
+    Disabled,
+    /// At least one fused operator opted out (`checkpointable = false`).
+    NotCheckpointable,
+    /// No snapshot has been taken for this PE slot yet.
+    NoCheckpoint,
+    /// A snapshot existed but no longer matched the container (format
+    /// version, PE index, or operator list) and was rejected.
+    Incompatible,
+}
+
+impl std::fmt::Display for FreshReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FreshReason::Disabled => "checkpointing disabled",
+            FreshReason::NotCheckpointable => "PE not checkpointable",
+            FreshReason::NoCheckpoint => "no checkpoint",
+            FreshReason::Incompatible => "incompatible checkpoint",
+        })
+    }
+}
+
+/// How a PE restart obtained its initial operator state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// State restored from a checkpoint taken at `taken_at`. `verified` is
+    /// the runtime's self-check: re-checkpointing the restored container
+    /// reproduced the stored digest, i.e. no operator state was dropped or
+    /// corrupted on the way back in.
+    Restored {
+        taken_at: SimTime,
+        digest: u64,
+        verified: bool,
+        ops_restored: usize,
+    },
+    /// Fresh operator state (checkpointing disabled, PE not checkpointable,
+    /// no snapshot yet, or an incompatible snapshot was rejected).
+    Fresh { reason: FreshReason },
+}
+
+impl RestoreOutcome {
+    pub fn restored(&self) -> bool {
+        matches!(self, RestoreOutcome::Restored { .. })
+    }
+}
+
 /// One successful PE restart (per-PE restart history).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RestartRecord {
@@ -79,6 +135,14 @@ pub struct RestartRecord {
     pub new_pe: PeId,
     pub job: JobId,
     pub host: String,
+    /// ADL PE index of the restarted slot.
+    pub adl_index: usize,
+    /// Whether (and how faithfully) checkpointed state was recovered.
+    pub restore: RestoreOutcome,
+    /// `nTuplesProcessed` per operator as recorded in the restored
+    /// checkpoint (empty for fresh restarts). The campaign's state oracle
+    /// checks these monotone counters never go backwards afterwards.
+    pub restored_op_counts: Vec<(String, i64)>,
 }
 
 /// The assembled runtime.
@@ -90,12 +154,22 @@ pub struct Kernel {
     pub srm: Srm,
     pub broker: Broker,
     pub registry: OperatorRegistry,
+    pub ckpt: CheckpointStore,
     pub trace: TraceRing,
     rng: SimRng,
     scheduled_kills: Vec<(SimTime, KillTarget)>,
     last_metrics_push: SimTime,
     crash_log: Vec<CrashRecord>,
     restart_log: Vec<RestartRecord>,
+}
+
+/// A PE slot is checkpointable iff every operator fused into it opted in
+/// (mirrors the `restartable` rule).
+fn pe_is_checkpointable(adl: &Adl, adl_index: usize) -> bool {
+    adl.operators
+        .iter()
+        .filter(|o| o.pe == adl_index)
+        .all(|o| o.checkpointable)
 }
 
 impl Kernel {
@@ -113,6 +187,7 @@ impl Kernel {
             srm,
             broker: Broker::new(),
             registry,
+            ckpt: CheckpointStore::new(),
             trace: TraceRing::new(65_536),
             scheduled_kills: Vec::new(),
             last_metrics_push: SimTime::ZERO,
@@ -307,8 +382,9 @@ impl Kernel {
         best.map(|(_, name)| name.to_string())
     }
 
-    /// Cancels a job: stops and removes its PEs, releases reservations, and
-    /// dissolves dynamic stream connections.
+    /// Cancels a job: stops and removes its PEs, releases reservations,
+    /// drops its metrics and checkpoints, and dissolves dynamic stream
+    /// connections.
     pub fn cancel_job(&mut self, job: JobId) -> Result<(), RuntimeError> {
         let info = self
             .sam
@@ -316,9 +392,13 @@ impl Kernel {
             .ok_or(RuntimeError::UnknownJob(job))?;
         for pe in &info.pe_ids {
             self.cluster.remove_process(*pe);
+            // Belt and braces next to `forget_job` below: every retired PE
+            // drops its SRM snapshot on the path that retires it.
+            self.srm.forget_pe(job, *pe);
         }
         self.broker.unregister_job(job);
         self.srm.forget_job(job);
+        self.ckpt.forget_job(job);
         self.trace.push(
             self.now,
             "sam",
@@ -327,9 +407,16 @@ impl Kernel {
         Ok(())
     }
 
-    /// Restarts a crashed or stopped PE with **fresh operator state** (no
-    /// checkpointing — exactly the §5.2 scenario). Returns the replacement
-    /// PE id.
+    /// Restarts a crashed or stopped PE. When checkpointing is enabled
+    /// ([`RuntimeConfig::checkpoint`]) and the PE is checkpointable (every
+    /// fused operator has `checkpointable = true`), the replacement process
+    /// is seeded from the newest stored [`PeCheckpoint`] of this `(job, ADL
+    /// PE index)` slot, and the restore is self-verified by re-checkpointing
+    /// the revived container and comparing digests. **Fallback:** when
+    /// checkpointing is off, no snapshot exists yet, or the stored snapshot
+    /// no longer matches the ADL shape, the PE comes back with fresh
+    /// operator state — the §5.2 window-refill behavior. The outcome is
+    /// recorded in the [`RestartRecord`]. Returns the replacement PE id.
     pub fn restart_pe(&mut self, pe: PeId) -> Result<PeId, RuntimeError> {
         let (job, adl_index) = self.sam.pe_lookup(pe).ok_or(RuntimeError::UnknownPe(pe))?;
         let info = self.sam.job(job).ok_or(RuntimeError::UnknownJob(job))?;
@@ -364,7 +451,75 @@ impl Kernel {
             })?,
         };
         let new_pe = self.sam.alloc_pe_id();
-        let runtime = PeRuntime::build(&adl, adl_index, &self.registry, self.rng.fork(new_pe.0))?;
+        let pe_rng = self.rng.fork(new_pe.0);
+        let mut runtime = PeRuntime::build(&adl, adl_index, &self.registry, pe_rng.clone())?;
+
+        // Recover operator state from the newest compatible checkpoint.
+        let mut restored_op_counts: Vec<(String, i64)> = Vec::new();
+        let restore = if !self.config.checkpoint.enabled() {
+            RestoreOutcome::Fresh {
+                reason: FreshReason::Disabled,
+            }
+        } else if !pe_is_checkpointable(&adl, adl_index) {
+            RestoreOutcome::Fresh {
+                reason: FreshReason::NotCheckpointable,
+            }
+        } else if let Some(stored) = self.ckpt.latest(job, adl_index).cloned() {
+            // Harness fault injection: silently lose the last stateful
+            // operator's blob. The self-verification below must notice.
+            // Only this test-only path pays for a second checkpoint clone.
+            let degraded = self.config.checkpoint.lossy_restore.then(|| {
+                let mut c = stored.clone();
+                if let Some(op) = c.ops.iter_mut().rev().find(|o| o.blob.is_some()) {
+                    op.blob = None;
+                }
+                c
+            });
+            match runtime.restore(degraded.as_ref().unwrap_or(&stored)) {
+                Ok(ops_restored) => {
+                    // Self-verify: a faithful restore re-serializes to the
+                    // stored digest (taken_at is excluded from the digest).
+                    let stored_digest = stored.digest();
+                    let verified = runtime.checkpoint(self.now).digest() == stored_digest;
+                    restored_op_counts = stored
+                        .metrics
+                        .iter()
+                        .filter_map(|(key, v)| match key {
+                            MetricKey::Operator(op, m) if m == builtin::N_TUPLES_PROCESSED => {
+                                Some((op.clone(), *v))
+                            }
+                            _ => None,
+                        })
+                        .collect();
+                    self.ckpt.count_restore();
+                    RestoreOutcome::Restored {
+                        taken_at: stored.taken_at,
+                        digest: stored_digest,
+                        verified,
+                        ops_restored,
+                    }
+                }
+                Err(e) => {
+                    // Partial restores corrupt state: discard and go fresh.
+                    runtime = PeRuntime::build(&adl, adl_index, &self.registry, pe_rng)?;
+                    self.trace.push(
+                        self.now,
+                        "ckpt",
+                        format!("restore of PE slot {job}/{adl_index} rejected: {e}"),
+                    );
+                    self.ckpt.count_fallback();
+                    RestoreOutcome::Fresh {
+                        reason: FreshReason::Incompatible,
+                    }
+                }
+            }
+        } else {
+            self.ckpt.count_fallback();
+            RestoreOutcome::Fresh {
+                reason: FreshReason::NoCheckpoint,
+            }
+        };
+
         // Placement and build succeeded: swap the processes.
         self.cluster.remove_process(pe);
         // Exclusive-pool relocation migrates the reservation: the claim on
@@ -405,17 +560,26 @@ impl Kernel {
             );
         self.sam.replace_pe(job, adl_index, new_pe);
         self.srm.forget_pe(job, pe);
+        let how = match &restore {
+            RestoreOutcome::Restored { taken_at, .. } => {
+                format!("state restored from checkpoint @{taken_at}")
+            }
+            RestoreOutcome::Fresh { reason } => format!("fresh state ({reason})"),
+        };
         self.restart_log.push(RestartRecord {
             at: self.now,
             old_pe: pe,
             new_pe,
             job,
             host: host.clone(),
+            adl_index,
+            restore,
+            restored_op_counts,
         });
         self.trace.push(
             self.now,
             "sam",
-            format!("PE {pe} of job {job} restarted as {new_pe} on {host}"),
+            format!("PE {pe} of job {job} restarted as {new_pe} on {host}, {how}"),
         );
         Ok(new_pe)
     }
@@ -505,6 +669,14 @@ impl Kernel {
     fn notify_pe_failure(&mut self, pe: PeId, reason: CrashReason) {
         let lookup = self.sam.pe_lookup(pe);
         let owner = lookup.and_then(|(job, _)| self.sam.job(job).and_then(|j| j.owner));
+        // A dead process pushes no more metrics; drop its stale SRM snapshot
+        // so metric consumers only ever see live state. Previously only the
+        // `restart_pe` path forgot per-PE metrics, so `kill_host` cascades
+        // (and crashes of PEs that are never restarted) left stale
+        // `MetricSnapshot`s behind.
+        if let Some((job, _)) = lookup {
+            self.srm.forget_pe(job, pe);
+        }
         self.crash_log.push(CrashRecord {
             at: self.now,
             pe,
@@ -551,6 +723,28 @@ impl Kernel {
     /// restart history the campaign oracles correlate against crashes.
     pub fn restart_log(&self) -> &[RestartRecord] {
         &self.restart_log
+    }
+
+    /// Current value of an operator-level metric, read directly from the
+    /// live PE runtime (not the SRM snapshot, which lags by up to one push
+    /// period). Used by the campaign's state-preservation oracle.
+    pub fn op_metric(&self, job: JobId, op_name: &str, metric: &str) -> Option<i64> {
+        let info = self.sam.job(job)?;
+        let op = info.adl.operator(op_name)?;
+        let pe_id = info.pe_ids.get(op.pe)?;
+        self.cluster
+            .process(*pe_id)?
+            .runtime
+            .metrics()
+            .op_get(op_name, metric)
+    }
+
+    /// Whether a job's ADL PE slot is eligible for checkpointing (every
+    /// fused operator opted in).
+    pub fn pe_checkpointable(&self, job: JobId, adl_index: usize) -> bool {
+        self.sam
+            .job(job)
+            .is_some_and(|info| pe_is_checkpointable(&info.adl, adl_index))
     }
 
     /// Contents of a sink-like operator.
@@ -693,6 +887,37 @@ impl Kernel {
             self.trace
                 .push(now, "srm", format!("PE {pe} crashed: {msg}"));
             self.notify_pe_failure(pe, CrashReason::OperatorFault(msg));
+        }
+
+        // Periodic checkpointing: every `every_quanta` ticks, snapshot each
+        // live PE whose operators all opted in. A PE that crashed this very
+        // quantum is already `Crashed` and keeps its previous snapshot —
+        // exactly the state a subsequent restart should revive.
+        if self.config.checkpoint.enabled() {
+            let quanta_elapsed = self.now.as_millis() / self.config.quantum.as_millis();
+            if quanta_elapsed.is_multiple_of(self.config.checkpoint.every_quanta as u64) {
+                let mut snaps: Vec<(JobId, usize, PeCheckpoint)> = Vec::new();
+                for host in self.cluster.hosts() {
+                    if !host.up {
+                        continue;
+                    }
+                    for proc in host.processes.values() {
+                        if proc.status != PeStatus::Up {
+                            continue;
+                        }
+                        let eligible = self
+                            .sam
+                            .job(proc.job)
+                            .is_some_and(|info| pe_is_checkpointable(&info.adl, proc.adl_index));
+                        if eligible {
+                            snaps.push((proc.job, proc.adl_index, proc.runtime.checkpoint(now)));
+                        }
+                    }
+                }
+                for (job, adl_index, ckpt) in snaps {
+                    self.ckpt.save(job, adl_index, ckpt);
+                }
+            }
         }
 
         // Periodic HC → SRM metric push.
@@ -1249,6 +1474,197 @@ mod tests {
         assert!(k
             .inject(job, "ghost", 0, StreamItem::Punct(sps_engine::Punct::Final))
             .is_err());
+    }
+
+    fn ckpt_kernel(hosts: usize, every_quanta: u32) -> Kernel {
+        Kernel::new(
+            Cluster::with_hosts(hosts),
+            OperatorRegistry::with_builtins(),
+            RuntimeConfig {
+                checkpoint: crate::ckpt::CheckpointPolicy::every(every_quanta),
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn restart_restores_newest_checkpoint() {
+        let mut k = ckpt_kernel(2, 5); // checkpoint every 500 ms
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 10); // 1 s: two checkpoint rounds taken
+        assert!(k.ckpt.saved() > 0);
+        assert!(k.ckpt.latest(job, 2).is_some());
+        let sink_pe = k.pe_id_of(job, 2).unwrap();
+        let before = k.tap(job, "snk").unwrap().len();
+        assert!(before > 0);
+
+        k.kill_pe(sink_pe).unwrap();
+        let new_pe = k.restart_pe(sink_pe).unwrap();
+        // Even while still `Starting`, the restored container already holds
+        // the checkpointed sink contents.
+        let after = k.tap(job, "snk").unwrap().len();
+        assert!(after > 0, "restored sink must keep pre-crash tuples");
+        assert!(after <= before); // at most the checkpoint lag is lost
+        let rec = k.restart_log().last().unwrap().clone();
+        assert_eq!(rec.new_pe, new_pe);
+        assert_eq!(rec.adl_index, 2);
+        match rec.restore {
+            RestoreOutcome::Restored {
+                verified,
+                ops_restored,
+                ..
+            } => {
+                assert!(verified, "self-verification must pass");
+                assert!(ops_restored >= 1);
+            }
+            other => panic!("expected restored state, got {other:?}"),
+        }
+        assert!(rec
+            .restored_op_counts
+            .iter()
+            .any(|(op, n)| op == "snk" && *n > 0));
+        // Metric continuity: the revived PE's nTuplesProcessed carries on
+        // from the checkpoint instead of resetting to zero.
+        run(&mut k, 25);
+        let processed = k.op_metric(job, "snk", "nTuplesProcessed").unwrap();
+        assert!(processed as usize >= before, "{processed} < {before}");
+        assert_eq!(k.ckpt.restored(), 1);
+    }
+
+    #[test]
+    fn restart_without_checkpoint_or_policy_is_fresh() {
+        // Policy off: even after a long run there is nothing to restore.
+        let mut k = kernel(2);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 10);
+        assert_eq!(k.ckpt.saved(), 0);
+        let pe = k.pe_id_of(job, 2).unwrap();
+        k.kill_pe(pe).unwrap();
+        k.restart_pe(pe).unwrap();
+        assert_eq!(
+            k.restart_log().last().unwrap().restore,
+            RestoreOutcome::Fresh {
+                reason: FreshReason::Disabled
+            }
+        );
+
+        // Policy on but the kill lands before the first snapshot round.
+        let mut k = ckpt_kernel(2, 1_000_000);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 3);
+        let pe = k.pe_id_of(job, 2).unwrap();
+        k.kill_pe(pe).unwrap();
+        k.restart_pe(pe).unwrap();
+        assert_eq!(
+            k.restart_log().last().unwrap().restore,
+            RestoreOutcome::Fresh {
+                reason: FreshReason::NoCheckpoint
+            }
+        );
+        assert_eq!(k.ckpt.fallbacks(), 1);
+    }
+
+    #[test]
+    fn non_checkpointable_operator_opts_its_pe_out() {
+        let mut k = ckpt_kernel(1, 2);
+        let mut m = CompositeGraphBuilder::main();
+        m.operator(
+            "src",
+            OperatorInvocation::new("Beacon")
+                .source()
+                .param("rate", 20.0)
+                .not_checkpointable(),
+        );
+        let model = AppModelBuilder::new("N").build(m.build().unwrap()).unwrap();
+        let adl = compile(&model, CompileOptions::default()).unwrap();
+        let job = k.submit_job(adl, None).unwrap();
+        run(&mut k, 10);
+        assert!(!k.pe_checkpointable(job, 0));
+        assert!(k.ckpt.latest(job, 0).is_none());
+        let pe = k.pe_id_of(job, 0).unwrap();
+        k.kill_pe(pe).unwrap();
+        k.restart_pe(pe).unwrap();
+        assert_eq!(
+            k.restart_log().last().unwrap().restore,
+            RestoreOutcome::Fresh {
+                reason: FreshReason::NotCheckpointable
+            }
+        );
+    }
+
+    #[test]
+    fn lossy_restore_fails_self_verification() {
+        let mut k = Kernel::new(
+            Cluster::with_hosts(2),
+            OperatorRegistry::with_builtins(),
+            RuntimeConfig {
+                checkpoint: crate::ckpt::CheckpointPolicy {
+                    every_quanta: 5,
+                    lossy_restore: true,
+                },
+                ..RuntimeConfig::default()
+            },
+        );
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 10);
+        let pe = k.pe_id_of(job, 2).unwrap();
+        let before = k.tap(job, "snk").unwrap().len();
+        assert!(before > 0);
+        k.kill_pe(pe).unwrap();
+        k.restart_pe(pe).unwrap();
+        match &k.restart_log().last().unwrap().restore {
+            RestoreOutcome::Restored { verified, .. } => {
+                assert!(!verified, "dropping a blob must trip verification")
+            }
+            other => panic!("expected lossy restored outcome, got {other:?}"),
+        }
+        // The sink (last stateful op of the PE) indeed lost its contents.
+        assert_eq!(k.tap(job, "snk").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn cancel_job_drops_checkpoints() {
+        let mut k = ckpt_kernel(2, 2);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 6);
+        assert!(!k.ckpt.is_empty());
+        assert!(k.ckpt.state_bytes() > 0);
+        k.cancel_job(job).unwrap();
+        assert_eq!(k.ckpt.len(), 0);
+    }
+
+    /// Regression (SRM hygiene): every path that retires or crashes a PE
+    /// must drop its per-PE metric snapshot. Previously only `restart_pe`
+    /// forgot metrics, so a `kill_host` cascade left stale snapshots behind.
+    #[test]
+    fn crashed_and_retired_pes_drop_srm_snapshots() {
+        let mut k = kernel(2);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 30); // past the 3 s metric push
+        let full = k.srm.query_jobs(&[job])[&job].values.len();
+        assert!(full > 0);
+
+        // kill_pe drops exactly that PE's rows.
+        let sink_pe = k.pe_id_of(job, 2).unwrap();
+        k.kill_pe(sink_pe).unwrap();
+        let after_kill = k.srm.query_jobs(&[job])[&job].values.len();
+        assert!(after_kill < full, "{after_kill} vs {full}");
+        assert!(!k.srm.query_jobs(&[job])[&job]
+            .values
+            .iter()
+            .any(|(key, _)| key.operator_name() == Some("snk")));
+
+        // kill_host cascades drop every victim's rows.
+        let pe0 = k.pe_id_of(job, 0).unwrap();
+        let host0 = k.cluster.host_of_pe(pe0).unwrap().to_string();
+        k.kill_host(&host0).unwrap();
+        let snap = k.srm.query_jobs(&[job]);
+        let remaining = snap.get(&job).map(|s| s.values.len()).unwrap_or(0);
+        assert!(remaining < after_kill, "{remaining} vs {after_kill}");
+
+        // cancel_job wipes the rest.
+        k.cancel_job(job).unwrap();
+        assert!(k.srm.query_jobs(&[job]).is_empty());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! as a [`world::Controller`].
 
 pub mod broker;
+pub mod ckpt;
 pub mod cluster;
 pub mod error;
 pub mod ids;
@@ -26,10 +27,13 @@ pub mod srm;
 pub mod world;
 
 pub use broker::Broker;
+pub use ckpt::{CheckpointPolicy, CheckpointStore};
 pub use cluster::{Cluster, Host, PeProcess, PeStatus};
 pub use error::RuntimeError;
 pub use ids::{JobId, OrcaId, PeId};
-pub use kernel::{CrashRecord, Kernel, KillTarget, RestartRecord, RuntimeConfig};
+pub use kernel::{
+    CrashRecord, FreshReason, Kernel, KillTarget, RestartRecord, RestoreOutcome, RuntimeConfig,
+};
 pub use sam::{CrashReason, JobInfo, JobStatus, OrcaNotification, Sam};
 pub use srm::{MetricSnapshot, Srm};
 pub use world::{Controller, World};

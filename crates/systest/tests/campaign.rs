@@ -1,9 +1,14 @@
 //! Integration: the fault-injection campaign harness over all four
 //! use-case applications — fixed-seed campaigns pass every oracle, reports
-//! are bit-deterministic, and a deliberately broken oracle demonstrates
-//! shrinking down to a 1-minimal reproducible plan.
+//! are bit-deterministic, a deliberately broken oracle demonstrates
+//! shrinking down to a 1-minimal reproducible plan, and the
+//! checkpoint-recovery regime (`StatePreservation` oracle) holds under
+//! targeted stateful-kill schedules and full seeded campaigns.
 
-use orca_harness::{default_oracles, evaluate, run_campaign, scenario, CampaignConfig, FaultPlan};
+use orca_harness::{
+    compute_baseline, default_oracles, evaluate, reproducer_line, run_campaign, scenario,
+    CampaignConfig, CheckpointPolicy, FaultPlan,
+};
 use sps_sim::SimRng;
 
 fn cfg(plans: usize) -> CampaignConfig {
@@ -13,6 +18,15 @@ fn cfg(plans: usize) -> CampaignConfig {
         check_determinism: true,
         broken_convergence: false,
         max_failures: 3,
+        ..Default::default()
+    }
+}
+
+/// Checkpoint every 10 quanta (1 s at the default 100 ms quantum).
+fn ckpt_cfg(plans: usize) -> CampaignConfig {
+    CampaignConfig {
+        checkpoint: CheckpointPolicy::every(10),
+        ..cfg(plans)
     }
 }
 
@@ -25,6 +39,25 @@ fn fixed_seed_campaigns_pass_all_oracles_on_every_app() {
         assert!(
             report.failures.is_empty(),
             "[{}] campaign failed:\n{}",
+            sc.name,
+            report
+                .failures
+                .iter()
+                .map(|f| format!("  {} -> {:?}", f.reproducer, f.violations))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
+fn checkpointed_campaigns_pass_state_preservation_on_every_app() {
+    for sc in scenario::all() {
+        let report = run_campaign(&sc, &ckpt_cfg(3));
+        assert_eq!(
+            report.plans_failed,
+            0,
+            "[{}] checkpointed campaign failed:\n{}",
             sc.name,
             report
                 .failures
@@ -52,6 +85,13 @@ fn campaign_reports_are_bit_deterministic() {
         },
     );
     assert_ne!(a.digest, c.digest);
+    // Checkpointing changes execution (snapshots restore state), so the
+    // same seed under the checkpoint regime folds a different digest — but
+    // deterministically so.
+    let d = run_campaign(&sc, &ckpt_cfg(3));
+    let e = run_campaign(&sc, &ckpt_cfg(3));
+    assert_eq!(d.digest, e.digest);
+    assert_ne!(a.digest, d.digest);
 }
 
 #[test]
@@ -59,13 +99,22 @@ fn generated_plans_actually_perturb_the_system() {
     // The trace digest of a faulted run must differ from the fault-free
     // baseline of the same seed — i.e. campaigns exercise real failures.
     let sc = scenario::trend();
-    let oracles = default_oracles(false);
+    let oracles = default_oracles(false, false);
     let seed = 0xDEAD_BEEF_u64;
+    let opts = CheckpointPolicy::default();
     let plan = FaultPlan::generate(&mut SimRng::new(seed), &sc.plan_spec());
     assert!(!plan.events.is_empty());
-    let (faulted, violations) = evaluate(&sc, seed, &plan, &oracles, false);
+    let (faulted, violations) = evaluate(&sc, seed, &plan, &oracles, false, opts, None);
     assert!(violations.is_empty(), "{violations:?}");
-    let (baseline, _) = evaluate(&sc, seed, &FaultPlan::default(), &oracles, false);
+    let (baseline, _) = evaluate(
+        &sc,
+        seed,
+        &FaultPlan::default(),
+        &oracles,
+        false,
+        opts,
+        None,
+    );
     assert_ne!(faulted, baseline, "plan {} left no mark", plan.encode());
 }
 
@@ -78,6 +127,7 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
         check_determinism: false, // halve the cost; determinism is covered above
         broken_convergence: true,
         max_failures: 1,
+        ..Default::default()
     };
     let report = run_campaign(&sc, &config);
     assert!(
@@ -92,16 +142,17 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
     assert!(!f.shrunk.events.is_empty());
 
     // The reproducer round-trips and still fails.
-    let oracles = default_oracles(true);
+    let oracles = default_oracles(true, false);
+    let opts = CheckpointPolicy::default();
     let decoded = FaultPlan::decode(&f.shrunk.encode()).unwrap();
     assert_eq!(decoded, f.shrunk);
-    let (_, violations) = evaluate(&sc, f.plan_seed, &decoded, &oracles, false);
+    let (_, violations) = evaluate(&sc, f.plan_seed, &decoded, &oracles, false, opts, None);
     assert!(!violations.is_empty(), "shrunk plan no longer fails");
 
     // 1-minimality: removing any single remaining event makes it pass.
     for i in 0..f.shrunk.events.len() {
         let smaller = f.shrunk.without(i);
-        let (_, v) = evaluate(&sc, f.plan_seed, &smaller, &oracles, false);
+        let (_, v) = evaluate(&sc, f.plan_seed, &smaller, &oracles, false, opts, None);
         assert!(
             v.is_empty(),
             "shrunk plan is not minimal: dropping event {i} still fails ({v:?})"
@@ -116,4 +167,160 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
     assert!(f
         .reproducer
         .contains(&format!("HARNESS_PLAN={}", f.shrunk.encode())));
+}
+
+// ---------------------------------------------------------------------------
+// Stateful-recovery suite: targeted kill schedules against the trend app
+// (600 s windows — the §5.2 stateful workload) under checkpointing.
+// ---------------------------------------------------------------------------
+
+/// Runs one explicit plan under the checkpoint regime with the
+/// `StatePreservation` oracle active and asserts it passes and replays
+/// bit-identically (evaluate's built-in determinism replay).
+fn assert_stateful_recovery(app: &str, seed: u64, plan: &str) {
+    let sc = scenario::by_name(app).unwrap();
+    let opts = CheckpointPolicy::every(10);
+    let oracles = default_oracles(false, true);
+    let plan = FaultPlan::decode(plan).unwrap();
+    let baseline = compute_baseline(&sc, seed, opts, plan.horizon());
+    let (digest_a, violations) = evaluate(&sc, seed, &plan, &oracles, true, opts, Some(&baseline));
+    assert!(
+        violations.is_empty(),
+        "[{app}] plan {} violated: {violations:?}",
+        plan.encode()
+    );
+    // Replaying the whole evaluation reproduces the digest bit-identically.
+    let (digest_b, _) = evaluate(&sc, seed, &plan, &oracles, false, opts, Some(&baseline));
+    assert_eq!(digest_a, digest_b);
+}
+
+#[test]
+fn stateful_recovery_kill_windowed_aggregate_mid_window() {
+    // Trend slot 1 is the windowed Aggregate (`calc`): kill it mid-window,
+    // well past warmup so its sliding windows hold real state.
+    assert_stateful_recovery("trend", 11, "8000:kp:0:1");
+}
+
+#[test]
+fn stateful_recovery_kill_into_restart_gap() {
+    // Second kill lands 1 s after the first — inside the 2 s restart gap,
+    // while the replacement is still `Starting`.
+    assert_stateful_recovery("trend", 12, "8000:kp:0:1,9000:kp:0:1");
+}
+
+#[test]
+fn stateful_recovery_host_kill_and_revive() {
+    // A host dies with everything on it and comes back 4 s later.
+    assert_stateful_recovery("trend", 13, "7500:kh:1,11500:rh:1");
+}
+
+#[test]
+fn stateful_recovery_holds_on_every_app_for_a_pe_kill() {
+    for (app, seed) in [
+        ("live", 21u64),
+        ("sentiment", 22),
+        ("social", 23),
+        ("trend", 24),
+    ] {
+        assert_stateful_recovery(app, seed, "8600:kp:0:1");
+    }
+}
+
+#[test]
+fn restored_state_actually_differs_from_fresh_restarts() {
+    // The same kill schedule under checkpointing vs. without it must settle
+    // into different artifacts: the restored run keeps pre-crash state.
+    let sc = scenario::trend();
+    let seed = 31u64;
+    let plan = FaultPlan::decode("8000:kp:0:1").unwrap();
+    let oracles = default_oracles(false, false);
+    let (fresh, _) = evaluate(
+        &sc,
+        seed,
+        &plan,
+        &oracles,
+        false,
+        CheckpointPolicy::default(),
+        None,
+    );
+    let (restored, _) = evaluate(
+        &sc,
+        seed,
+        &plan,
+        &oracles,
+        false,
+        CheckpointPolicy::every(10),
+        None,
+    );
+    assert_ne!(fresh, restored, "checkpoint restore left no trace");
+}
+
+#[test]
+fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
+    let sc = scenario::trend();
+    let config = CampaignConfig {
+        plans: 5,
+        seed: 7,
+        check_determinism: false,
+        max_failures: 1,
+        checkpoint: CheckpointPolicy {
+            every_quanta: 10,
+            lossy_restore: true,
+        },
+        ..Default::default()
+    };
+    let report = run_campaign(&sc, &config);
+    assert!(
+        !report.failures.is_empty(),
+        "a lossy restore must trip the state oracle on some plan"
+    );
+    let f = &report.failures[0];
+    assert!(
+        f.violations.iter().any(|v| v.oracle == "state"),
+        "{:?}",
+        f.violations
+    );
+    assert!(!f.shrunk.events.is_empty());
+
+    // 1-minimality under the same lossy regime.
+    let opts = CheckpointPolicy {
+        every_quanta: 10,
+        lossy_restore: true,
+    };
+    let oracles = default_oracles(false, true);
+    let baseline = compute_baseline(&sc, f.plan_seed, opts, f.original.horizon());
+    let (_, violations) = evaluate(
+        &sc,
+        f.plan_seed,
+        &f.shrunk,
+        &oracles,
+        false,
+        opts,
+        Some(&baseline),
+    );
+    assert!(!violations.is_empty(), "shrunk plan no longer fails");
+    for i in 0..f.shrunk.events.len() {
+        let smaller = f.shrunk.without(i);
+        let (_, v) = evaluate(
+            &sc,
+            f.plan_seed,
+            &smaller,
+            &oracles,
+            false,
+            opts,
+            Some(&baseline),
+        );
+        assert!(
+            v.is_empty(),
+            "not minimal: dropping event {i} still fails ({v:?})"
+        );
+    }
+
+    // The reproducer captures the checkpoint policy.
+    assert_eq!(
+        f.reproducer,
+        reproducer_line(&sc, f.plan_seed, &f.shrunk, opts)
+    );
+    assert!(f.reproducer.contains("HARNESS_CKPT=10"));
+    assert!(f.reproducer.contains("HARNESS_LOSSY=1"));
 }

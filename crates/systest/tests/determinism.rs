@@ -10,7 +10,9 @@ use orca::{OrcaDescriptor, OrcaService};
 use orca_apps::live::stream_taps;
 use orca_apps::trend::{trend_app, TrendOrca, TrendParams};
 use orca_apps::SharedStores;
-use orca_harness::{scenario, Built, FaultInjector, FaultPlan, Janitor, Scenario};
+use orca_harness::{
+    scenario, Built, CheckpointPolicy, FaultInjector, FaultPlan, Janitor, Scenario,
+};
 use sps_runtime::{Cluster, Kernel, KillTarget, RuntimeConfig, World};
 use sps_sim::{SimDuration, SimTime};
 
@@ -117,11 +119,20 @@ fn same_seed_reproduces_bit_identical_run() {
 /// ring plus its digest, and the SRM snapshots + sink-tap contents of every
 /// running job.
 fn run_app_scenario(sc: &Scenario, plan: &str, seed: u64) -> (String, u64, String) {
+    run_app_scenario_opts(sc, plan, seed, CheckpointPolicy::default())
+}
+
+fn run_app_scenario_opts(
+    sc: &Scenario,
+    plan: &str,
+    seed: u64,
+    opts: CheckpointPolicy,
+) -> (String, u64, String) {
     let plan = FaultPlan::decode(plan).expect("valid fixed plan");
     let Built {
         mut world,
         orca_idx: _,
-    } = (sc.build)(seed);
+    } = (sc.build)(seed, opts);
     if sc.janitor {
         world.add_controller(Box::new(Janitor::default()));
     }
@@ -172,6 +183,31 @@ fn all_four_apps_reproduce_bit_identical_runs() {
     }
 }
 
+/// Checkpoint-enabled runs are just as deterministic: snapshotting and
+/// restoring operator state must introduce no run-to-run divergence, and
+/// restoring must actually change what the system settles into compared to
+/// fresh-state recovery.
+#[test]
+fn checkpointed_runs_reproduce_bit_identically() {
+    let opts = CheckpointPolicy::every(10);
+    for sc in scenario::all() {
+        let plan = fixed_plan(&sc);
+        let (trace_a, digest_a, out_a) = run_app_scenario_opts(&sc, &plan, 0x5EED_0003, opts);
+        let (trace_b, digest_b, out_b) = run_app_scenario_opts(&sc, &plan, 0x5EED_0003, opts);
+        assert_eq!(trace_a, trace_b, "[{}] ckpt traces diverged", sc.name);
+        assert_eq!(digest_a, digest_b, "[{}] ckpt digests diverged", sc.name);
+        assert_eq!(out_a, out_b, "[{}] ckpt outputs diverged", sc.name);
+        assert!(
+            trace_a.contains("state restored from checkpoint"),
+            "[{}] no restart restored state:\n{trace_a}",
+            sc.name
+        );
+        // Restore-vs-fresh must be observable in the settled artifacts.
+        let (_, _, out_fresh) = run_app_scenario(&sc, &plan, 0x5EED_0003);
+        assert_ne!(out_a, out_fresh, "[{}] restore left no mark", sc.name);
+    }
+}
+
 /// The `live` streaming module itself is deterministic under faults: the
 /// sampled tap updates (times, attribution, tuple payloads) reproduce
 /// bit-for-bit alongside the kernel trace.
@@ -179,7 +215,7 @@ fn all_four_apps_reproduce_bit_identical_runs() {
 fn live_tap_streaming_reproduces_bit_identically() {
     fn streamed(seed: u64) -> (String, u64) {
         let sc = scenario::live();
-        let Built { mut world, .. } = (sc.build)(seed);
+        let Built { mut world, .. } = (sc.build)(seed, CheckpointPolicy::default());
         world.add_controller(Box::new(Janitor::default()));
         world.run_for(sc.warmup);
         world.add_controller(Box::new(FaultInjector::new(
