@@ -3,12 +3,17 @@
 //! ```text
 //! cargo run --release -p orca_bench --bin campaign -- --plans 200 --seed 7
 //! cargo run --release -p orca_bench --bin campaign -- --app trend --plans 50
+//! cargo run --release -p orca_bench --bin campaign -- --plans 100 --jobs 8
 //! cargo run --release -p orca_bench --bin campaign -- --broken-oracle convergence
 //! cargo run --release -p orca_bench --bin campaign -- --checkpoint-interval 10
 //! cargo run --release -p orca_bench --bin campaign -- --checkpoint-interval 10 --lossy-restore
 //! HARNESS_APP=trend HARNESS_SEED=123 HARNESS_PLAN=6500:kp:0:1 \
 //!     cargo run --release -p orca_bench --bin campaign -- --replay
 //! ```
+//!
+//! `--jobs N` (default: `HARNESS_JOBS`, else 1) shards plan evaluation and
+//! failure shrinking across N worker threads; the report is folded in
+//! plan-index order, so stdout is byte-identical for any `--jobs` value.
 //!
 //! `--checkpoint-interval N` enables PE checkpointing every N scheduling
 //! quanta and activates the `StatePreservation` oracle; reproducer lines
@@ -17,6 +22,8 @@
 //!
 //! Stdout is bit-identical across runs with the same arguments (timings go
 //! to stderr), so campaign output itself can be diffed for determinism.
+//! `--timing` additionally prints per-app wall-clock and plans/sec lines to
+//! stdout — deliberately opt-in, so the default stream stays byte-stable.
 
 use orca_harness::{
     compute_baseline, default_oracles, evaluate, run_campaign, scenario, CampaignConfig,
@@ -33,6 +40,8 @@ struct Args {
     replay: bool,
     checkpoint_interval: u32,
     lossy_restore: bool,
+    jobs: usize,
+    timing: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,13 +54,18 @@ fn parse_args() -> Result<Args, String> {
         replay: false,
         checkpoint_interval: 0,
         lossy_restore: false,
+        jobs: 0,
+        timing: false,
     };
+    let mut jobs: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--plans" => args.plans = value("--plans")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--jobs" => jobs = Some(value("--jobs")?.parse().map_err(|e| format!("{e}"))?),
+            "--timing" => args.timing = true,
             "--app" => args.app = Some(value("--app")?),
             "--broken-oracle" => {
                 let which = value("--broken-oracle")?;
@@ -69,16 +83,34 @@ fn parse_args() -> Result<Args, String> {
             "--no-determinism" => args.check_determinism = false,
             "--replay" => args.replay = true,
             "--help" | "-h" => {
-                return Err("usage: campaign [--plans N] [--seed S] [--app NAME] \
+                return Err(
+                    "usage: campaign [--plans N] [--seed S] [--app NAME] [--jobs N] \
                      [--broken-oracle convergence] [--checkpoint-interval QUANTA] \
-                     [--lossy-restore] [--no-determinism] [--replay]"
-                    .to_string())
+                     [--lossy-restore] [--no-determinism] [--timing] [--replay]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
     if args.lossy_restore && args.checkpoint_interval == 0 {
         return Err("--lossy-restore requires --checkpoint-interval".to_string());
+    }
+    // `HARNESS_JOBS` supplies the default so reproducer stanzas and CI job
+    // environments can set parallelism without editing the command line; an
+    // explicit `--jobs` wins, and only then is the env var consulted (a
+    // malformed value must not sink a command that overrode it anyway).
+    args.jobs = match jobs {
+        Some(n) => n,
+        None => match std::env::var("HARNESS_JOBS") {
+            Ok(v) => v
+                .parse::<usize>()
+                .map_err(|e| format!("bad HARNESS_JOBS: {e}"))?,
+            Err(_) => 1,
+        },
+    };
+    if args.jobs == 0 {
+        return Err("--jobs / HARNESS_JOBS must be >= 1".to_string());
     }
     Ok(args)
 }
@@ -181,18 +213,18 @@ fn main() -> ExitCode {
             every_quanta: args.checkpoint_interval,
             lossy_restore: args.lossy_restore,
         },
+        jobs: args.jobs,
         ..Default::default()
     };
     let mut failed = false;
     for sc in &scenarios {
         let start = std::time::Instant::now();
         let report = run_campaign(sc, &cfg);
-        eprintln!(
-            "[{}] {} plans in {:.1}s",
-            sc.name,
-            report.plans_run,
-            start.elapsed().as_secs_f64()
-        );
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!("[{}] {} plans in {:.1}s", sc.name, report.plans_run, wall);
+        // Note: the campaign line carries no jobs= field on purpose — the
+        // report is independent of --jobs, and the stdout of a --jobs 8 run
+        // must diff clean against a --jobs 1 run.
         println!(
             "campaign app={} plans={} seed={} ckpt={} digest={:016x} failures={}",
             report.scenario,
@@ -202,6 +234,17 @@ fn main() -> ExitCode {
             report.digest,
             report.plans_failed
         );
+        if args.timing {
+            // Wall-clock is nondeterministic, hence flag-gated (see module
+            // docs). plans/sec is the CI matrix's throughput headline.
+            println!(
+                "timing app={} jobs={} wall_s={:.2} plans_per_sec={:.2}",
+                report.scenario,
+                args.jobs,
+                wall,
+                report.plans_run as f64 / wall.max(f64::EPSILON)
+            );
+        }
         failed |= report.plans_failed > 0;
         for f in &report.failures {
             println!(
@@ -223,9 +266,12 @@ fn main() -> ExitCode {
                 }
             );
         }
-        let extra = report.plans_failed.saturating_sub(report.failures.len());
-        if extra > 0 {
-            println!("  ... and {extra} more failing plans (shrunk reproducers capped)");
+        if report.failures_truncated > 0 {
+            println!(
+                "  failures_truncated={}: that many more plans failed beyond the \
+                 shrink cap; re-run with a higher max_failures to shrink them",
+                report.failures_truncated
+            );
         }
     }
     if failed {

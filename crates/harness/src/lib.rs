@@ -15,6 +15,11 @@
 //! fault-free baseline run of the same seed. Failing schedules are greedily
 //! [`shrink`]ed to a 1-minimal reproducer and reported as a one-line
 //! `HARNESS_SEED=… [HARNESS_CKPT=…] HARNESS_PLAN=…` environment stanza.
+//! Campaigns shard plan evaluation (and the shrinking of distinct failures)
+//! across a worker [`pool`] (`CampaignConfig::jobs` / `--jobs` /
+//! `HARNESS_JOBS`); per-plan seeds are a pure function of `(campaign_seed,
+//! plan_index)` and results fold in plan-index order, so every report is
+//! bit-identical at any parallelism.
 //!
 //! Replay a failing plan locally with the `campaign` binary:
 //!
@@ -26,6 +31,7 @@
 pub mod inject;
 pub mod oracle;
 pub mod plan;
+pub mod pool;
 pub mod runner;
 pub mod scenario;
 pub mod shrink;
@@ -36,9 +42,10 @@ pub use oracle::{
     RecoveryOracle, StatePreservationOracle, Violation,
 };
 pub use plan::{FaultAction, FaultEvent, FaultPlan, PlanSpec};
+pub use pool::indexed_pool;
 pub use runner::{
-    compute_baseline, evaluate, quiescent, render_artifacts, reproducer_line, run_campaign,
-    run_plan, CampaignConfig, CampaignFailure, CampaignReport, PlanOutcome,
+    compute_baseline, evaluate, plan_seeds, quiescent, render_artifacts, reproducer_line,
+    run_campaign, run_plan, CampaignConfig, CampaignFailure, CampaignReport, PlanOutcome,
 };
 pub use scenario::{by_name, Built, Scenario};
 pub use shrink::shrink;

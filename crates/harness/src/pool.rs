@@ -1,0 +1,88 @@
+//! A deterministic indexed worker pool.
+//!
+//! Campaign plan evaluation is embarrassingly parallel — every plan owns an
+//! independent seed, world, and baseline — but the campaign *report* must be
+//! bit-identical regardless of how many workers ran it. The pool therefore
+//! never lets scheduling order leak into results: workers pull indices from
+//! a shared counter, compute `f(i)` for a pure-per-index `f`, and send
+//! `(index, result)` back over a channel; the coordinator slots each result
+//! by index and returns them in index order. The caller's fold over the
+//! returned `Vec` is then the same fold it would have done single-threaded.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Computes `f(i)` for every `i < n` across up to `jobs` worker threads and
+/// returns the results **in index order**, so any fold over them is
+/// identical for `jobs = 1` and `jobs = N`. `f` must be a pure function of
+/// its index (it is shared by reference across workers).
+///
+/// `jobs <= 1` (or `n <= 1`) runs inline on the caller's thread — the
+/// single-threaded path spawns nothing.
+pub fn indexed_pool<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        // The coordinator drains while workers run; the iteration ends once
+        // every worker has dropped its sender clone.
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index evaluated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order_for_any_jobs() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for jobs in [1, 2, 4, 8, 16] {
+            assert_eq!(indexed_pool(97, jobs, |i| i * i), expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(indexed_pool(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(indexed_pool(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn every_index_is_computed_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let calls: Vec<AtomicU32> = (0..64).map(|_| AtomicU32::new(0)).collect();
+        indexed_pool(64, 4, |i| calls[i].fetch_add(1, Ordering::Relaxed));
+        for (i, c) in calls.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+}

@@ -5,8 +5,9 @@
 use crate::inject::{FaultInjector, Janitor};
 use crate::oracle::{default_oracles, BaselineSummary, Oracle, OracleCtx, Violation};
 use crate::plan::FaultPlan;
+use crate::pool::indexed_pool;
 use crate::scenario::{Built, Scenario};
-use crate::shrink::shrink;
+use crate::shrink::shrink_failures;
 use orca::OrcaService;
 use rand::RngCore;
 use sps_engine::metrics::builtin;
@@ -31,6 +32,11 @@ pub struct CampaignConfig {
     /// is compared against a fault-free baseline of the same seed; the
     /// `lossy_restore` knob is the state-oracle shrinking demo.
     pub checkpoint: CheckpointPolicy,
+    /// Worker threads for plan evaluation and failure shrinking (`--jobs` /
+    /// `HARNESS_JOBS`). Plans are sharded across workers and the report is
+    /// folded in plan-index order, so every `CampaignReport` field is
+    /// bit-identical for `jobs = 1` and `jobs = N`. `0` is treated as `1`.
+    pub jobs: usize,
 }
 
 impl Default for CampaignConfig {
@@ -42,6 +48,7 @@ impl Default for CampaignConfig {
             broken_convergence: false,
             max_failures: 3,
             checkpoint: CheckpointPolicy::default(),
+            jobs: 1,
         }
     }
 }
@@ -77,8 +84,13 @@ pub struct CampaignReport {
     /// Fold of every plan's trace digest — two campaign runs with the same
     /// seed must report the same value.
     pub digest: u64,
-    /// Shrunk reproducers for the first `max_failures` failing plans.
+    /// Shrunk reproducers for the first `max_failures` failing plans (in
+    /// plan-index order).
     pub failures: Vec<CampaignFailure>,
+    /// Failing plans beyond `max_failures`, whose reproducers were dropped:
+    /// always `plans_failed - failures.len()`. Surfaced so a campaign log
+    /// never silently under-reports how many plans actually failed.
+    pub failures_truncated: usize,
 }
 
 /// Whole-system quiescence: every running job's PEs are `Up`, and the ORCA
@@ -291,65 +303,111 @@ pub fn reproducer_line(
     line
 }
 
-/// Runs a full campaign over one scenario.
-pub fn run_campaign(scenario: &Scenario, cfg: &CampaignConfig) -> CampaignReport {
+/// Per-plan seeds for a campaign, derived once up front: plan `i`'s seed is
+/// the `i`-th draw of the master stream, i.e. a pure function of
+/// `(campaign_seed, plan_index)` that is independent of evaluation order.
+/// This is what lets plan evaluation shard across worker threads without
+/// moving a single seed.
+pub fn plan_seeds(campaign_seed: u64, plans: usize) -> Vec<u64> {
+    let mut master = SimRng::new(campaign_seed);
+    (0..plans).map(|_| master.next_u64()).collect()
+}
+
+/// Everything phase 1 learned about one plan; the coordinator folds these in
+/// plan-index order and phase 2 shrinks the failing ones.
+pub(crate) struct PlanEval {
+    pub plan_seed: u64,
+    pub plan: FaultPlan,
+    pub digest: u64,
+    pub violations: Vec<Violation>,
+    /// Fault-free baseline of the same seed, kept only for failing plans
+    /// (shrinking re-checks candidates against it).
+    pub baseline: Option<BaselineSummary>,
+}
+
+/// Evaluates one indexed plan: generation, baseline, execution, oracles.
+/// Pure in `(scenario, cfg, plan_seed)` — safe to run on any worker.
+fn evaluate_plan(scenario: &Scenario, cfg: &CampaignConfig, plan_seed: u64) -> PlanEval {
     let opts = cfg.checkpoint;
     let oracles = default_oracles(cfg.broken_convergence, opts.enabled());
-    let mut master = SimRng::new(cfg.seed);
+    // Independent per-plan stream: seeds world RNG and plan sampling.
+    let plan = FaultPlan::generate(&mut SimRng::new(plan_seed), &scenario.plan_spec());
+    // The state oracle compares against the fault-free run of the same
+    // seed; computed once per plan seed and shared with shrinking.
+    let baseline = opts
+        .enabled()
+        .then(|| compute_baseline(scenario, plan_seed, opts, plan.horizon()));
+    let (digest, violations) = evaluate(
+        scenario,
+        plan_seed,
+        &plan,
+        &oracles,
+        cfg.check_determinism,
+        opts,
+        baseline.as_ref(),
+    );
+    PlanEval {
+        plan_seed,
+        plan,
+        digest,
+        // Failing plans keep their baseline for the shrink phase; passing
+        // plans drop it so a large campaign doesn't hold every summary.
+        baseline: if violations.is_empty() {
+            None
+        } else {
+            baseline
+        },
+        violations,
+    }
+}
+
+/// Runs a full campaign over one scenario, sharding plan evaluation across
+/// `cfg.jobs` worker threads.
+///
+/// Determinism under parallelism: per-plan seeds are a pure function of
+/// `(cfg.seed, plan_index)` (see [`plan_seeds`]), each plan runs against its
+/// own private world, and the coordinator folds `(plan_index, digest,
+/// violations)` results **in plan-index order** — so `digest`,
+/// `plans_failed`, the `max_failures`-truncated failure list, and every
+/// reproducer line are byte-identical whatever `cfg.jobs` is. Shrinking a
+/// single failing plan stays sequential (greedy candidate elimination), but
+/// distinct failures shrink concurrently.
+pub fn run_campaign(scenario: &Scenario, cfg: &CampaignConfig) -> CampaignReport {
+    let seeds = plan_seeds(cfg.seed, cfg.plans);
+
+    // Phase 1: evaluate every plan — the expensive, embarrassingly parallel
+    // part. Workers pull plan indices from a shared counter; the pool hands
+    // results back in index order regardless of completion order.
+    let evals = indexed_pool(seeds.len(), cfg.jobs, |i| {
+        evaluate_plan(scenario, cfg, seeds[i])
+    });
+
+    // Ordered fold: identical to the sequential loop it replaced.
     let mut digest = FNV_OFFSET;
-    let mut failures: Vec<CampaignFailure> = Vec::new();
     let mut plans_failed = 0usize;
-    for _ in 0..cfg.plans {
-        // Independent per-plan stream: seeds world RNG and plan sampling.
-        let plan_seed = master.next_u64();
-        let plan = FaultPlan::generate(&mut SimRng::new(plan_seed), &scenario.plan_spec());
-        // The state oracle compares against the fault-free run of the same
-        // seed; computed once per plan seed and shared with shrinking.
-        let baseline = opts
-            .enabled()
-            .then(|| compute_baseline(scenario, plan_seed, opts, plan.horizon()));
-        let (plan_digest, violations) = evaluate(
-            scenario,
-            plan_seed,
-            &plan,
-            &oracles,
-            cfg.check_determinism,
-            opts,
-            baseline.as_ref(),
-        );
-        digest = fnv1a(digest, &plan_digest.to_le_bytes());
-        if !violations.is_empty() {
-            plans_failed += 1;
+    let mut to_shrink: Vec<PlanEval> = Vec::new();
+    for eval in evals {
+        digest = fnv1a(digest, &eval.digest.to_le_bytes());
+        if eval.violations.is_empty() {
+            continue;
         }
-        if !violations.is_empty() && failures.len() < cfg.max_failures {
-            // The determinism replay doubles every shrink candidate's cost;
-            // only pay for it when the failure actually is a divergence.
-            let det_shrink =
-                cfg.check_determinism && violations.iter().any(|v| v.oracle == "determinism");
-            let shrunk = shrink(
-                scenario,
-                plan_seed,
-                &plan,
-                &oracles,
-                det_shrink,
-                opts,
-                baseline.as_ref(),
-            );
-            let reproducer = reproducer_line(scenario, plan_seed, &shrunk, opts);
-            failures.push(CampaignFailure {
-                plan_seed,
-                original: plan,
-                shrunk,
-                violations,
-                reproducer,
-            });
+        plans_failed += 1;
+        if to_shrink.len() < cfg.max_failures {
+            to_shrink.push(eval);
         }
     }
+    let failures_truncated = plans_failed - to_shrink.len();
+
+    // Phase 2: shrink the first `max_failures` failing plans, concurrently
+    // across distinct failures.
+    let failures = shrink_failures(scenario, cfg, to_shrink);
+
     CampaignReport {
         scenario: scenario.name,
         plans_run: cfg.plans,
         plans_failed,
         digest,
         failures,
+        failures_truncated,
     }
 }

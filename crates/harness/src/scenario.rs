@@ -47,6 +47,16 @@ pub struct Scenario {
     pub taps: &'static [&'static str],
 }
 
+// Scenarios are shared by reference across campaign worker threads
+// (`runner::run_campaign` with `jobs > 1`), which holds because every field
+// is plain data, a `'static` borrow, or a fn pointer. Keep it that way: a
+// field with interior mutability or a non-`Sync` handle would silently
+// serialize (or break) the parallel campaign.
+const _: () = {
+    const fn assert_thread_shareable<T: Send + Sync>() {}
+    assert_thread_shareable::<Scenario>();
+};
+
 impl Scenario {
     /// Plan-generation envelope derived from this scenario's shape.
     pub fn plan_spec(&self) -> PlanSpec {

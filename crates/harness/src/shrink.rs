@@ -6,9 +6,10 @@
 //! (≤ ~10 events), so the O(n²) re-execution cost is negligible next to one
 //! campaign.
 
-use crate::oracle::{BaselineSummary, Oracle};
+use crate::oracle::{default_oracles, BaselineSummary, Oracle};
 use crate::plan::FaultPlan;
-use crate::runner::evaluate;
+use crate::pool::indexed_pool;
+use crate::runner::{evaluate, reproducer_line, CampaignConfig, CampaignFailure, PlanEval};
 use crate::scenario::Scenario;
 use sps_runtime::CheckpointPolicy;
 
@@ -50,4 +51,42 @@ pub fn shrink(
             return current;
         }
     }
+}
+
+/// Shrinks a batch of failing plans into [`CampaignFailure`]s, preserving
+/// input (plan-index) order. Each individual shrink stays a sequential
+/// greedy walk — candidate elimination is inherently ordered — but distinct
+/// failures shrink concurrently across `cfg.jobs` workers, since every
+/// failure owns an independent seed, plan, and baseline.
+pub(crate) fn shrink_failures(
+    scenario: &Scenario,
+    cfg: &CampaignConfig,
+    failing: Vec<PlanEval>,
+) -> Vec<CampaignFailure> {
+    let opts = cfg.checkpoint;
+    indexed_pool(failing.len(), cfg.jobs, |i| {
+        let eval = &failing[i];
+        let oracles = default_oracles(cfg.broken_convergence, opts.enabled());
+        // The determinism replay doubles every shrink candidate's cost;
+        // only pay for it when the failure actually is a divergence.
+        let det_shrink =
+            cfg.check_determinism && eval.violations.iter().any(|v| v.oracle == "determinism");
+        let shrunk = shrink(
+            scenario,
+            eval.plan_seed,
+            &eval.plan,
+            &oracles,
+            det_shrink,
+            opts,
+            eval.baseline.as_ref(),
+        );
+        let reproducer = reproducer_line(scenario, eval.plan_seed, &shrunk, opts);
+        CampaignFailure {
+            plan_seed: eval.plan_seed,
+            original: eval.plan.clone(),
+            shrunk,
+            violations: eval.violations.clone(),
+            reproducer,
+        }
+    })
 }

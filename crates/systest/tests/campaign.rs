@@ -134,8 +134,13 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
         !report.failures.is_empty(),
         "the inverted convergence bound must trip on some plan"
     );
-    // Every failing plan is counted, even beyond the shrink cap.
+    // Every failing plan is counted, even beyond the shrink cap, and the
+    // dropped reproducers are reported rather than silently vanishing.
     assert!(report.plans_failed >= report.failures.len());
+    assert_eq!(
+        report.failures_truncated,
+        report.plans_failed - report.failures.len()
+    );
     let f = &report.failures[0];
     assert!(f.violations.iter().any(|v| v.oracle == "convergence"));
     assert!(f.shrunk.events.len() <= f.original.events.len());
