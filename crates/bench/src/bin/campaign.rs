@@ -7,6 +7,8 @@
 //! cargo run --release -p orca_bench --bin campaign -- --broken-oracle convergence
 //! cargo run --release -p orca_bench --bin campaign -- --checkpoint-interval 10
 //! cargo run --release -p orca_bench --bin campaign -- --checkpoint-interval 10 --lossy-restore
+//! cargo run --release -p orca_bench --bin campaign -- \
+//!     --checkpoint-interval 10 --timing --bench-json BENCH_campaign.json
 //! HARNESS_APP=trend HARNESS_SEED=123 HARNESS_PLAN=6500:kp:0:1 \
 //!     cargo run --release -p orca_bench --bin campaign -- --replay
 //! ```
@@ -20,16 +22,34 @@
 //! then carry `HARNESS_CKPT=N` (and `HARNESS_LOSSY=1` under
 //! `--lossy-restore`) so replays run under the same policy.
 //!
+//! Fault-free baselines are memoized process-wide in a `BaselineCache`
+//! keyed by `(scenario, seed, horizon floor, checkpoint policy)`; the
+//! determinism replay, the shrink walk, repeated campaigns, and `--replay`
+//! all hit entries instead of re-simulating baseline worlds (`--replay`
+//! computes its baseline exactly once; the in-replay determinism re-run is
+//! a cache hit). `--baseline-cache off` recomputes at every point of use —
+//! the comparison arm `--bench-json` measures. The cache cannot change any
+//! report: entries are pure functions of their key.
+//!
 //! Stdout is bit-identical across runs with the same arguments (timings go
 //! to stderr), so campaign output itself can be diffed for determinism.
-//! `--timing` additionally prints per-app wall-clock and plans/sec lines to
-//! stdout — deliberately opt-in, so the default stream stays byte-stable.
+//! `--timing` additionally prints per-app wall-clock, plans/sec, and
+//! baseline cache hit/miss lines to stdout — deliberately opt-in, so the
+//! default stream stays byte-stable (wall-clock and, under `--jobs > 1`,
+//! counter interleavings are nondeterministic).
+//!
+//! `--bench-json PATH` runs each app's campaign three times — cache
+//! disabled, cold cache, warm cache (repeat on the same cache) — asserts
+//! the three reports are byte-identical, and writes per-app wall-clock,
+//! plans/sec, hit rates, and the warm-vs-off speedup as a JSON artifact
+//! (the CI perf-trajectory record).
 
 use orca_harness::{
-    compute_baseline, default_oracles, evaluate, run_campaign, scenario, CampaignConfig,
-    CheckpointPolicy, FaultPlan, Scenario,
+    default_oracles, evaluate, run_campaign_cached, scenario, BaselineCache, BaselineSource,
+    CampaignConfig, CampaignReport, CheckpointPolicy, FaultPlan, Scenario,
 };
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     plans: usize,
@@ -42,6 +62,8 @@ struct Args {
     lossy_restore: bool,
     jobs: usize,
     timing: bool,
+    baseline_cache: bool,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,6 +78,8 @@ fn parse_args() -> Result<Args, String> {
         lossy_restore: false,
         jobs: 0,
         timing: false,
+        baseline_cache: true,
+        bench_json: None,
     };
     let mut jobs: Option<usize> = None;
     let mut it = std::env::args().skip(1);
@@ -67,6 +91,14 @@ fn parse_args() -> Result<Args, String> {
             "--jobs" => jobs = Some(value("--jobs")?.parse().map_err(|e| format!("{e}"))?),
             "--timing" => args.timing = true,
             "--app" => args.app = Some(value("--app")?),
+            "--baseline-cache" => {
+                args.baseline_cache = match value("--baseline-cache")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--baseline-cache {other}: expected on|off")),
+                };
+            }
+            "--bench-json" => args.bench_json = Some(value("--bench-json")?),
             "--broken-oracle" => {
                 let which = value("--broken-oracle")?;
                 if which != "convergence" {
@@ -86,7 +118,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: campaign [--plans N] [--seed S] [--app NAME] [--jobs N] \
                      [--broken-oracle convergence] [--checkpoint-interval QUANTA] \
-                     [--lossy-restore] [--no-determinism] [--timing] [--replay]"
+                     [--lossy-restore] [--no-determinism] [--timing] \
+                     [--baseline-cache on|off] [--bench-json PATH] [--replay]"
                         .to_string(),
                 )
             }
@@ -95,6 +128,13 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.lossy_restore && args.checkpoint_interval == 0 {
         return Err("--lossy-restore requires --checkpoint-interval".to_string());
+    }
+    if args.bench_json.is_some() && !args.baseline_cache {
+        // The bench mode owns its cache arms (off, cold, warm); silently
+        // ignoring the flag would make a measurement run lie.
+        return Err("--bench-json runs its own cache-off/cold/warm arms; \
+                    drop --baseline-cache off"
+            .to_string());
     }
     // `HARNESS_JOBS` supplies the default so reproducer stanzas and CI job
     // environments can set parallelism without editing the command line; an
@@ -124,6 +164,29 @@ fn scenarios_for(app: &Option<String>) -> Result<Vec<Scenario>, String> {
     }
 }
 
+fn campaign_config(args: &Args) -> CampaignConfig {
+    CampaignConfig {
+        plans: args.plans,
+        seed: args.seed,
+        check_determinism: args.check_determinism,
+        broken_convergence: args.broken_convergence,
+        checkpoint: CheckpointPolicy {
+            every_quanta: args.checkpoint_interval,
+            lossy_restore: args.lossy_restore,
+        },
+        jobs: args.jobs,
+        ..Default::default()
+    }
+}
+
+fn cache_for(args: &Args) -> BaselineCache {
+    if args.baseline_cache {
+        BaselineCache::new()
+    } else {
+        BaselineCache::disabled()
+    }
+}
+
 /// Replays one plan from `HARNESS_APP` / `HARNESS_SEED` / `HARNESS_PLAN`
 /// (plus optional `HARNESS_CKPT` / `HARNESS_LOSSY` policy capture).
 fn replay(args: &Args) -> Result<ExitCode, String> {
@@ -149,9 +212,10 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
     };
     let sc = scenario::by_name(&app).ok_or_else(|| format!("unknown app `{app}`"))?;
     let oracles = default_oracles(args.broken_convergence, opts.enabled());
-    let baseline = opts
-        .enabled()
-        .then(|| compute_baseline(&sc, seed, opts, plan.horizon()));
+    // The baseline is fetched through the cache at the point of use: one
+    // computation for the whole replay (the determinism re-run hits the
+    // entry the first run populated).
+    let cache = cache_for(args);
     let (digest, violations) = evaluate(
         &sc,
         seed,
@@ -159,7 +223,7 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
         &oracles,
         args.check_determinism,
         opts,
-        baseline.as_ref(),
+        BaselineSource::new(&cache, plan.horizon()),
     );
     println!(
         "replay app={} seed={} ckpt={} plan={} digest={:016x}",
@@ -178,6 +242,180 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
         }
         Ok(ExitCode::FAILURE)
     }
+}
+
+fn print_report(args: &Args, report: &CampaignReport) {
+    // Note: the campaign line carries no jobs= field on purpose — the
+    // report is independent of --jobs, and the stdout of a --jobs 8 run
+    // must diff clean against a --jobs 1 run.
+    println!(
+        "campaign app={} plans={} seed={} ckpt={} digest={:016x} failures={}",
+        report.scenario,
+        report.plans_run,
+        args.seed,
+        args.checkpoint_interval,
+        report.digest,
+        report.plans_failed
+    );
+    for f in &report.failures {
+        println!(
+            "  FAIL seed={} original={} shrunk={}",
+            f.plan_seed,
+            f.original.encode(),
+            f.shrunk.encode()
+        );
+        for v in &f.violations {
+            println!("    oracle {}: {}", v.oracle, v.message);
+        }
+        println!(
+            "  reproduce: {} cargo run --release -p orca_bench --bin campaign -- --replay{}",
+            f.reproducer,
+            if args.broken_convergence {
+                " --broken-oracle convergence"
+            } else {
+                ""
+            }
+        );
+    }
+    if report.failures_truncated > 0 {
+        println!(
+            "  failures_truncated={}: that many more plans failed beyond the \
+             shrink cap; re-run with a higher max_failures to shrink them",
+            report.failures_truncated
+        );
+    }
+}
+
+/// One timed campaign over `sc` against `cache`, returning the report, the
+/// wall-clock, and this run's baseline-counter deltas.
+fn timed_run(
+    sc: &Scenario,
+    cfg: &CampaignConfig,
+    cache: &BaselineCache,
+) -> (CampaignReport, f64, orca_harness::CacheStats) {
+    let before = cache.stats();
+    let start = Instant::now();
+    let report = run_campaign_cached(sc, cfg, cache);
+    let wall = start.elapsed().as_secs_f64();
+    (report, wall, cache.stats().since(before))
+}
+
+fn timing_line(
+    app: &str,
+    jobs: usize,
+    phase: &str,
+    wall: f64,
+    plans: usize,
+    stats: orca_harness::CacheStats,
+) -> String {
+    format!(
+        "timing app={app} jobs={jobs} phase={phase} wall_s={wall:.2} plans_per_sec={:.2} \
+         baseline_hits={} baseline_misses={} baseline_hit_rate={:.2}",
+        plans as f64 / wall.max(f64::EPSILON),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+    )
+}
+
+/// `--bench-json`: per app, measure cache-off vs cold-cache vs warm-cache
+/// (second campaign on the same cache — the repeated-campaign / replay
+/// regime the memo exists for), enforce byte-identical reports across all
+/// three arms, and record the numbers as a JSON artifact.
+fn bench(args: &Args, scenarios: &[Scenario], path: &str) -> Result<ExitCode, String> {
+    let cfg = campaign_config(args);
+    let mut failed = false;
+    let mut entries = Vec::new();
+    for sc in scenarios {
+        eprintln!("[{}] bench: cache off…", sc.name);
+        let off_cache = BaselineCache::disabled();
+        let (report_off, wall_off, stats_off) = timed_run(sc, &cfg, &off_cache);
+        eprintln!("[{}] bench: cache cold…", sc.name);
+        let cache = BaselineCache::new();
+        let (report_cold, wall_cold, stats_cold) = timed_run(sc, &cfg, &cache);
+        eprintln!("[{}] bench: cache warm…", sc.name);
+        let (report_warm, wall_warm, stats_warm) = timed_run(sc, &cfg, &cache);
+
+        // The cache guarantee, enforced at measurement time: all three arms
+        // produce byte-identical reports.
+        let rendered = report_off.render();
+        if rendered != report_cold.render() || rendered != report_warm.render() {
+            return Err(format!(
+                "[{}] campaign report depends on the baseline cache — refusing to bench",
+                sc.name
+            ));
+        }
+        print_report(args, &report_off);
+        if args.timing {
+            println!(
+                "{}",
+                timing_line(
+                    sc.name,
+                    args.jobs,
+                    "cache_off",
+                    wall_off,
+                    cfg.plans,
+                    stats_off
+                )
+            );
+            println!(
+                "{}",
+                timing_line(
+                    sc.name,
+                    args.jobs,
+                    "cache_cold",
+                    wall_cold,
+                    cfg.plans,
+                    stats_cold
+                )
+            );
+            println!(
+                "{}",
+                timing_line(
+                    sc.name,
+                    args.jobs,
+                    "cache_warm",
+                    wall_warm,
+                    cfg.plans,
+                    stats_warm
+                )
+            );
+        }
+        failed |= report_off.plans_failed > 0;
+        entries.push(format!(
+            "    {{\n      \"app\": \"{}\",\n      \"wall_s_cache_off\": {:.3},\n      \
+             \"wall_s_cache_cold\": {:.3},\n      \"wall_s_cache_warm\": {:.3},\n      \
+             \"speedup_warm_vs_off\": {:.2},\n      \"plans_per_sec_warm\": {:.2},\n      \
+             \"baseline_hits_warm\": {},\n      \"baseline_misses_warm\": {},\n      \
+             \"baseline_hit_rate_warm\": {:.3}\n    }}",
+            sc.name,
+            wall_off,
+            wall_cold,
+            wall_warm,
+            wall_off / wall_warm.max(f64::EPSILON),
+            cfg.plans as f64 / wall_warm.max(f64::EPSILON),
+            stats_warm.hits,
+            stats_warm.misses,
+            stats_warm.hit_rate(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"plans\": {},\n  \"seed\": {},\n  \"jobs\": {},\n  \
+         \"checkpoint_interval\": {},\n  \"determinism_replay\": {},\n  \"apps\": [\n{}\n  ]\n}}\n",
+        args.plans,
+        args.seed,
+        args.jobs,
+        args.checkpoint_interval,
+        args.check_determinism,
+        entries.join(",\n")
+    );
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("bench results written to {path}");
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn main() -> ExitCode {
@@ -204,75 +442,44 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cfg = CampaignConfig {
-        plans: args.plans,
-        seed: args.seed,
-        check_determinism: args.check_determinism,
-        broken_convergence: args.broken_convergence,
-        checkpoint: CheckpointPolicy {
-            every_quanta: args.checkpoint_interval,
-            lossy_restore: args.lossy_restore,
-        },
-        jobs: args.jobs,
-        ..Default::default()
-    };
+    if let Some(path) = &args.bench_json {
+        return match bench(&args, &scenarios, path) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let cfg = campaign_config(&args);
+    // One cache for the whole invocation: multi-app campaigns keep per-app
+    // entries apart by key, and any repeated evaluation (determinism
+    // replays, shrink walks) hits instead of re-simulating.
+    let cache = cache_for(&args);
     let mut failed = false;
     for sc in &scenarios {
-        let start = std::time::Instant::now();
-        let report = run_campaign(sc, &cfg);
-        let wall = start.elapsed().as_secs_f64();
+        let (report, wall, stats) = timed_run(sc, &cfg, &cache);
         eprintln!("[{}] {} plans in {:.1}s", sc.name, report.plans_run, wall);
-        // Note: the campaign line carries no jobs= field on purpose — the
-        // report is independent of --jobs, and the stdout of a --jobs 8 run
-        // must diff clean against a --jobs 1 run.
-        println!(
-            "campaign app={} plans={} seed={} ckpt={} digest={:016x} failures={}",
-            report.scenario,
-            report.plans_run,
-            args.seed,
-            args.checkpoint_interval,
-            report.digest,
-            report.plans_failed
-        );
+        print_report(&args, &report);
         if args.timing {
             // Wall-clock is nondeterministic, hence flag-gated (see module
-            // docs). plans/sec is the CI matrix's throughput headline.
+            // docs). plans/sec is the CI matrix's throughput headline; the
+            // baseline hit/miss counters expose whether memoization is
+            // actually engaging (hits ≈ misses under the determinism
+            // replay, all-hits on a warm cache).
             println!(
-                "timing app={} jobs={} wall_s={:.2} plans_per_sec={:.2}",
-                report.scenario,
-                args.jobs,
-                wall,
-                report.plans_run as f64 / wall.max(f64::EPSILON)
+                "{}",
+                timing_line(
+                    sc.name,
+                    args.jobs,
+                    "campaign",
+                    wall,
+                    report.plans_run,
+                    stats
+                )
             );
         }
         failed |= report.plans_failed > 0;
-        for f in &report.failures {
-            println!(
-                "  FAIL seed={} original={} shrunk={}",
-                f.plan_seed,
-                f.original.encode(),
-                f.shrunk.encode()
-            );
-            for v in &f.violations {
-                println!("    oracle {}: {}", v.oracle, v.message);
-            }
-            println!(
-                "  reproduce: {} cargo run --release -p orca_bench --bin campaign -- --replay{}",
-                f.reproducer,
-                if args.broken_convergence {
-                    " --broken-oracle convergence"
-                } else {
-                    ""
-                }
-            );
-        }
-        if report.failures_truncated > 0 {
-            println!(
-                "  failures_truncated={}: that many more plans failed beyond the \
-                 shrink cap; re-run with a higher max_failures to shrink them",
-                report.failures_truncated
-            );
-        }
     }
     if failed {
         ExitCode::FAILURE

@@ -911,7 +911,7 @@ impl OrcaService {
             let job_info = kernel.sam.job(job);
             for (key, value) in &snapshot.values {
                 self.core.stats.metric_observations_seen += 1;
-                match key {
+                match key.as_ref() {
                     MetricKey::Operator(op_name, metric) => {
                         let keys: Vec<String> = self
                             .core

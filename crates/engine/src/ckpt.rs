@@ -24,6 +24,7 @@ use crate::tuple::Tuple;
 use crate::{codec, op::StreamItem};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sps_sim::{fnv1a, SimDuration, SimRng, SimTime, FNV_OFFSET};
+use std::sync::Arc;
 
 /// Checkpoint wire-format version; bumped on incompatible layout changes.
 /// [`crate::pe::PeRuntime::restore`] rejects any other version, which the
@@ -54,6 +55,10 @@ impl StateBlob {
 #[derive(Default)]
 pub struct StateWriter {
     buf: BytesMut,
+    /// Reusable tuple-encode scratch: cleared per tuple, so a snapshot of a
+    /// window with thousands of tuples allocates the buffer once instead of
+    /// once per tuple.
+    scratch: BytesMut,
 }
 
 impl StateWriter {
@@ -126,10 +131,12 @@ impl StateWriter {
     /// Serializes a tuple with the inter-PE wire codec.
     pub fn put_tuple(&mut self, t: &Tuple) {
         // Reuse the full stream-item encoding (tag + tuple body) so blobs
-        // and transport share one definition of a tuple's bytes.
-        let encoded = codec::encode(&StreamItem::Tuple(t.clone()));
-        self.buf.put_u32_le(encoded.len() as u32);
-        self.buf.put_slice(&encoded);
+        // and transport share one definition of a tuple's bytes — borrowed,
+        // into the reusable scratch: no tuple clone, no per-call buffer.
+        self.scratch.clear();
+        codec::encode_tuple_item(t, &mut self.scratch);
+        self.buf.put_u32_le(self.scratch.len() as u32);
+        self.buf.put_slice(&self.scratch);
     }
 }
 
@@ -268,7 +275,9 @@ pub struct PeCheckpoint {
     pub ops: Vec<OpCheckpoint>,
     /// Metric snapshot, restored wholesale so monotone counters
     /// (`nTuplesProcessed`, custom metrics) stay continuous across restarts.
-    pub metrics: Vec<(MetricKey, i64)>,
+    /// Keys are the store's interned `Arc`s — snapshotting bumps refcounts
+    /// instead of cloning every name string.
+    pub metrics: Vec<(Arc<MetricKey>, i64)>,
 }
 
 impl PeCheckpoint {
@@ -297,7 +306,7 @@ impl PeCheckpoint {
         for (key, value) in &self.metrics {
             // Hash the key's components directly: no per-entry allocation,
             // and the digest stays independent of Debug formatting.
-            match key {
+            match key.as_ref() {
                 MetricKey::Operator(op, m) => {
                     h = fnv1a(h, &[0]);
                     h = fnv1a(h, op.as_bytes());
@@ -409,7 +418,7 @@ mod tests {
                     blob: None,
                 },
             ],
-            metrics: vec![(MetricKey::Operator("src".into(), "n".into()), 3)],
+            metrics: vec![(Arc::new(MetricKey::Operator("src".into(), "n".into())), 3)],
         }
     }
 

@@ -34,15 +34,28 @@ const VTAG_LIST: u8 = 5;
 /// Encodes a stream item into a standalone buffer.
 pub fn encode(item: &StreamItem) -> Bytes {
     let mut buf = BytesMut::with_capacity(64);
+    encode_into(item, &mut buf);
+    buf.freeze()
+}
+
+/// Appends the wire encoding of `item` to `buf` — the reusable-buffer
+/// variant of [`encode`] for hot paths that amortize one scratch buffer
+/// across many encodes (checkpoint writers, benchmarks).
+pub fn encode_into(item: &StreamItem, buf: &mut BytesMut) {
     match item {
-        StreamItem::Tuple(t) => {
-            buf.put_u8(TAG_TUPLE);
-            encode_tuple(t, &mut buf);
-        }
+        StreamItem::Tuple(t) => encode_tuple_item(t, buf),
         StreamItem::Punct(Punct::Window) => buf.put_u8(TAG_WINDOW_PUNCT),
         StreamItem::Punct(Punct::Final) => buf.put_u8(TAG_FINAL_PUNCT),
     }
-    buf.freeze()
+}
+
+/// Appends the full stream-item encoding (tag + body) of a borrowed tuple.
+/// Byte-identical to `encode(&StreamItem::Tuple(t.clone()))` without the
+/// tuple clone — the checkpoint path serializes window contents through
+/// this, so snapshots never deep-copy tuples just to encode them.
+pub fn encode_tuple_item(t: &Tuple, buf: &mut BytesMut) {
+    buf.put_u8(TAG_TUPLE);
+    encode_tuple(t, buf);
 }
 
 fn encode_tuple(t: &Tuple, buf: &mut BytesMut) {
@@ -263,6 +276,27 @@ mod tests {
         buf.put_u8(VTAG_LIST);
         buf.put_u32_le(u32::MAX);
         assert!(decode(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_encode() {
+        let items = [
+            StreamItem::Tuple(Tuple::new().with("a", 1i64).with("s", "hello")),
+            StreamItem::Punct(Punct::Window),
+            StreamItem::Tuple(Tuple::new()),
+            StreamItem::Punct(Punct::Final),
+        ];
+        let mut scratch = BytesMut::new();
+        for item in &items {
+            scratch.clear();
+            encode_into(item, &mut scratch);
+            assert_eq!(&scratch[..], &encode(item)[..]);
+        }
+        // The borrowed-tuple variant is byte-identical to the owned path.
+        let t = Tuple::new().with("x", 9i64);
+        scratch.clear();
+        encode_tuple_item(&t, &mut scratch);
+        assert_eq!(&scratch[..], &encode(&StreamItem::Tuple(t))[..]);
     }
 
     #[test]

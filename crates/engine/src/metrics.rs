@@ -7,6 +7,7 @@
 //! `nKnownCauses` / `nUnknownCauses` counters (§5.1).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Well-known built-in metric names (paper §2.1 examples).
 pub mod builtin {
@@ -52,9 +53,13 @@ impl MetricKey {
 
 /// A flat store of metric values, owned by a PE container and periodically
 /// snapshotted by the host controller (§2.2).
+///
+/// Keys are interned behind `Arc` the first time they are inserted, so the
+/// per-checkpoint-quantum [`MetricStore::snapshot`] hands out refcount bumps
+/// instead of deep-cloning every operator/metric name string.
 #[derive(Clone, Debug, Default)]
 pub struct MetricStore {
-    values: BTreeMap<MetricKey, i64>,
+    values: BTreeMap<Arc<MetricKey>, i64>,
 }
 
 impl MetricStore {
@@ -65,12 +70,26 @@ impl MetricStore {
     /// Sets a metric to an absolute value (creates it if absent — operators
     /// "can create new custom metrics at any point during their execution").
     pub fn set(&mut self, key: MetricKey, value: i64) {
+        if let Some(v) = self.values.get_mut(&key) {
+            *v = value;
+        } else {
+            self.values.insert(Arc::new(key), value);
+        }
+    }
+
+    /// Sets a metric through an already-interned key (checkpoint restore),
+    /// sharing the snapshot's allocation instead of re-interning.
+    pub fn set_shared(&mut self, key: Arc<MetricKey>, value: i64) {
         self.values.insert(key, value);
     }
 
     /// Adds a delta, creating the metric at zero first if needed.
     pub fn add(&mut self, key: MetricKey, delta: i64) {
-        *self.values.entry(key).or_insert(0) += delta;
+        if let Some(v) = self.values.get_mut(&key) {
+            *v += delta;
+        } else {
+            self.values.insert(Arc::new(key), delta);
+        }
     }
 
     pub fn get(&self, key: &MetricKey) -> Option<i64> {
@@ -86,12 +105,16 @@ impl MetricStore {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, i64)> {
-        self.values.iter().map(|(k, v)| (k, *v))
+        self.values.iter().map(|(k, v)| (k.as_ref(), *v))
     }
 
-    /// Snapshot for SRM collection.
-    pub fn snapshot(&self) -> Vec<(MetricKey, i64)> {
-        self.values.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    /// Snapshot for SRM collection and checkpointing: interned keys, so each
+    /// row costs one refcount bump, not a string clone.
+    pub fn snapshot(&self) -> Vec<(Arc<MetricKey>, i64)> {
+        self.values
+            .iter()
+            .map(|(k, v)| (Arc::clone(k), *v))
+            .collect()
     }
 
     /// Convenience accessors used by operator contexts.
@@ -173,7 +196,7 @@ mod tests {
         // BTreeMap ordering: Operator(a) < Operator(b) < Pe(0).
         assert_eq!(snap[0].0.operator_name(), Some("a"));
         assert_eq!(snap[1].0.operator_name(), Some("b"));
-        assert!(matches!(snap[2].0, MetricKey::Pe(0, _)));
+        assert!(matches!(snap[2].0.as_ref(), MetricKey::Pe(0, _)));
     }
 
     #[test]

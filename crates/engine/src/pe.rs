@@ -25,6 +25,7 @@ use bytes::Bytes;
 use sps_model::adl::Adl;
 use sps_sim::{SimDuration, SimRng, SimTime};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Address of an operator input port in another PE.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -520,7 +521,9 @@ impl PeRuntime {
         }
         self.metrics = MetricStore::new();
         for (key, value) in &ckpt.metrics {
-            self.metrics.set(key.clone(), *value);
+            // Share the checkpoint's interned keys instead of re-cloning
+            // every name string into the revived store.
+            self.metrics.set_shared(Arc::clone(key), *value);
         }
         Ok(restored)
     }

@@ -1,0 +1,425 @@
+//! Memoized fault-free baselines.
+//!
+//! The `StatePreservation` oracle compares every checkpointed plan against a
+//! fault-free run of the same seed. That baseline is a deterministic replay
+//! artifact: it depends only on `(scenario name, seed, horizon floor,
+//! checkpoint policy)` and on nothing about the faulted plan itself, so it
+//! can be memoized by a canonical fingerprint of those inputs — the same way
+//! deterministic-execution systems cache replay artifacts by input hash.
+//! One [`BaselineCache`] serves all three baseline consumers:
+//!
+//! 1. phase-1 plan evaluation ([`crate::runner::run_plan`], including the
+//!    determinism replay, which hits the entry its primary run populated),
+//! 2. the concurrent shrink walk ([`crate::shrink`]), whose candidates keep
+//!    the *original* plan's horizon as their floor and therefore hit the
+//!    same floor-keyed entry phase 1 created, and
+//! 3. the `campaign` binary's `--replay` path.
+//!
+//! Correctness does not depend on the cache: every entry is a pure function
+//! of its key, so hits, misses, and evictions can never change a campaign
+//! report — only how often the baseline world is re-simulated. That is what
+//! keeps reports byte-identical with the cache enabled or disabled and at
+//! any `--jobs` count.
+
+use crate::oracle::BaselineSummary;
+use crate::runner::compute_baseline;
+use crate::scenario::Scenario;
+use sps_runtime::CheckpointPolicy;
+use sps_sim::{fnv1a, SimTime, FNV_OFFSET};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default entry capacity: comfortably holds every per-plan key of the CI
+/// campaigns (one entry per plan seed) while bounding unbounded campaigns.
+pub const DEFAULT_BASELINE_CAPACITY: usize = 1024;
+
+/// Canonical identity of one fault-free baseline. Two runs with equal keys
+/// produce bit-equal [`BaselineSummary`]s, which is the invariant
+/// memoization rests on.
+///
+/// The scenario is keyed by **name**, standing in for every field
+/// [`compute_baseline`] reads from it (warmup, windows, builder fn, taps).
+/// That is sound for the scenario registry, where names are injective —
+/// but a hand-built `Scenario` variant that reuses a registered name with
+/// different timings/builder must NOT share a cache with the original, or
+/// lookups would alias the wrong baseline.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BaselineKey {
+    /// Scenario name (the builder fn is keyed by it).
+    pub scenario: &'static str,
+    /// World seed — drives both the workload and the plan stream.
+    pub seed: u64,
+    /// Horizon floor in simulated millis: the faulted plan's horizon, which
+    /// the baseline run must match so both cover the same simulated span.
+    /// `None` means the plan never outruns the nominal fault window.
+    pub horizon_floor_ms: Option<u64>,
+    /// Checkpoint period in quanta (`RunOptions`); part of the key because
+    /// snapshotting perturbs execution.
+    pub every_quanta: u32,
+    /// Lossy-restore demo knob, captured for completeness (it only affects
+    /// restores, which a fault-free run never performs).
+    pub lossy_restore: bool,
+}
+
+impl BaselineKey {
+    pub fn new(
+        scenario: &Scenario,
+        seed: u64,
+        opts: CheckpointPolicy,
+        horizon_floor: Option<SimTime>,
+    ) -> Self {
+        BaselineKey {
+            scenario: scenario.name,
+            seed,
+            horizon_floor_ms: horizon_floor.map(|t| t.as_millis()),
+            every_quanta: opts.every_quanta,
+            lossy_restore: opts.lossy_restore,
+        }
+    }
+
+    /// Canonical 64-bit FNV-1a fingerprint of the key (logging and
+    /// observability; the map itself is keyed on the full struct so hash
+    /// collisions can never alias two baselines).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, self.scenario.as_bytes());
+        h = fnv1a(h, &[0xFF]);
+        h = fnv1a(h, &self.seed.to_le_bytes());
+        match self.horizon_floor_ms {
+            None => h = fnv1a(h, &[0]),
+            Some(ms) => {
+                h = fnv1a(h, &[1]);
+                h = fnv1a(h, &ms.to_le_bytes());
+            }
+        }
+        h = fnv1a(h, &self.every_quanta.to_le_bytes());
+        fnv1a(h, &[self.lossy_restore as u8])
+    }
+}
+
+/// Hit/miss counters at one point in time (`--timing` surfacing and the
+/// bench harness's hit-rate accounting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from memory; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter delta since an earlier snapshot (per-campaign accounting on a
+    /// shared cache).
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+struct Entry {
+    value: Arc<BaselineSummary>,
+    /// Logical access clock for least-recently-used eviction.
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<BaselineKey, Entry>,
+    clock: u64,
+}
+
+/// Concurrency-safe memo of fault-free baselines keyed by [`BaselineKey`].
+///
+/// Shared by reference across campaign worker threads; values are `Arc`ed
+/// so a hit costs a lock, a map probe, and a refcount bump. Capacity is
+/// bounded with least-recently-used eviction so unbounded campaigns cannot
+/// grow the memo without limit — an evicted entry is simply recomputed on
+/// the next lookup, with no effect on any report. A disabled cache
+/// ([`BaselineCache::disabled`]) recomputes at every point of use, which is
+/// what the `--baseline-cache off` comparison arm measures.
+pub struct BaselineCache {
+    /// `None` disables memoization entirely.
+    inner: Option<Mutex<Inner>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for BaselineCache {
+    fn default() -> Self {
+        BaselineCache::with_capacity(DEFAULT_BASELINE_CAPACITY)
+    }
+}
+
+impl BaselineCache {
+    /// An enabled cache with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An enabled cache holding at most `capacity` entries (LRU eviction).
+    /// `capacity == 0` is the disabled cache.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BaselineCache {
+            inner: (capacity > 0).then(|| {
+                Mutex::new(Inner {
+                    map: HashMap::new(),
+                    clock: 0,
+                })
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that never stores: every lookup recomputes the baseline.
+    pub fn disabled() -> Self {
+        BaselineCache::with_capacity(0)
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |m| m.lock().expect("baseline cache poisoned").map.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The fault-free baseline for `(scenario, seed, opts, horizon_floor)`,
+    /// memoized. A miss simulates the baseline world via
+    /// [`compute_baseline`] *outside* the lock, so a slow baseline never
+    /// serializes unrelated workers.
+    pub fn get_or_compute(
+        &self,
+        scenario: &Scenario,
+        seed: u64,
+        opts: CheckpointPolicy,
+        horizon_floor: Option<SimTime>,
+    ) -> Arc<BaselineSummary> {
+        self.get_or_insert_with(
+            BaselineKey::new(scenario, seed, opts, horizon_floor),
+            || compute_baseline(scenario, seed, opts, horizon_floor),
+        )
+    }
+
+    /// Core memoization: look up `key`, computing and installing on a miss.
+    /// Exposed so capacity/eviction semantics are testable without
+    /// simulating worlds.
+    pub fn get_or_insert_with(
+        &self,
+        key: BaselineKey,
+        compute: impl FnOnce() -> BaselineSummary,
+    ) -> Arc<BaselineSummary> {
+        if let Some(inner) = &self.inner {
+            let mut guard = inner.lock().expect("baseline cache poisoned");
+            guard.clock += 1;
+            let clock = guard.clock;
+            if let Some(entry) = guard.map.get_mut(&key) {
+                entry.last_used = clock;
+                let value = Arc::clone(&entry.value);
+                drop(guard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return value;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        if let Some(inner) = &self.inner {
+            let mut guard = inner.lock().expect("baseline cache poisoned");
+            guard.clock += 1;
+            let clock = guard.clock;
+            // Two workers can race to the same missing key; both compute the
+            // identical value (the key pins every input), so keeping the
+            // first insertion is safe and keeps their Arcs interchangeable.
+            guard.map.entry(key).or_insert(Entry {
+                value: Arc::clone(&value),
+                last_used: clock,
+            });
+            while guard.map.len() > self.capacity {
+                // O(n) LRU scan: capacity is small (~1k) and eviction only
+                // runs once the memo is full, so this never shows up next
+                // to the cost of simulating even one baseline world.
+                let Some(oldest) = guard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                guard.map.remove(&oldest);
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> BaselineKey {
+        BaselineKey {
+            scenario: "trend",
+            seed,
+            horizon_floor_ms: Some(9_000),
+            every_quanta: 10,
+            lossy_restore: false,
+        }
+    }
+
+    fn summary(mark: i64) -> BaselineSummary {
+        let mut s = BaselineSummary::default();
+        s.taps
+            .insert((sps_runtime::JobId(1), "snk".to_string()), mark);
+        s
+    }
+
+    #[test]
+    fn memoizes_by_key_and_counts_hits() {
+        let cache = BaselineCache::new();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = cache.get_or_insert_with(key(7), || {
+                computes += 1;
+                summary(42)
+            });
+            assert_eq!(v.taps.values().next(), Some(&42));
+        }
+        assert_eq!(computes, 1, "one compute serves all lookups");
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let cache = BaselineCache::new();
+        let a = cache.get_or_insert_with(key(1), || summary(1));
+        let b = cache.get_or_insert_with(key(2), || summary(2));
+        let mut floor_differs = key(1);
+        floor_differs.horizon_floor_ms = None;
+        let c = cache.get_or_insert_with(floor_differs, || summary(3));
+        assert_ne!(a.taps, b.taps);
+        assert_ne!(a.taps, c.taps);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn capacity_bounds_the_memo_with_lru_eviction() {
+        let cache = BaselineCache::with_capacity(2);
+        cache.get_or_insert_with(key(1), || summary(1));
+        cache.get_or_insert_with(key(2), || summary(2));
+        // Touch key 1 so key 2 is the least recently used…
+        cache.get_or_insert_with(key(1), || unreachable!("must hit"));
+        cache.get_or_insert_with(key(3), || summary(3));
+        assert_eq!(cache.len(), 2, "capacity is a hard bound");
+        // …then key 2 must recompute (evicted) while 1 and 3 still hit.
+        let mut recomputed = false;
+        cache.get_or_insert_with(key(2), || {
+            recomputed = true;
+            summary(2)
+        });
+        assert!(recomputed, "LRU entry was not evicted");
+        // Reinserting 2 evicted the then-LRU entry (1); 3 and 2 remain.
+        assert_eq!(cache.len(), 2);
+        cache.get_or_insert_with(key(3), || unreachable!("3 still resident"));
+        cache.get_or_insert_with(key(2), || unreachable!("2 just reinserted"));
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_every_time() {
+        let cache = BaselineCache::disabled();
+        assert!(!cache.enabled());
+        let mut computes = 0;
+        for _ in 0..3 {
+            cache.get_or_insert_with(key(7), || {
+                computes += 1;
+                summary(0)
+            });
+        }
+        assert_eq!(computes, 3);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 3 });
+    }
+
+    #[test]
+    fn fingerprint_separates_every_component() {
+        let base = key(7);
+        let mut seen = std::collections::BTreeSet::new();
+        assert!(seen.insert(base.fingerprint()));
+        for variant in [
+            BaselineKey {
+                scenario: "live",
+                ..base.clone()
+            },
+            BaselineKey {
+                seed: 8,
+                ..base.clone()
+            },
+            BaselineKey {
+                horizon_floor_ms: Some(9_001),
+                ..base.clone()
+            },
+            BaselineKey {
+                horizon_floor_ms: None,
+                ..base.clone()
+            },
+            BaselineKey {
+                every_quanta: 11,
+                ..base.clone()
+            },
+            BaselineKey {
+                lossy_restore: true,
+                ..base.clone()
+            },
+        ] {
+            assert!(
+                seen.insert(variant.fingerprint()),
+                "fingerprint collision for {variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_deltas_support_shared_caches() {
+        let cache = BaselineCache::new();
+        cache.get_or_insert_with(key(1), || summary(1));
+        let before = cache.stats();
+        cache.get_or_insert_with(key(1), || unreachable!());
+        cache.get_or_insert_with(key(2), || summary(2));
+        let delta = cache.stats().since(before);
+        assert_eq!(delta, CacheStats { hits: 1, misses: 1 });
+        assert!((delta.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

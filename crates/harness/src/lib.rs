@@ -19,7 +19,10 @@
 //! across a worker [`pool`] (`CampaignConfig::jobs` / `--jobs` /
 //! `HARNESS_JOBS`); per-plan seeds are a pure function of `(campaign_seed,
 //! plan_index)` and results fold in plan-index order, so every report is
-//! bit-identical at any parallelism.
+//! bit-identical at any parallelism. Fault-free baselines are memoized in a
+//! [`BaselineCache`] keyed by `(scenario, seed, horizon floor, checkpoint
+//! policy)` — a deterministic replay artifact cached by its input
+//! fingerprint — shared by plan evaluation, the shrink walk, and `--replay`.
 //!
 //! Replay a failing plan locally with the `campaign` binary:
 //!
@@ -28,6 +31,7 @@
 //!     cargo run -p orca_bench --bin campaign -- --replay
 //! ```
 
+pub mod cache;
 pub mod inject;
 pub mod oracle;
 pub mod plan;
@@ -36,6 +40,7 @@ pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
+pub use cache::{BaselineCache, BaselineKey, CacheStats, DEFAULT_BASELINE_CAPACITY};
 pub use inject::{FaultInjector, Janitor};
 pub use oracle::{
     default_oracles, BaselineSummary, ConvergenceOracle, NotificationOracle, Oracle, OracleCtx,
@@ -44,8 +49,9 @@ pub use oracle::{
 pub use plan::{FaultAction, FaultEvent, FaultPlan, PlanSpec};
 pub use pool::indexed_pool;
 pub use runner::{
-    compute_baseline, evaluate, plan_seeds, quiescent, render_artifacts, reproducer_line,
-    run_campaign, run_plan, CampaignConfig, CampaignFailure, CampaignReport, PlanOutcome,
+    compute_baseline, evaluate, plan_seeds, quiescent, render_artifacts, render_artifacts_to,
+    reproducer_line, run_campaign, run_campaign_cached, run_plan, BaselineSource, CampaignConfig,
+    CampaignFailure, CampaignReport, PlanOutcome,
 };
 pub use scenario::{by_name, Built, Scenario};
 pub use shrink::shrink;

@@ -2,6 +2,7 @@
 //! checks the oracle set after each, verifies trace determinism by replay,
 //! and shrinks failing schedules to minimal reproducers.
 
+use crate::cache::BaselineCache;
 use crate::inject::{FaultInjector, Janitor};
 use crate::oracle::{default_oracles, BaselineSummary, Oracle, OracleCtx, Violation};
 use crate::plan::FaultPlan;
@@ -12,7 +13,7 @@ use orca::OrcaService;
 use rand::RngCore;
 use sps_engine::metrics::builtin;
 use sps_runtime::{CheckpointPolicy, PeStatus, World};
-use sps_sim::{fnv1a, SimRng, FNV_OFFSET};
+use sps_sim::{fnv1a, DigestWriter, SimRng, FNV_OFFSET};
 
 /// Campaign-wide knobs.
 #[derive(Clone, Copy, Debug)]
@@ -93,6 +94,32 @@ pub struct CampaignReport {
     pub failures_truncated: usize,
 }
 
+impl CampaignReport {
+    /// Renders every observable report field, so equality on the rendering
+    /// is a byte-identity check over the whole report. This is the one
+    /// canonical rendering — the `campaign` binary's `--bench-json`
+    /// cross-arm assertion and the systest identity suites all compare it,
+    /// so a future report field rendered here is covered by every identity
+    /// check at once.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "app={} plans={} failed={} truncated={} digest={:016x}\n",
+            self.scenario, self.plans_run, self.plans_failed, self.failures_truncated, self.digest
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "  seed={} original={} shrunk={} violations={:?}\n  reproduce: {}\n",
+                f.plan_seed,
+                f.original.encode(),
+                f.shrunk.encode(),
+                f.violations,
+                f.reproducer
+            ));
+        }
+        out
+    }
+}
+
 /// Whole-system quiescence: every running job's PEs are `Up`, and the ORCA
 /// service (when present) reports itself converged.
 pub fn quiescent(world: &World, orca_idx: Option<usize>) -> bool {
@@ -116,19 +143,33 @@ pub fn quiescent(world: &World, orca_idx: Option<usize>) -> bool {
 }
 
 /// Renders the application-visible artifacts — SRM snapshots plus the sink
-/// taps of every running job. The campaign determinism digest and the
-/// systest determinism suite compare exactly this rendering, so they cannot
-/// silently diverge in coverage.
-pub fn render_artifacts(world: &World, taps: &[&str]) -> String {
+/// taps of every running job — into any `fmt::Write` sink. The campaign
+/// determinism digest streams this straight into a [`DigestWriter`]
+/// (no intermediate `String`), while tests and the determinism suite render
+/// to a `String` via [`render_artifacts`]; both go through this one
+/// function, so the digested bytes and the rendered bytes cannot silently
+/// diverge in coverage.
+pub fn render_artifacts_to<W: std::fmt::Write>(
+    world: &World,
+    taps: &[&str],
+    out: &mut W,
+) -> std::fmt::Result {
     let jobs = world.kernel.sam.running_jobs();
-    let mut out = format!("{:?}\n", world.kernel.srm.query_jobs(&jobs));
+    writeln!(out, "{:?}", world.kernel.srm.query_jobs(&jobs))?;
     for &job in &jobs {
         for tap in taps {
             if let Some(tuples) = world.kernel.tap(job, tap) {
-                out.push_str(&format!("{job:?}.{tap}: {tuples:?}\n"));
+                writeln!(out, "{job:?}.{tap}: {tuples:?}")?;
             }
         }
     }
+    Ok(())
+}
+
+/// [`render_artifacts_to`] into a fresh `String`.
+pub fn render_artifacts(world: &World, taps: &[&str]) -> String {
+    let mut out = String::new();
+    render_artifacts_to(world, taps, &mut out).expect("String sink never fails");
     out
 }
 
@@ -215,30 +256,64 @@ pub fn compute_baseline(
     summary
 }
 
+/// Where an execution gets its fault-free baseline: the shared memo plus
+/// the horizon floor the baseline run must cover — the executed plan's own
+/// horizon at the top level, or the *original* plan's horizon when
+/// shrinking (so every shrink candidate hits the floor-keyed entry phase 1
+/// already computed).
+#[derive(Clone, Copy)]
+pub struct BaselineSource<'a> {
+    pub cache: &'a BaselineCache,
+    pub floor: Option<sps_sim::SimTime>,
+}
+
+impl<'a> BaselineSource<'a> {
+    pub fn new(cache: &'a BaselineCache, floor: Option<sps_sim::SimTime>) -> Self {
+        BaselineSource { cache, floor }
+    }
+}
+
 /// Executes one plan against a fresh world: warmup, injection, settle, then
 /// the oracle pass.
+///
+/// When checkpointing is on, the fault-free baseline the state oracle
+/// compares against is fetched through `baseline` at the point of use,
+/// keyed by `(scenario, seed, baseline.floor, opts)`.
 pub fn run_plan(
     scenario: &Scenario,
     seed: u64,
     plan: &FaultPlan,
     oracles: &[Box<dyn Oracle>],
     opts: CheckpointPolicy,
-    baseline: Option<&BaselineSummary>,
+    baseline: BaselineSource<'_>,
 ) -> PlanOutcome {
+    // Fetch (or compute) the baseline before simulating the faulted world so
+    // a cache miss is attributable to this plan in `--timing` accounting.
+    let baseline = opts.enabled().then(|| {
+        baseline
+            .cache
+            .get_or_compute(scenario, seed, opts, baseline.floor)
+    });
     let (world, orca_idx, quanta_to_quiesce) = settled_world(scenario, seed, plan, opts, None);
 
     // The run digest covers the kernel trace *and* the application-visible
     // state (SRM snapshots, sink taps), so the determinism replay catches
     // nondeterministic operator state even when the lifecycle trace agrees.
-    let mut digest = fnv1a(FNV_OFFSET, &world.kernel.trace.digest().to_le_bytes());
-    digest = fnv1a(digest, render_artifacts(&world, scenario.taps).as_bytes());
+    // Artifacts are streamed into the digest rather than rendered to an
+    // intermediate `String` — byte-equivalent, allocation-free.
+    let mut w = DigestWriter::new(fnv1a(
+        FNV_OFFSET,
+        &world.kernel.trace.digest().to_le_bytes(),
+    ));
+    render_artifacts_to(&world, scenario.taps, &mut w).expect("digest sink never fails");
+    let digest = w.digest();
     let ctx = OracleCtx {
         world: &world,
         orca_idx,
         quanta_to_quiesce,
         convergence_bound: scenario.convergence_bound,
         opts,
-        baseline,
+        baseline: baseline.as_deref(),
     };
     let violations = oracles
         .iter()
@@ -258,6 +333,11 @@ pub fn run_plan(
 
 /// Runs a plan and, when requested, replays it to enforce the determinism
 /// oracle. Returns all violations (oracle + determinism).
+///
+/// Both executions fetch their baseline through `baseline.cache`: the
+/// primary run misses (at most once per key process-wide) and the
+/// determinism replay hits the same entry, so enabling the replay no longer
+/// doubles baseline cost.
 pub fn evaluate(
     scenario: &Scenario,
     seed: u64,
@@ -265,7 +345,7 @@ pub fn evaluate(
     oracles: &[Box<dyn Oracle>],
     check_determinism: bool,
     opts: CheckpointPolicy,
-    baseline: Option<&BaselineSummary>,
+    baseline: BaselineSource<'_>,
 ) -> (u64, Vec<Violation>) {
     let outcome = run_plan(scenario, seed, plan, oracles, opts, baseline);
     let mut violations = outcome.violations;
@@ -314,29 +394,34 @@ pub fn plan_seeds(campaign_seed: u64, plans: usize) -> Vec<u64> {
 }
 
 /// Everything phase 1 learned about one plan; the coordinator folds these in
-/// plan-index order and phase 2 shrinks the failing ones.
+/// plan-index order and phase 2 shrinks the failing ones. The fault-free
+/// baseline is *not* carried along — shrinking re-fetches it from the
+/// [`BaselineCache`] under the original plan's horizon floor, which is the
+/// same key phase 1 populated.
 pub(crate) struct PlanEval {
     pub plan_seed: u64,
     pub plan: FaultPlan,
     pub digest: u64,
     pub violations: Vec<Violation>,
-    /// Fault-free baseline of the same seed, kept only for failing plans
-    /// (shrinking re-checks candidates against it).
-    pub baseline: Option<BaselineSummary>,
 }
 
 /// Evaluates one indexed plan: generation, baseline, execution, oracles.
 /// Pure in `(scenario, cfg, plan_seed)` — safe to run on any worker.
-fn evaluate_plan(scenario: &Scenario, cfg: &CampaignConfig, plan_seed: u64) -> PlanEval {
+fn evaluate_plan(
+    scenario: &Scenario,
+    cfg: &CampaignConfig,
+    plan_seed: u64,
+    cache: &BaselineCache,
+) -> PlanEval {
     let opts = cfg.checkpoint;
     let oracles = default_oracles(cfg.broken_convergence, opts.enabled());
     // Independent per-plan stream: seeds world RNG and plan sampling.
     let plan = FaultPlan::generate(&mut SimRng::new(plan_seed), &scenario.plan_spec());
     // The state oracle compares against the fault-free run of the same
-    // seed; computed once per plan seed and shared with shrinking.
-    let baseline = opts
-        .enabled()
-        .then(|| compute_baseline(scenario, plan_seed, opts, plan.horizon()));
+    // seed, memoized by `(scenario, seed, horizon floor, opts)`: the
+    // determinism replay and the shrink phase hit the entry this fetch
+    // populates instead of re-simulating the baseline world.
+    let floor = plan.horizon();
     let (digest, violations) = evaluate(
         scenario,
         plan_seed,
@@ -344,19 +429,12 @@ fn evaluate_plan(scenario: &Scenario, cfg: &CampaignConfig, plan_seed: u64) -> P
         &oracles,
         cfg.check_determinism,
         opts,
-        baseline.as_ref(),
+        BaselineSource::new(cache, floor),
     );
     PlanEval {
         plan_seed,
         plan,
         digest,
-        // Failing plans keep their baseline for the shrink phase; passing
-        // plans drop it so a large campaign doesn't hold every summary.
-        baseline: if violations.is_empty() {
-            None
-        } else {
-            baseline
-        },
         violations,
     }
 }
@@ -373,13 +451,26 @@ fn evaluate_plan(scenario: &Scenario, cfg: &CampaignConfig, plan_seed: u64) -> P
 /// single failing plan stays sequential (greedy candidate elimination), but
 /// distinct failures shrink concurrently.
 pub fn run_campaign(scenario: &Scenario, cfg: &CampaignConfig) -> CampaignReport {
+    run_campaign_cached(scenario, cfg, &BaselineCache::default())
+}
+
+/// [`run_campaign`] against a caller-owned [`BaselineCache`], so repeated
+/// campaigns (determinism double-runs, multi-app drivers, benchmarks) in one
+/// process reuse each other's fault-free baselines. The cache can never
+/// change the report — only how often baseline worlds are re-simulated —
+/// so this is byte-identical to `run_campaign` for any cache state.
+pub fn run_campaign_cached(
+    scenario: &Scenario,
+    cfg: &CampaignConfig,
+    cache: &BaselineCache,
+) -> CampaignReport {
     let seeds = plan_seeds(cfg.seed, cfg.plans);
 
     // Phase 1: evaluate every plan — the expensive, embarrassingly parallel
     // part. Workers pull plan indices from a shared counter; the pool hands
     // results back in index order regardless of completion order.
     let evals = indexed_pool(seeds.len(), cfg.jobs, |i| {
-        evaluate_plan(scenario, cfg, seeds[i])
+        evaluate_plan(scenario, cfg, seeds[i], cache)
     });
 
     // Ordered fold: identical to the sequential loop it replaced.
@@ -399,8 +490,9 @@ pub fn run_campaign(scenario: &Scenario, cfg: &CampaignConfig) -> CampaignReport
     let failures_truncated = plans_failed - to_shrink.len();
 
     // Phase 2: shrink the first `max_failures` failing plans, concurrently
-    // across distinct failures.
-    let failures = shrink_failures(scenario, cfg, to_shrink);
+    // across distinct failures. Candidates re-fetch their baseline from the
+    // cache under the original plan's horizon floor.
+    let failures = shrink_failures(scenario, cfg, to_shrink, cache);
 
     CampaignReport {
         scenario: scenario.name,

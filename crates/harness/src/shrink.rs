@@ -6,14 +6,23 @@
 //! (≤ ~10 events), so the O(n²) re-execution cost is negligible next to one
 //! campaign.
 
-use crate::oracle::{default_oracles, BaselineSummary, Oracle};
+use crate::cache::BaselineCache;
+use crate::oracle::{default_oracles, Oracle};
 use crate::plan::FaultPlan;
 use crate::pool::indexed_pool;
-use crate::runner::{evaluate, reproducer_line, CampaignConfig, CampaignFailure, PlanEval};
+use crate::runner::{
+    evaluate, reproducer_line, BaselineSource, CampaignConfig, CampaignFailure, PlanEval,
+};
 use crate::scenario::Scenario;
 use sps_runtime::CheckpointPolicy;
 
 /// Minimizes `plan` while it keeps failing under the given oracle set.
+///
+/// `baseline.floor` must be the horizon of the *original* failing plan:
+/// candidates only ever run shorter (the oracle bounds tolerate that), and
+/// keeping the original floor means every candidate's baseline lookup hits
+/// the same floor-keyed [`BaselineCache`] entry the first evaluation
+/// populated, instead of re-simulating a fault-free world per candidate.
 pub fn shrink(
     scenario: &Scenario,
     seed: u64,
@@ -21,7 +30,7 @@ pub fn shrink(
     oracles: &[Box<dyn Oracle>],
     check_determinism: bool,
     opts: CheckpointPolicy,
-    baseline: Option<&BaselineSummary>,
+    baseline: BaselineSource<'_>,
 ) -> FaultPlan {
     let still_fails = |candidate: &FaultPlan| -> bool {
         !evaluate(
@@ -62,6 +71,7 @@ pub(crate) fn shrink_failures(
     scenario: &Scenario,
     cfg: &CampaignConfig,
     failing: Vec<PlanEval>,
+    cache: &BaselineCache,
 ) -> Vec<CampaignFailure> {
     let opts = cfg.checkpoint;
     indexed_pool(failing.len(), cfg.jobs, |i| {
@@ -78,7 +88,9 @@ pub(crate) fn shrink_failures(
             &oracles,
             det_shrink,
             opts,
-            eval.baseline.as_ref(),
+            // Original plan's horizon: every candidate hits the same
+            // floor-keyed baseline entry phase 1 computed.
+            BaselineSource::new(cache, eval.plan.horizon()),
         );
         let reproducer = reproducer_line(scenario, eval.plan_seed, &shrunk, opts);
         CampaignFailure {

@@ -484,7 +484,7 @@ impl Kernel {
                     restored_op_counts = stored
                         .metrics
                         .iter()
-                        .filter_map(|(key, v)| match key {
+                        .filter_map(|(key, v)| match key.as_ref() {
                             MetricKey::Operator(op, m) if m == builtin::N_TUPLES_PROCESSED => {
                                 Some((op.clone(), *v))
                             }
@@ -1342,7 +1342,7 @@ mod tests {
             .find(|(key, _)| {
                 key.operator_name() == Some("flt")
                     && key.metric_name() == "nTuplesProcessed"
-                    && matches!(key, sps_engine::MetricKey::Operator(..))
+                    && matches!(key.as_ref(), sps_engine::MetricKey::Operator(..))
             })
             .map(|(_, v)| *v)
             .unwrap();

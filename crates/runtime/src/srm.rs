@@ -11,18 +11,22 @@ use crate::ids::{JobId, PeId};
 use sps_engine::MetricKey;
 use sps_sim::SimTime;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Latest metric values collected for one job.
+///
+/// Keys are the owning `MetricStore`'s interned `Arc`s, so HC pushes and
+/// per-job merges move refcounts around rather than cloning name strings.
 #[derive(Clone, Debug, Default)]
 pub struct MetricSnapshot {
     /// Time of the most recent HC push contributing to this snapshot.
     pub collected_at: SimTime,
     /// Per-PE metric vectors, merged.
-    pub values: Vec<(MetricKey, i64)>,
+    pub values: Vec<(Arc<MetricKey>, i64)>,
 }
 
 /// One PE's snapshot: collection time plus metric rows.
-type PeSnapshot = (SimTime, Vec<(MetricKey, i64)>);
+type PeSnapshot = (SimTime, Vec<(Arc<MetricKey>, i64)>);
 
 /// The SRM daemon state.
 #[derive(Default)]
@@ -59,7 +63,7 @@ impl Srm {
         job: JobId,
         pe: PeId,
         at: SimTime,
-        values: Vec<(MetricKey, i64)>,
+        values: Vec<(Arc<MetricKey>, i64)>,
     ) {
         self.pushes += 1;
         self.metrics
@@ -110,8 +114,8 @@ impl Srm {
 mod tests {
     use super::*;
 
-    fn key(op: &str, m: &str) -> MetricKey {
-        MetricKey::Operator(op.into(), m.into())
+    fn key(op: &str, m: &str) -> Arc<MetricKey> {
+        Arc::new(MetricKey::Operator(op.into(), m.into()))
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub use rng::SimRng;
 pub use scheduler::{ScheduledEvent, Scheduler, TicketId};
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
-pub use trace::{fnv1a, TraceEntry, TraceRing, FNV_OFFSET};
+pub use trace::{fnv1a, DigestWriter, TraceEntry, TraceRing, FNV_OFFSET};

@@ -24,6 +24,41 @@ pub fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// Streams FNV-1a over everything written through `fmt::Write`, so callers
+/// can digest a rendering (artifacts, reports) without materializing the
+/// intermediate `String`. Digesting chunk-by-chunk is byte-equivalent to
+/// hashing the concatenated rendering, because FNV-1a folds one byte at a
+/// time with no per-call framing.
+#[derive(Clone, Debug)]
+pub struct DigestWriter {
+    h: u64,
+}
+
+impl DigestWriter {
+    /// Starts a stream from an existing hash state (chain with [`fnv1a`]).
+    pub fn new(h: u64) -> Self {
+        DigestWriter { h }
+    }
+
+    /// Current hash state.
+    pub fn digest(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for DigestWriter {
+    fn default() -> Self {
+        DigestWriter::new(FNV_OFFSET)
+    }
+}
+
+impl std::fmt::Write for DigestWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.h = fnv1a(self.h, s.as_bytes());
+        Ok(())
+    }
+}
+
 /// One trace record.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -191,6 +226,18 @@ mod tests {
         d.push(SimTime::from_millis(20), "srm", "y");
         d.push(SimTime::from_millis(30), "srm", "z");
         assert_ne!(c.digest(), d.digest());
+    }
+
+    #[test]
+    fn digest_writer_streams_identically_to_whole_string_hash() {
+        use std::fmt::Write;
+        let mut w = DigestWriter::new(fnv1a(FNV_OFFSET, b"prefix"));
+        writeln!(w, "{}.snk: {:?}", 1, vec![3u8, 4]).unwrap();
+        write!(w, "tail").unwrap();
+        let rendered = format!("{}.snk: {:?}\ntail", 1, vec![3u8, 4]);
+        let whole = fnv1a(fnv1a(FNV_OFFSET, b"prefix"), rendered.as_bytes());
+        assert_eq!(w.digest(), whole);
+        assert_eq!(DigestWriter::default().digest(), FNV_OFFSET);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! targeted stateful-kill schedules and full seeded campaigns.
 
 use orca_harness::{
-    compute_baseline, default_oracles, evaluate, reproducer_line, run_campaign, scenario,
-    CampaignConfig, CheckpointPolicy, FaultPlan,
+    default_oracles, evaluate, reproducer_line, run_campaign, scenario, BaselineCache,
+    BaselineSource, CampaignConfig, CheckpointPolicy, FaultPlan,
 };
 use sps_sim::SimRng;
 
@@ -104,7 +104,16 @@ fn generated_plans_actually_perturb_the_system() {
     let opts = CheckpointPolicy::default();
     let plan = FaultPlan::generate(&mut SimRng::new(seed), &sc.plan_spec());
     assert!(!plan.events.is_empty());
-    let (faulted, violations) = evaluate(&sc, seed, &plan, &oracles, false, opts, None);
+    let cache = BaselineCache::new();
+    let (faulted, violations) = evaluate(
+        &sc,
+        seed,
+        &plan,
+        &oracles,
+        false,
+        opts,
+        BaselineSource::new(&cache, None),
+    );
     assert!(violations.is_empty(), "{violations:?}");
     let (baseline, _) = evaluate(
         &sc,
@@ -113,7 +122,7 @@ fn generated_plans_actually_perturb_the_system() {
         &oracles,
         false,
         opts,
-        None,
+        BaselineSource::new(&cache, None),
     );
     assert_ne!(faulted, baseline, "plan {} left no mark", plan.encode());
 }
@@ -151,13 +160,30 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
     let opts = CheckpointPolicy::default();
     let decoded = FaultPlan::decode(&f.shrunk.encode()).unwrap();
     assert_eq!(decoded, f.shrunk);
-    let (_, violations) = evaluate(&sc, f.plan_seed, &decoded, &oracles, false, opts, None);
+    let cache = BaselineCache::new();
+    let (_, violations) = evaluate(
+        &sc,
+        f.plan_seed,
+        &decoded,
+        &oracles,
+        false,
+        opts,
+        BaselineSource::new(&cache, None),
+    );
     assert!(!violations.is_empty(), "shrunk plan no longer fails");
 
     // 1-minimality: removing any single remaining event makes it pass.
     for i in 0..f.shrunk.events.len() {
         let smaller = f.shrunk.without(i);
-        let (_, v) = evaluate(&sc, f.plan_seed, &smaller, &oracles, false, opts, None);
+        let (_, v) = evaluate(
+            &sc,
+            f.plan_seed,
+            &smaller,
+            &oracles,
+            false,
+            opts,
+            BaselineSource::new(&cache, None),
+        );
         assert!(
             v.is_empty(),
             "shrunk plan is not minimal: dropping event {i} still fails ({v:?})"
@@ -187,16 +213,39 @@ fn assert_stateful_recovery(app: &str, seed: u64, plan: &str) {
     let opts = CheckpointPolicy::every(10);
     let oracles = default_oracles(false, true);
     let plan = FaultPlan::decode(plan).unwrap();
-    let baseline = compute_baseline(&sc, seed, opts, plan.horizon());
-    let (digest_a, violations) = evaluate(&sc, seed, &plan, &oracles, true, opts, Some(&baseline));
+    let cache = BaselineCache::new();
+    let (digest_a, violations) = evaluate(
+        &sc,
+        seed,
+        &plan,
+        &oracles,
+        true,
+        opts,
+        BaselineSource::new(&cache, plan.horizon()),
+    );
     assert!(
         violations.is_empty(),
         "[{app}] plan {} violated: {violations:?}",
         plan.encode()
     );
-    // Replaying the whole evaluation reproduces the digest bit-identically.
-    let (digest_b, _) = evaluate(&sc, seed, &plan, &oracles, false, opts, Some(&baseline));
+    // One baseline computation served the primary run and the determinism
+    // replay inside `evaluate`.
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "[{app}] baseline recomputed");
+    assert!(stats.hits >= 1, "[{app}] replay missed the cache");
+    // Replaying the whole evaluation reproduces the digest bit-identically
+    // (and is itself a pure cache hit for the baseline).
+    let (digest_b, _) = evaluate(
+        &sc,
+        seed,
+        &plan,
+        &oracles,
+        false,
+        opts,
+        BaselineSource::new(&cache, plan.horizon()),
+    );
     assert_eq!(digest_a, digest_b);
+    assert_eq!(cache.stats().misses, 1);
 }
 
 #[test]
@@ -239,6 +288,7 @@ fn restored_state_actually_differs_from_fresh_restarts() {
     let seed = 31u64;
     let plan = FaultPlan::decode("8000:kp:0:1").unwrap();
     let oracles = default_oracles(false, false);
+    let cache = BaselineCache::new();
     let (fresh, _) = evaluate(
         &sc,
         seed,
@@ -246,7 +296,7 @@ fn restored_state_actually_differs_from_fresh_restarts() {
         &oracles,
         false,
         CheckpointPolicy::default(),
-        None,
+        BaselineSource::new(&cache, None),
     );
     let (restored, _) = evaluate(
         &sc,
@@ -255,7 +305,7 @@ fn restored_state_actually_differs_from_fresh_restarts() {
         &oracles,
         false,
         CheckpointPolicy::every(10),
-        None,
+        BaselineSource::new(&cache, None),
     );
     assert_ne!(fresh, restored, "checkpoint restore left no trace");
 }
@@ -293,7 +343,9 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
         lossy_restore: true,
     };
     let oracles = default_oracles(false, true);
-    let baseline = compute_baseline(&sc, f.plan_seed, opts, f.original.horizon());
+    // Candidates compare against the baseline keyed by the *original*
+    // plan's horizon — the same floor-keyed entry the shrink walk used.
+    let cache = BaselineCache::new();
     let (_, violations) = evaluate(
         &sc,
         f.plan_seed,
@@ -301,7 +353,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
         &oracles,
         false,
         opts,
-        Some(&baseline),
+        BaselineSource::new(&cache, f.original.horizon()),
     );
     assert!(!violations.is_empty(), "shrunk plan no longer fails");
     for i in 0..f.shrunk.events.len() {
@@ -313,7 +365,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
             &oracles,
             false,
             opts,
-            Some(&baseline),
+            BaselineSource::new(&cache, f.original.horizon()),
         );
         assert!(
             v.is_empty(),

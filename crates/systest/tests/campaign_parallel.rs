@@ -10,28 +10,10 @@ use orca_harness::{
     plan_seeds, run_campaign, scenario, CampaignConfig, CampaignReport, CheckpointPolicy,
 };
 
-/// Renders every report field a consumer can observe, so `assert_eq!` on the
-/// rendering is a byte-identity check over the whole report.
+/// Canonical whole-report rendering (see `CampaignReport::render`), so
+/// `assert_eq!` on it is a byte-identity check over the whole report.
 fn render(report: &CampaignReport) -> String {
-    let mut out = format!(
-        "app={} plans={} failed={} truncated={} digest={:016x}\n",
-        report.scenario,
-        report.plans_run,
-        report.plans_failed,
-        report.failures_truncated,
-        report.digest
-    );
-    for f in &report.failures {
-        out.push_str(&format!(
-            "  seed={} original={} shrunk={} violations={:?}\n  reproduce: {}\n",
-            f.plan_seed,
-            f.original.encode(),
-            f.shrunk.encode(),
-            f.violations,
-            f.reproducer
-        ));
-    }
-    out
+    report.render()
 }
 
 fn cfg(plans: usize, jobs: usize) -> CampaignConfig {
