@@ -257,7 +257,15 @@ impl Orchestrator for TrendOrca {
             return;
         };
         let now = ctx.now();
-        self.replicas[failed].last_state_reset = now;
+        // Freshness signal: how much state did the replica actually lose?
+        // With a checkpoint covering the failed PE the reset only rewinds to
+        // the snapshot time, and with upstream backup the replayed gap makes
+        // recovery exactly-once — no state is lost at all.
+        match ctx.checkpoint_coverage(e.job, e.adl_index) {
+            Some(_) if ctx.upstream_backup_enabled() => {}
+            Some(taken_at) => self.replicas[failed].last_state_reset = taken_at,
+            None => self.replicas[failed].last_state_reset = now,
+        }
 
         if failed == self.active {
             // Fail over to the oldest running replica.

@@ -20,7 +20,15 @@
 //! `--checkpoint-interval N` enables PE checkpointing every N scheduling
 //! quanta and activates the `StatePreservation` oracle; reproducer lines
 //! then carry `HARNESS_CKPT=N` (and `HARNESS_LOSSY=1` under
-//! `--lossy-restore`) so replays run under the same policy.
+//! `--lossy-restore`, `HARNESS_UB=1` under `--upstream-backup on`) so
+//! replays run under the same policy.
+//!
+//! `--upstream-backup on` additionally buffers in-flight deliveries at the
+//! sender and replays the post-checkpoint gap into restored PEs, making
+//! recovery of checkpointable jobs exactly-once — the `StatePreservation`
+//! oracle then asserts tap-count *equality* (not bounds) on each scenario's
+//! structurally-exact taps. Transport counters (buffered / replayed /
+//! suppressed / trimmed / peak) join the report and the `--timing` line.
 //!
 //! Fault-free baselines are memoized process-wide in a `BaselineCache`
 //! keyed by `(scenario, seed, horizon floor, checkpoint policy)`; the
@@ -60,6 +68,7 @@ struct Args {
     replay: bool,
     checkpoint_interval: u32,
     lossy_restore: bool,
+    upstream_backup: bool,
     jobs: usize,
     timing: bool,
     baseline_cache: bool,
@@ -76,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
         replay: false,
         checkpoint_interval: 0,
         lossy_restore: false,
+        upstream_backup: false,
         jobs: 0,
         timing: false,
         baseline_cache: true,
@@ -112,14 +122,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("{e}"))?;
             }
             "--lossy-restore" => args.lossy_restore = true,
+            "--upstream-backup" => {
+                args.upstream_backup = match value("--upstream-backup")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--upstream-backup {other}: expected on|off")),
+                };
+            }
             "--no-determinism" => args.check_determinism = false,
             "--replay" => args.replay = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: campaign [--plans N] [--seed S] [--app NAME] [--jobs N] \
                      [--broken-oracle convergence] [--checkpoint-interval QUANTA] \
-                     [--lossy-restore] [--no-determinism] [--timing] \
-                     [--baseline-cache on|off] [--bench-json PATH] [--replay]"
+                     [--lossy-restore] [--upstream-backup on|off] [--no-determinism] \
+                     [--timing] [--baseline-cache on|off] [--bench-json PATH] [--replay]"
                         .to_string(),
                 )
             }
@@ -128,6 +145,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.lossy_restore && args.checkpoint_interval == 0 {
         return Err("--lossy-restore requires --checkpoint-interval".to_string());
+    }
+    if args.upstream_backup && args.checkpoint_interval == 0 {
+        return Err("--upstream-backup on requires --checkpoint-interval".to_string());
     }
     if args.bench_json.is_some() && !args.baseline_cache {
         // The bench mode owns its cache arms (off, cold, warm); silently
@@ -173,6 +193,8 @@ fn campaign_config(args: &Args) -> CampaignConfig {
         checkpoint: CheckpointPolicy {
             every_quanta: args.checkpoint_interval,
             lossy_restore: args.lossy_restore,
+            upstream_backup: args.upstream_backup,
+            ..CheckpointPolicy::default()
         },
         jobs: args.jobs,
         ..Default::default()
@@ -188,7 +210,8 @@ fn cache_for(args: &Args) -> BaselineCache {
 }
 
 /// Replays one plan from `HARNESS_APP` / `HARNESS_SEED` / `HARNESS_PLAN`
-/// (plus optional `HARNESS_CKPT` / `HARNESS_LOSSY` policy capture).
+/// (plus optional `HARNESS_CKPT` / `HARNESS_LOSSY` / `HARNESS_UB` policy
+/// capture).
 fn replay(args: &Args) -> Result<ExitCode, String> {
     let app = std::env::var("HARNESS_APP")
         .ok()
@@ -206,9 +229,12 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
         Err(_) => args.checkpoint_interval,
     };
     let lossy = std::env::var("HARNESS_LOSSY").is_ok_and(|v| v == "1") || args.lossy_restore;
+    let ub = std::env::var("HARNESS_UB").is_ok_and(|v| v == "1") || args.upstream_backup;
     let opts = CheckpointPolicy {
         every_quanta: checkpoint_interval,
         lossy_restore: lossy,
+        upstream_backup: ub,
+        ..CheckpointPolicy::default()
     };
     let sc = scenario::by_name(&app).ok_or_else(|| format!("unknown app `{app}`"))?;
     let oracles = default_oracles(args.broken_convergence, opts.enabled());
@@ -257,6 +283,19 @@ fn print_report(args: &Args, report: &CampaignReport) {
         report.digest,
         report.plans_failed
     );
+    // Deterministic (folded in plan-index order from primary runs only), so
+    // it diffs clean across --jobs; omitted entirely when backup is off to
+    // keep legacy output byte-identical.
+    if report.ub.any() {
+        println!(
+            "  upstream-backup buffered={} replayed={} suppressed={} trimmed={} peak_buffered={}",
+            report.ub.buffered,
+            report.ub.replayed,
+            report.ub.suppressed,
+            report.ub.trimmed,
+            report.ub.peak_buffered
+        );
+    }
     for f in &report.failures {
         println!(
             "  FAIL seed={} original={} shrunk={}",
@@ -307,14 +346,21 @@ fn timing_line(
     wall: f64,
     plans: usize,
     stats: orca_harness::CacheStats,
+    ub: orca_harness::UbStats,
 ) -> String {
     format!(
         "timing app={app} jobs={jobs} phase={phase} wall_s={wall:.2} plans_per_sec={:.2} \
-         baseline_hits={} baseline_misses={} baseline_hit_rate={:.2}",
+         baseline_hits={} baseline_misses={} baseline_hit_rate={:.2} \
+         ub_buffered={} ub_replayed={} ub_suppressed={} ub_trimmed={} ub_peak={}",
         plans as f64 / wall.max(f64::EPSILON),
         stats.hits,
         stats.misses,
         stats.hit_rate(),
+        ub.buffered,
+        ub.replayed,
+        ub.suppressed,
+        ub.trimmed,
+        ub.peak_buffered,
     )
 }
 
@@ -355,7 +401,8 @@ fn bench(args: &Args, scenarios: &[Scenario], path: &str) -> Result<ExitCode, St
                     "cache_off",
                     wall_off,
                     cfg.plans,
-                    stats_off
+                    stats_off,
+                    report_off.ub
                 )
             );
             println!(
@@ -366,7 +413,8 @@ fn bench(args: &Args, scenarios: &[Scenario], path: &str) -> Result<ExitCode, St
                     "cache_cold",
                     wall_cold,
                     cfg.plans,
-                    stats_cold
+                    stats_cold,
+                    report_cold.ub
                 )
             );
             println!(
@@ -377,7 +425,8 @@ fn bench(args: &Args, scenarios: &[Scenario], path: &str) -> Result<ExitCode, St
                     "cache_warm",
                     wall_warm,
                     cfg.plans,
-                    stats_warm
+                    stats_warm,
+                    report_warm.ub
                 )
             );
         }
@@ -475,7 +524,8 @@ fn main() -> ExitCode {
                     "campaign",
                     wall,
                     report.plans_run,
-                    stats
+                    stats,
+                    report.ub
                 )
             );
         }

@@ -442,6 +442,21 @@ impl<'a> OrcaCtx<'a> {
         self.kernel.tap(job, op)
     }
 
+    /// Time of the newest checkpoint covering a job's ADL PE slot, if any —
+    /// the freshness a recovery of that slot would come back with.
+    /// Orchestrators rank failover candidates by this instead of by
+    /// submission age when checkpointing is active.
+    pub fn checkpoint_coverage(&self, job: JobId, adl_index: usize) -> Option<SimTime> {
+        self.kernel.checkpoint_coverage(job, adl_index)
+    }
+
+    /// Whether the runtime buffers and replays in-flight tuples around
+    /// restarts (exactly-once recovery): a restored replica loses nothing,
+    /// not even the gap past its snapshot.
+    pub fn upstream_backup_enabled(&self) -> bool {
+        self.kernel.upstream_backup_enabled()
+    }
+
     // ---- application configurations & dependencies (§4.4) -----------------
 
     /// Creates an application configuration for later dependency-driven

@@ -29,17 +29,41 @@ use std::sync::Arc;
 /// Checkpoint wire-format version; bumped on incompatible layout changes.
 /// [`crate::pe::PeRuntime::restore`] rejects any other version, which the
 /// runtime treats as "fall back to fresh state".
-pub const CKPT_FORMAT_VERSION: u32 = 1;
+///
+/// v2: snapshots capture per-port input queues (encoded stream items), so a
+/// restore revives in-flight tuples instead of dropping them.
+pub const CKPT_FORMAT_VERSION: u32 = 2;
 
-/// Opaque serialized operator state.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+/// Opaque serialized operator state, tagged with a content digest computed
+/// once at [`StateWriter::finish`] time. The digest gives the checkpoint
+/// store an O(1) dirty check when building incremental (delta) snapshots:
+/// an operator whose blob digest is unchanged since the previous snapshot
+/// need not be re-stored.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StateBlob {
     bytes: Bytes,
+    digest: u64,
+}
+
+impl Default for StateBlob {
+    fn default() -> Self {
+        StateBlob::from_bytes(Bytes::new())
+    }
 }
 
 impl StateBlob {
+    fn from_bytes(bytes: Bytes) -> Self {
+        let digest = fnv1a(FNV_OFFSET, &bytes);
+        StateBlob { bytes, digest }
+    }
+
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// FNV-1a over the serialized bytes, fixed at construction.
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     pub fn len(&self) -> usize {
@@ -67,9 +91,7 @@ impl StateWriter {
     }
 
     pub fn finish(self) -> StateBlob {
-        StateBlob {
-            bytes: self.buf.freeze(),
-        }
+        StateBlob::from_bytes(self.buf.freeze())
     }
 
     pub fn put_u8(&mut self, v: u8) {
@@ -261,10 +283,11 @@ pub struct OpCheckpoint {
 }
 
 /// A complete, versioned snapshot of one PE's recoverable state: every
-/// operator slot (in container order) plus the PE's metric store. Input
-/// queues are deliberately *not* captured — in-flight tuples are lost on a
-/// crash exactly as in the paper; replaying them is upstream backup's job
-/// (a ROADMAP follow-on).
+/// operator slot (in container order), the per-port input queues, and the
+/// PE's metric store. Since format v2 the queues *are* captured (encoded
+/// with the inter-PE wire codec), so a restore revives in-flight tuples
+/// that were queued at snapshot time; tuples delivered *after* the snapshot
+/// are the upstream-backup replay buffer's job.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PeCheckpoint {
     pub format_version: u32,
@@ -273,6 +296,9 @@ pub struct PeCheckpoint {
     /// Simulation time the snapshot was taken.
     pub taken_at: SimTime,
     pub ops: Vec<OpCheckpoint>,
+    /// Input queues at snapshot time: `[op slot][input port][item]`, each
+    /// item in wire encoding. Outer arity mirrors `ops`.
+    pub queues: Vec<Vec<Vec<Bytes>>>,
     /// Metric snapshot, restored wholesale so monotone counters
     /// (`nTuplesProcessed`, custom metrics) stay continuous across restarts.
     /// Keys are the store's interned `Arc`s — snapshotting bumps refcounts
@@ -303,6 +329,16 @@ impl PeCheckpoint {
                 }
             }
         }
+        for op_queues in &self.queues {
+            h = fnv1a(h, &(op_queues.len() as u64).to_le_bytes());
+            for port in op_queues {
+                h = fnv1a(h, &(port.len() as u64).to_le_bytes());
+                for item in port {
+                    h = fnv1a(h, &(item.len() as u64).to_le_bytes());
+                    h = fnv1a(h, item);
+                }
+            }
+        }
         for (key, value) in &self.metrics {
             // Hash the key's components directly: no per-entry allocation,
             // and the digest stays independent of Debug formatting.
@@ -330,11 +366,24 @@ impl PeCheckpoint {
         h
     }
 
-    /// Total serialized state bytes across all operators (observability).
+    /// Total serialized state bytes across all operators plus the captured
+    /// input queues (observability).
     pub fn state_bytes(&self) -> usize {
-        self.ops
+        let blobs: usize = self
+            .ops
             .iter()
             .filter_map(|o| o.blob.as_ref().map(StateBlob::len))
+            .sum();
+        blobs + self.queue_bytes()
+    }
+
+    /// Serialized bytes held in the captured input queues.
+    pub fn queue_bytes(&self) -> usize {
+        self.queues
+            .iter()
+            .flat_map(|op| op.iter())
+            .flat_map(|port| port.iter())
+            .map(Bytes::len)
             .sum()
     }
 
@@ -388,9 +437,7 @@ mod tests {
         w.put_str("abcdef");
         let blob = w.finish();
         // Cut the blob short: every accessor must error, never panic.
-        let cut = StateBlob {
-            bytes: blob.bytes.slice(0..blob.len() - 2),
-        };
+        let cut = StateBlob::from_bytes(blob.bytes.slice(0..blob.len() - 2));
         let mut r = StateReader::new(&cut);
         assert!(r.get_str().is_err());
         let mut r2 = StateReader::new(&StateBlob::default());
@@ -418,6 +465,7 @@ mod tests {
                     blob: None,
                 },
             ],
+            queues: vec![vec![vec![]], vec![vec![Bytes::from_static(b"abcd")]]],
             metrics: vec![(Arc::new(MetricKey::Operator("src".into(), "n".into())), 3)],
         }
     }
@@ -440,12 +488,32 @@ mod tests {
         let mut e = a.clone();
         e.ops[1].finals_seen[0] = false;
         assert_ne!(a.digest(), e.digest());
+
+        let mut f = a.clone();
+        f.queues[1][0].clear(); // dropped in-flight tuples must change digest
+        assert_ne!(a.digest(), f.digest());
     }
 
     #[test]
     fn state_accounting() {
         let c = sample_ckpt();
         assert_eq!(c.stateful_ops(), 1);
-        assert_eq!(c.state_bytes(), 8);
+        assert_eq!(c.queue_bytes(), 4);
+        assert_eq!(c.state_bytes(), 12);
+    }
+
+    #[test]
+    fn blob_digest_tracks_content() {
+        let mut w = StateWriter::new();
+        w.put_i64(5);
+        let a = w.finish();
+        let mut w = StateWriter::new();
+        w.put_i64(5);
+        let b = w.finish();
+        assert_eq!(a.digest(), b.digest());
+        let mut w = StateWriter::new();
+        w.put_i64(6);
+        assert_ne!(a.digest(), w.finish().digest());
+        assert_eq!(StateBlob::default().digest(), FNV_OFFSET);
     }
 }

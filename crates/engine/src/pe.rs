@@ -449,9 +449,12 @@ impl PeRuntime {
     // ---- checkpoint / restore ----------------------------------------------
 
     /// Snapshots every operator's recoverable state (plus the container's
-    /// final-punct tracking and the metric store) into a versioned
-    /// [`PeCheckpoint`]. Input queues are not captured: in-flight tuples are
-    /// lost on a crash, exactly as in the real system.
+    /// final-punct tracking, the per-port input queues, and the metric
+    /// store) into a versioned [`PeCheckpoint`]. Queues are captured in
+    /// wire encoding (format v2), so tuples in flight *inside* the
+    /// container at snapshot time survive a restore; tuples delivered after
+    /// the snapshot are replayed from the sender-side upstream-backup
+    /// buffers instead.
     pub fn checkpoint(&self, now: SimTime) -> PeCheckpoint {
         PeCheckpoint {
             format_version: CKPT_FORMAT_VERSION,
@@ -465,6 +468,16 @@ impl PeRuntime {
                     kind: slot.kind.clone(),
                     finals_seen: slot.finals_seen.clone(),
                     blob: slot.op.checkpoint(),
+                })
+                .collect(),
+            queues: self
+                .slots
+                .iter()
+                .map(|slot| {
+                    slot.queues
+                        .iter()
+                        .map(|q| q.iter().map(codec::encode).collect())
+                        .collect()
                 })
                 .collect(),
             metrics: self.metrics.snapshot(),
@@ -498,6 +511,13 @@ impl PeRuntime {
                 self.slots.len()
             )));
         }
+        if ckpt.queues.len() != self.slots.len() {
+            return Err(EngineError::Checkpoint(format!(
+                "checkpoint has queues for {} operators, container has {}",
+                ckpt.queues.len(),
+                self.slots.len()
+            )));
+        }
         let mut restored = 0;
         for (slot, op_ckpt) in self.slots.iter_mut().zip(&ckpt.ops) {
             if slot.name != op_ckpt.name || slot.kind != op_ckpt.kind {
@@ -517,6 +537,25 @@ impl PeRuntime {
             if let Some(blob) = &op_ckpt.blob {
                 slot.op.restore(blob)?;
                 restored += 1;
+            }
+        }
+        // Repopulate the input queues from the captured wire encodings, so
+        // tuples that were in flight inside the container at snapshot time
+        // come back exactly (v2 exactly-once recovery).
+        for (slot, q_ckpt) in self.slots.iter_mut().zip(&ckpt.queues) {
+            if q_ckpt.len() != slot.queues.len() {
+                return Err(EngineError::Checkpoint(format!(
+                    "checkpoint queue arity mismatch for {}: {} ports vs {}",
+                    slot.name,
+                    q_ckpt.len(),
+                    slot.queues.len()
+                )));
+            }
+            for (queue, port_items) in slot.queues.iter_mut().zip(q_ckpt) {
+                queue.clear();
+                for bytes in port_items {
+                    queue.push_back(codec::decode(bytes.clone())?);
+                }
             }
         }
         self.metrics = MetricStore::new();

@@ -60,6 +60,13 @@ pub struct BaselineKey {
     /// Lossy-restore demo knob, captured for completeness (it only affects
     /// restores, which a fault-free run never performs).
     pub lossy_restore: bool,
+    /// Upstream backup, captured for completeness (buffering and replay only
+    /// engage around restarts, which a fault-free run never performs).
+    pub upstream_backup: bool,
+    /// Full-snapshot period of the incremental checkpoint chain: compaction
+    /// cadence changes `state_bytes`, which SRM snapshots carry into the
+    /// rendered artifacts a baseline summarizes.
+    pub full_every: u32,
 }
 
 impl BaselineKey {
@@ -75,6 +82,8 @@ impl BaselineKey {
             horizon_floor_ms: horizon_floor.map(|t| t.as_millis()),
             every_quanta: opts.every_quanta,
             lossy_restore: opts.lossy_restore,
+            upstream_backup: opts.upstream_backup,
+            full_every: opts.full_every,
         }
     }
 
@@ -93,7 +102,9 @@ impl BaselineKey {
             }
         }
         h = fnv1a(h, &self.every_quanta.to_le_bytes());
-        fnv1a(h, &[self.lossy_restore as u8])
+        h = fnv1a(h, &[self.lossy_restore as u8]);
+        h = fnv1a(h, &[self.upstream_backup as u8]);
+        fnv1a(h, &self.full_every.to_le_bytes())
     }
 }
 
@@ -294,6 +305,8 @@ mod tests {
             horizon_floor_ms: Some(9_000),
             every_quanta: 10,
             lossy_restore: false,
+            upstream_backup: false,
+            full_every: 8,
         }
     }
 
@@ -400,6 +413,14 @@ mod tests {
             },
             BaselineKey {
                 lossy_restore: true,
+                ..base.clone()
+            },
+            BaselineKey {
+                upstream_backup: true,
+                ..base.clone()
+            },
+            BaselineKey {
+                full_every: 4,
                 ..base.clone()
             },
         ] {

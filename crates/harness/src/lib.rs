@@ -55,4 +55,4 @@ pub use runner::{
 };
 pub use scenario::{by_name, Built, Scenario};
 pub use shrink::shrink;
-pub use sps_runtime::CheckpointPolicy;
+pub use sps_runtime::{CheckpointPolicy, UbStats};

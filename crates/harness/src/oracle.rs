@@ -38,6 +38,9 @@ pub struct OracleCtx<'a> {
     pub opts: CheckpointPolicy,
     /// Fault-free baseline of the same seed (present when checkpointing).
     pub baseline: Option<&'a BaselineSummary>,
+    /// Taps whose counts are structurally exact under exactly-once recovery
+    /// (see [`crate::scenario::Scenario::exact_taps`]).
+    pub exact_taps: &'a [&'static str],
 }
 
 impl OracleCtx<'_> {
@@ -186,7 +189,11 @@ impl Oracle for NotificationOracle {
 ///    seed: every stable job's tap that produced output without faults
 ///    still holds state (nonzero counter) in the faulted run, and never
 ///    *exceeds* the fault-free throughput beyond a small restart-timing
-///    slack (restores must not fabricate or duplicate history).
+///    slack (restores must not fabricate or duplicate history). With
+///    upstream backup enabled the bar rises to *equality* on the
+///    scenario's structurally-exact taps of fully checkpointable jobs:
+///    checkpoint + replayed in-flight gap means recovery is exactly-once,
+///    so any deviation — loss or duplication — is a bug.
 pub struct StatePreservationOracle;
 
 impl Oracle for StatePreservationOracle {
@@ -294,6 +301,23 @@ impl Oracle for StatePreservationOracle {
                     "stateful tap {job}.{tap} lost all state under faults \
                      (fault-free run processed {base_count} tuples)"
                 ));
+            }
+            // Exactly-once: with upstream backup on, a fully checkpointable
+            // job's structurally-exact taps must match the fault-free count
+            // bit for bit — the replayed gap closes the loss window and the
+            // high-water marks suppress every duplicate.
+            let exact = ctx.opts.upstream_backup
+                && ctx.exact_taps.contains(&tap.as_str())
+                && kernel.job_checkpointable(*job);
+            if exact {
+                if faulted != base_count {
+                    return Err(format!(
+                        "exactly-once violated: tap {job}.{tap} processed \
+                         {faulted} tuples under faults vs. {base_count} \
+                         fault-free (upstream backup promised equality)"
+                    ));
+                }
+                continue;
             }
             // Restart-timing slack: a restored periodic operator may emit
             // once immediately on revival, and a restored *exporter* of

@@ -12,7 +12,7 @@ use crate::shrink::shrink_failures;
 use orca::OrcaService;
 use rand::RngCore;
 use sps_engine::metrics::builtin;
-use sps_runtime::{CheckpointPolicy, PeStatus, World};
+use sps_runtime::{CheckpointPolicy, PeStatus, UbStats, World};
 use sps_sim::{fnv1a, DigestWriter, SimRng, FNV_OFFSET};
 
 /// Campaign-wide knobs.
@@ -61,6 +61,9 @@ pub struct PlanOutcome {
     /// First settle quantum at which the system was quiescent.
     pub quanta_to_quiesce: Option<usize>,
     pub violations: Vec<Violation>,
+    /// Upstream-backup transport counters of the settled world (all zero
+    /// when the feature is off).
+    pub ub: UbStats,
 }
 
 /// A failing plan, minimized.
@@ -71,7 +74,7 @@ pub struct CampaignFailure {
     pub shrunk: FaultPlan,
     pub violations: Vec<Violation>,
     /// One-line environment reproducer (`HARNESS_APP=… HARNESS_SEED=…
-    /// [HARNESS_CKPT=… [HARNESS_LOSSY=1]] HARNESS_PLAN=…`).
+    /// [HARNESS_CKPT=… [HARNESS_LOSSY=1] [HARNESS_UB=1]] HARNESS_PLAN=…`).
     pub reproducer: String,
 }
 
@@ -92,6 +95,9 @@ pub struct CampaignReport {
     /// always `plans_failed - failures.len()`. Surfaced so a campaign log
     /// never silently under-reports how many plans actually failed.
     pub failures_truncated: usize,
+    /// Upstream-backup counters summed over every plan's primary run, in
+    /// plan-index order (all zero when the feature is off).
+    pub ub: UbStats,
 }
 
 impl CampaignReport {
@@ -106,6 +112,20 @@ impl CampaignReport {
             "app={} plans={} failed={} truncated={} digest={:016x}\n",
             self.scenario, self.plans_run, self.plans_failed, self.failures_truncated, self.digest
         );
+        // Only rendered when the campaign ran with upstream backup (any
+        // counter nonzero), so backup-off reports stay byte-identical to
+        // earlier releases.
+        if self.ub.any() {
+            out.push_str(&format!(
+                "  upstream-backup: buffered={} replayed={} suppressed={} \
+                 trimmed={} peak_buffered={}\n",
+                self.ub.buffered,
+                self.ub.replayed,
+                self.ub.suppressed,
+                self.ub.trimmed,
+                self.ub.peak_buffered
+            ));
+        }
         for f in &self.failures {
             out.push_str(&format!(
                 "  seed={} original={} shrunk={} violations={:?}\n  reproduce: {}\n",
@@ -314,6 +334,7 @@ pub fn run_plan(
         convergence_bound: scenario.convergence_bound,
         opts,
         baseline: baseline.as_deref(),
+        exact_taps: scenario.exact_taps,
     };
     let violations = oracles
         .iter()
@@ -328,6 +349,7 @@ pub fn run_plan(
         digest,
         quanta_to_quiesce,
         violations,
+        ub: world.kernel.ub_stats(),
     }
 }
 
@@ -379,6 +401,9 @@ pub fn reproducer_line(
     if opts.lossy_restore {
         line.push_str(" HARNESS_LOSSY=1");
     }
+    if opts.upstream_backup {
+        line.push_str(" HARNESS_UB=1");
+    }
     line.push_str(&format!(" HARNESS_PLAN={}", plan.encode()));
     line
 }
@@ -403,6 +428,9 @@ pub(crate) struct PlanEval {
     pub plan: FaultPlan,
     pub digest: u64,
     pub violations: Vec<Violation>,
+    /// Upstream-backup counters of the primary run (the determinism replay
+    /// is excluded so the report reflects one execution per plan).
+    pub ub: UbStats,
 }
 
 /// Evaluates one indexed plan: generation, baseline, execution, oracles.
@@ -422,20 +450,31 @@ fn evaluate_plan(
     // determinism replay and the shrink phase hit the entry this fetch
     // populates instead of re-simulating the baseline world.
     let floor = plan.horizon();
-    let (digest, violations) = evaluate(
-        scenario,
-        plan_seed,
-        &plan,
-        &oracles,
-        cfg.check_determinism,
-        opts,
-        BaselineSource::new(cache, floor),
-    );
+    let baseline = BaselineSource::new(cache, floor);
+    // Inlined [`evaluate`] so the primary run's upstream-backup counters can
+    // be kept (the determinism replay would double them).
+    let outcome = run_plan(scenario, plan_seed, &plan, &oracles, opts, baseline);
+    let digest = outcome.digest;
+    let ub = outcome.ub;
+    let mut violations = outcome.violations;
+    if cfg.check_determinism {
+        let replay = run_plan(scenario, plan_seed, &plan, &oracles, opts, baseline);
+        if replay.digest != digest {
+            violations.push(Violation {
+                oracle: "determinism",
+                message: format!(
+                    "trace digests diverged for identical seed/plan: {:#018x} vs {:#018x}",
+                    digest, replay.digest
+                ),
+            });
+        }
+    }
     PlanEval {
         plan_seed,
         plan,
         digest,
         violations,
+        ub,
     }
 }
 
@@ -476,9 +515,11 @@ pub fn run_campaign_cached(
     // Ordered fold: identical to the sequential loop it replaced.
     let mut digest = FNV_OFFSET;
     let mut plans_failed = 0usize;
+    let mut ub = UbStats::default();
     let mut to_shrink: Vec<PlanEval> = Vec::new();
     for eval in evals {
         digest = fnv1a(digest, &eval.digest.to_le_bytes());
+        ub.absorb(&eval.ub);
         if eval.violations.is_empty() {
             continue;
         }
@@ -501,5 +542,6 @@ pub fn run_campaign_cached(
         digest,
         failures,
         failures_truncated,
+        ub,
     }
 }

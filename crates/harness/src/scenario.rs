@@ -45,6 +45,14 @@ pub struct Scenario {
     pub build: fn(u64, CheckpointPolicy) -> Built,
     /// Sink operators to include in determinism artifacts, by name.
     pub taps: &'static [&'static str],
+    /// Subset of `taps` whose counts are *structurally exact* under
+    /// exactly-once recovery: every input tuple maps to a fixed number of
+    /// outputs regardless of arrival timing. With upstream backup enabled the
+    /// [`crate::oracle`] asserts tap-count *equality* against the fault-free
+    /// baseline for these (not just bounds). Taps whose output cardinality
+    /// depends on delivery timing (e.g. windowed aggregates that may emit or
+    /// skip an empty pane) stay on the bounded check.
+    pub exact_taps: &'static [&'static str],
 }
 
 // Scenarios are shared by reference across campaign worker threads
@@ -224,6 +232,7 @@ pub fn live() -> Scenario {
         max_incidents: 5,
         build: build_live,
         taps: &["snk"],
+        exact_taps: &["snk"],
     }
 }
 
@@ -239,6 +248,10 @@ pub fn sentiment() -> Scenario {
         max_incidents: 5,
         build: build_sentiment,
         taps: &["display"],
+        // `display` sits downstream of a windowed aggregate whose emptiness
+        // (and thus emission count) shifts when deliveries land late during
+        // replay — equality does not hold structurally, so it stays bounded.
+        exact_taps: &[],
     }
 }
 
@@ -254,6 +267,9 @@ pub fn social() -> Scenario {
         max_incidents: 5,
         build: build_social,
         taps: &["log", "result"],
+        // `result` rides on dynamically (un)subscribed import routes, so its
+        // count depends on route timing; only `log` is per-tuple exact.
+        exact_taps: &["log"],
     }
 }
 
@@ -269,6 +285,7 @@ pub fn trend() -> Scenario {
         max_incidents: 5,
         build: build_trend,
         taps: &["graph"],
+        exact_taps: &["graph"],
     }
 }
 

@@ -1,12 +1,24 @@
-//! Dynamic stream import/export broker (§2.1).
+//! Dynamic stream import/export broker (§2.1) and the sender-side
+//! upstream-backup buffers for exactly-once recovery.
 //!
 //! When both an exporting and an importing application are running, the
 //! runtime automatically connects them; connections form and dissolve as
 //! jobs come and go — the substrate for incremental deployment and the §5.3
 //! dynamic-composition use case.
+//!
+//! [`UpstreamBackup`] implements the classic upstream-backup design from
+//! the rollback-recovery literature the paper builds on: every delivery to
+//! a checkpointable PE is also retained in a per-receiver buffer, trimmed
+//! when a checkpoint commits (the snapshot now covers those tuples), and
+//! replayed into the restored PE after a crash. Per-channel position
+//! counters with high-water marks suppress the duplicates a deterministic
+//! replay re-emits downstream, which is what turns checkpoint-based
+//! at-most-once recovery into exactly-once.
 
 use crate::ids::JobId;
+use sps_engine::{RemoteDelivery, StreamItem};
 use sps_model::logical::{ExportSpec, ImportSpec};
+use sps_sim::SimTime;
 use std::collections::BTreeMap;
 
 /// A registered export endpoint.
@@ -111,6 +123,242 @@ impl Broker {
         self.routes
             .iter()
             .any(|((export_job, _, _), targets)| *export_job == job && !targets.is_empty())
+    }
+}
+
+// ---- upstream backup -------------------------------------------------------
+
+/// Identity of one logical stream channel crossing the kernel, from the
+/// sender's `(job, ADL PE index)` — the identity that survives restarts —
+/// to a receiving operator port.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChannelKey {
+    /// Intra-job PE-to-PE stream.
+    Intra {
+        job: JobId,
+        from: usize,
+        to: usize,
+        op: String,
+        port: usize,
+    },
+    /// Cross-job export, resolved by the broker to an importing operator.
+    Export {
+        from_job: JobId,
+        from: usize,
+        op: String,
+        port: usize,
+        to_job: JobId,
+        to_op: String,
+    },
+}
+
+impl ChannelKey {
+    /// The sending PE slot, for checkpoint-time position snapshots.
+    pub fn sender(&self) -> (JobId, usize) {
+        match self {
+            ChannelKey::Intra { job, from, .. } => (*job, *from),
+            ChannelKey::Export { from_job, from, .. } => (*from_job, *from),
+        }
+    }
+
+    /// Jobs this channel touches (for cancellation cleanup).
+    fn touches_job(&self, job: JobId) -> bool {
+        match self {
+            ChannelKey::Intra { job: j, .. } => *j == job,
+            ChannelKey::Export {
+                from_job, to_job, ..
+            } => *from_job == job || *to_job == job,
+        }
+    }
+}
+
+/// One buffered delivery, replayable into a restored receiver.
+#[derive(Clone, Debug)]
+pub enum BackupItem {
+    /// An intra-job delivery in wire encoding (replayed via `receive`, so
+    /// byte-accounting metrics match the original delivery).
+    Remote(RemoteDelivery),
+    /// A cross-job import (replayed via `inject` on the importing operator).
+    Import { op: String, item: StreamItem },
+}
+
+/// A buffered delivery plus the quantum it originally landed in; replay
+/// re-injects it at the same point of the receiver's re-executed grid.
+#[derive(Clone, Debug)]
+pub struct BackupEntry {
+    pub delivered_at: SimTime,
+    pub item: BackupItem,
+}
+
+/// Upstream-backup counters surfaced through the campaign's `--timing`
+/// line and CI summaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UbStats {
+    /// Deliveries retained in receiver buffers.
+    pub buffered: u64,
+    /// Buffered deliveries re-injected into restored PEs.
+    pub replayed: u64,
+    /// Duplicate re-emissions suppressed by channel high-water marks.
+    pub suppressed: u64,
+    /// Buffered deliveries acked away by checkpoint commits.
+    pub trimmed: u64,
+    /// Peak simultaneous buffered deliveries across all receivers.
+    pub peak_buffered: u64,
+}
+
+impl UbStats {
+    pub fn any(&self) -> bool {
+        *self != UbStats::default()
+    }
+
+    /// Fold for campaign aggregation: counters add, the peak maxes.
+    pub fn absorb(&mut self, other: &UbStats) {
+        self.buffered += other.buffered;
+        self.replayed += other.replayed;
+        self.suppressed += other.suppressed;
+        self.trimmed += other.trimmed;
+        self.peak_buffered = self.peak_buffered.max(other.peak_buffered);
+    }
+}
+
+/// Sender-side output buffering with duplicate suppression.
+///
+/// Three cooperating maps:
+/// - `pos`/`hwm`: per-channel emission counters. Every emission advances
+///   `pos`; an emission whose position is at or below the high-water mark
+///   is a replay duplicate of something the channel already carried and is
+///   suppressed outright. On checkpoint restore the kernel rolls the
+///   *sender's* positions back to the snapshot ([`rollback_sender`]) so the
+///   restored PE's deterministic re-execution walks `pos` back up through
+///   the already-delivered range; `hwm` never rolls back.
+/// - `buffers`: per-receiver `(job, ADL index)` retained deliveries, in
+///   delivery order, trimmed on checkpoint commit.
+///
+/// [`rollback_sender`]: UpstreamBackup::rollback_sender
+#[derive(Default)]
+pub struct UpstreamBackup {
+    pos: BTreeMap<ChannelKey, u64>,
+    hwm: BTreeMap<ChannelKey, u64>,
+    buffers: BTreeMap<(JobId, usize), Vec<BackupEntry>>,
+    current: u64,
+    stats: UbStats,
+}
+
+impl UpstreamBackup {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances a channel's position for one emission. Returns `true` when
+    /// the emission is a duplicate (position at or below the high-water
+    /// mark) and must be suppressed — not delivered, not re-buffered.
+    pub fn advance(&mut self, key: &ChannelKey) -> bool {
+        let pos = self.pos.entry(key.clone()).or_insert(0);
+        *pos += 1;
+        let hwm = self.hwm.entry(key.clone()).or_insert(0);
+        if *pos <= *hwm {
+            self.stats.suppressed += 1;
+            true
+        } else {
+            *hwm = *pos;
+            false
+        }
+    }
+
+    /// Retains one delivery for a receiver slot until a checkpoint covers it.
+    pub fn buffer(&mut self, slot: (JobId, usize), delivered_at: SimTime, item: BackupItem) {
+        self.buffers
+            .entry(slot)
+            .or_default()
+            .push(BackupEntry { delivered_at, item });
+        self.stats.buffered += 1;
+        self.current += 1;
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.current);
+    }
+
+    /// The retained deliveries for a receiver slot, in delivery order.
+    pub fn replay_entries(&self, slot: (JobId, usize)) -> Vec<BackupEntry> {
+        self.buffers.get(&slot).cloned().unwrap_or_default()
+    }
+
+    /// Acks every buffered delivery at or before `upto` for a receiver
+    /// slot: the checkpoint taken at `upto` captured their effects.
+    pub fn trim(&mut self, slot: (JobId, usize), upto: SimTime) {
+        if let Some(buf) = self.buffers.get_mut(&slot) {
+            let before = buf.len();
+            buf.retain(|e| e.delivered_at > upto);
+            let removed = (before - buf.len()) as u64;
+            self.stats.trimmed += removed;
+            self.current -= removed;
+            if buf.is_empty() {
+                self.buffers.remove(&slot);
+            }
+        }
+    }
+
+    /// Drops a receiver's buffer entirely (fresh restart: nothing to replay
+    /// into, and the new incarnation re-accumulates from scratch).
+    pub fn drop_receiver(&mut self, slot: (JobId, usize)) {
+        if let Some(buf) = self.buffers.remove(&slot) {
+            self.current -= buf.len() as u64;
+        }
+    }
+
+    /// Snapshot of a sender's channel positions, stored alongside its
+    /// checkpoint so a restore can roll the counters back in lockstep.
+    pub fn sender_snapshot(&self, job: JobId, adl_index: usize) -> Vec<(ChannelKey, u64)> {
+        self.pos
+            .iter()
+            .filter(|(k, _)| k.sender() == (job, adl_index))
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Rolls a sender's channel positions back to a checkpoint-time
+    /// snapshot. Channels the sender created *after* the snapshot are
+    /// removed outright — leaving them at their crash-time positions would
+    /// let replay re-emissions sail past the high-water marks as
+    /// apparent new traffic. High-water marks are deliberately untouched.
+    pub fn rollback_sender(
+        &mut self,
+        job: JobId,
+        adl_index: usize,
+        snapshot: &[(ChannelKey, u64)],
+    ) {
+        self.pos.retain(|k, _| k.sender() != (job, adl_index));
+        for (k, v) in snapshot {
+            self.pos.insert(k.clone(), *v);
+        }
+    }
+
+    /// Counts replayed deliveries (the kernel re-injects them itself).
+    pub fn count_replayed(&mut self, n: u64) {
+        self.stats.replayed += n;
+    }
+
+    /// Drops all channel state and buffers touching a cancelled job.
+    pub fn forget_job(&mut self, job: JobId) {
+        self.pos.retain(|k, _| !k.touches_job(job));
+        self.hwm.retain(|k, _| !k.touches_job(job));
+        let mut removed = 0u64;
+        self.buffers.retain(|(j, _), buf| {
+            if *j == job {
+                removed += buf.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        self.current -= removed;
+    }
+
+    /// Deliveries currently buffered across all receivers.
+    pub fn buffered_now(&self) -> u64 {
+        self.current
+    }
+
+    pub fn stats(&self) -> UbStats {
+        self.stats
     }
 }
 
@@ -277,5 +525,91 @@ mod tests {
         );
         assert_eq!(b.route(JobId(1), "o", 0).len(), 1);
         assert!(b.route(JobId(2), "o", 0).is_empty());
+    }
+
+    fn chan(job: u64, from: usize, to: usize) -> ChannelKey {
+        ChannelKey::Intra {
+            job: JobId(job),
+            from,
+            to,
+            op: "flt".into(),
+            port: 0,
+        }
+    }
+
+    fn entry(at: u64) -> (SimTime, BackupItem) {
+        (
+            SimTime::from_millis(at),
+            BackupItem::Import {
+                op: "in".into(),
+                item: StreamItem::Punct(sps_engine::Punct::Final),
+            },
+        )
+    }
+
+    #[test]
+    fn hwm_suppresses_replayed_range_only() {
+        let mut ub = UpstreamBackup::new();
+        let key = chan(1, 0, 1);
+        for _ in 0..3 {
+            assert!(!ub.advance(&key), "first pass is all-new traffic");
+        }
+        // Sender restores to a snapshot taken after the first emission.
+        let snap = ub.sender_snapshot(JobId(1), 0);
+        assert_eq!(snap, vec![(key.clone(), 3)]);
+        ub.rollback_sender(JobId(1), 0, &[(key.clone(), 1)]);
+        assert!(ub.advance(&key), "pos 2 replays an already-seen emission");
+        assert!(ub.advance(&key), "pos 3 likewise");
+        assert!(!ub.advance(&key), "pos 4 is genuinely new");
+        assert_eq!(ub.stats().suppressed, 2);
+    }
+
+    #[test]
+    fn rollback_removes_post_snapshot_channels() {
+        let mut ub = UpstreamBackup::new();
+        let old = chan(1, 0, 1);
+        let new = chan(1, 0, 2);
+        ub.advance(&old);
+        let snap = ub.sender_snapshot(JobId(1), 0);
+        ub.advance(&new); // channel born after the snapshot
+        ub.rollback_sender(JobId(1), 0, &snap);
+        // The post-snapshot channel's position was discarded, so its replay
+        // re-emission lands at pos 1 <= hwm 1 and is suppressed.
+        assert!(ub.advance(&new));
+    }
+
+    #[test]
+    fn buffer_trim_and_drop_track_counts() {
+        let mut ub = UpstreamBackup::new();
+        let slot = (JobId(1), 1);
+        for at in [100, 200, 300] {
+            let (t, item) = entry(at);
+            ub.buffer(slot, t, item);
+        }
+        assert_eq!(ub.buffered_now(), 3);
+        assert_eq!(ub.replay_entries(slot).len(), 3);
+        ub.trim(slot, SimTime::from_millis(200));
+        assert_eq!(ub.buffered_now(), 1);
+        assert_eq!(ub.stats().trimmed, 2);
+        assert_eq!(
+            ub.replay_entries(slot)[0].delivered_at,
+            SimTime::from_millis(300)
+        );
+        ub.drop_receiver(slot);
+        assert_eq!(ub.buffered_now(), 0);
+        assert_eq!(ub.stats().peak_buffered, 3);
+    }
+
+    #[test]
+    fn forget_job_clears_channels_and_buffers() {
+        let mut ub = UpstreamBackup::new();
+        ub.advance(&chan(1, 0, 1));
+        ub.advance(&chan(2, 0, 1));
+        let (t, item) = entry(100);
+        ub.buffer((JobId(1), 1), t, item);
+        ub.forget_job(JobId(1));
+        assert_eq!(ub.buffered_now(), 0);
+        assert!(ub.sender_snapshot(JobId(1), 0).is_empty());
+        assert_eq!(ub.sender_snapshot(JobId(2), 0).len(), 1);
     }
 }

@@ -7,21 +7,37 @@
 //! periodically snapshots every checkpointable, `Up` PE into a
 //! [`PeCheckpoint`] keyed by `(job, ADL PE index)` — the identity that
 //! survives restarts, unlike [`PeId`]s which are minted fresh each time —
-//! and [`crate::kernel::Kernel::restart_pe`] restores the newest compatible
-//! snapshot into the replacement process, falling back to fresh state when
-//! none exists or the shape changed.
+//! and [`crate::kernel::Kernel::restart_pe`] restores the newest snapshot
+//! into the replacement process, falling back to fresh state when none
+//! exists or the shape changed.
+//!
+//! Since checkpoint format v2 snapshots also capture the PE's input queues,
+//! and the store keeps each slot as an *incremental chain*: a full base
+//! snapshot plus per-interval deltas that re-store only the operators whose
+//! state blob actually changed (dirty tracking via [`StateBlob`] digests).
+//! Every [`CheckpointPolicy::full_every`] snapshots the chain is compacted
+//! back into a fresh full base, bounding recovery-chain length. Alongside
+//! each snapshot the store records the sender-side upstream-backup channel
+//! positions, so a restore can roll the sender's duplicate-suppression
+//! counters back in lockstep with its state.
 //!
 //! The store models a highly available external service (the real system
 //! would keep this in a distributed file system): host failures do not lose
 //! checkpoints, only job cancellation discards them.
+//!
+//! [`StateBlob`]: sps_engine::StateBlob
+//! [`PeId`]: crate::ids::PeId
 
+use crate::broker::ChannelKey;
 use crate::ids::JobId;
-use sps_engine::PeCheckpoint;
-use sps_sim::SimDuration;
+use bytes::Bytes;
+use sps_engine::{OpCheckpoint, PeCheckpoint};
+use sps_sim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Per-kernel checkpointing policy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CheckpointPolicy {
     /// Snapshot period, in scheduling quanta; `0` disables checkpointing
     /// entirely (the seed behavior, and the paper's §5.2 setup).
@@ -31,6 +47,26 @@ pub struct CheckpointPolicy {
     /// `StatePreservation` oracle (which self-verifies restores) has a
     /// demonstrably detectable failure mode. Never enable outside tests.
     pub lossy_restore: bool,
+    /// Sender-side upstream backup: buffer every delivery to a
+    /// checkpointable PE, trim on checkpoint commit, and replay the gap
+    /// into restored PEs — exactly-once recovery instead of losing the
+    /// tuples in flight between the snapshot and the crash.
+    pub upstream_backup: bool,
+    /// Chain compaction bound: force a full snapshot once a slot's chain
+    /// would exceed this many snapshots (base + deltas). `1` disables
+    /// deltas entirely.
+    pub full_every: u32,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_quanta: 0,
+            lossy_restore: false,
+            upstream_backup: false,
+            full_every: 8,
+        }
+    }
 }
 
 impl CheckpointPolicy {
@@ -52,34 +88,248 @@ impl CheckpointPolicy {
     }
 }
 
-/// Newest checkpoint per `(job, ADL PE index)`, plus observability counters.
-#[derive(Default)]
+/// An incremental snapshot: only the operators whose state blob changed
+/// since the previous snapshot in the chain, plus the (always-changing)
+/// input queues and metric table.
+#[derive(Clone, Debug)]
+pub struct PeDelta {
+    pub taken_at: SimTime,
+    /// Per operator slot: `Some` when dirty since the previous snapshot.
+    pub ops: Vec<Option<OpCheckpoint>>,
+    /// Input queues at snapshot time (same layout as [`PeCheckpoint`]).
+    pub queues: Vec<Vec<Vec<Bytes>>>,
+    pub metrics: Vec<(Arc<sps_engine::MetricKey>, i64)>,
+}
+
+impl PeDelta {
+    /// Serialized bytes this delta contributes to the chain.
+    fn state_bytes(&self) -> usize {
+        let blobs: usize = self
+            .ops
+            .iter()
+            .flatten()
+            .filter_map(|o| o.blob.as_ref().map(|b| b.len()))
+            .sum();
+        let queues: usize = self
+            .queues
+            .iter()
+            .flat_map(|op| op.iter())
+            .flat_map(|port| port.iter())
+            .map(Bytes::len)
+            .sum();
+        blobs + queues
+    }
+
+    /// Operators re-stored by this delta.
+    pub fn dirty_ops(&self) -> usize {
+        self.ops.iter().flatten().count()
+    }
+}
+
+/// One PE slot's recovery chain plus its replay bookkeeping.
+struct Slot {
+    /// Full snapshot anchoring the chain.
+    base: PeCheckpoint,
+    /// Incremental snapshots applied on top of `base`, oldest first.
+    deltas: Vec<PeDelta>,
+    /// Cached materialization of `base` + `deltas` — what restores use.
+    /// Not counted in `state_bytes` (it is a cache, not stored state).
+    head: PeCheckpoint,
+    /// Sender-side upstream-backup channel positions at snapshot time.
+    sender_pos: Vec<(ChannelKey, u64)>,
+    /// Global quantum index of the newest snapshot (or restore), for the
+    /// per-PE cadence skip.
+    last_snap_quantum: u64,
+}
+
+impl Slot {
+    fn chain_bytes(&self) -> usize {
+        self.base.state_bytes() + self.deltas.iter().map(PeDelta::state_bytes).sum::<usize>()
+    }
+}
+
+/// Newest checkpoint chain per `(job, ADL PE index)`, plus observability
+/// counters.
 pub struct CheckpointStore {
-    slots: BTreeMap<(JobId, usize), PeCheckpoint>,
+    slots: BTreeMap<(JobId, usize), Slot>,
+    /// Compaction bound (from [`CheckpointPolicy::full_every`], min 1).
+    full_every: usize,
+    /// Running total of serialized chain bytes, maintained on
+    /// save/compact/forget so `state_bytes()` is O(1) per SRM push.
+    bytes: usize,
     saved: u64,
     restored: u64,
     fallbacks: u64,
+    stale_rejected: u64,
+    deltas_saved: u64,
+    fulls_saved: u64,
+    compactions: u64,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::new()
+    }
 }
 
 impl CheckpointStore {
     pub fn new() -> Self {
-        Self::default()
+        CheckpointStore::with_full_every(CheckpointPolicy::default().full_every)
     }
 
-    /// Installs a snapshot, replacing any older one for the same PE slot.
-    pub fn save(&mut self, job: JobId, adl_index: usize, ckpt: PeCheckpoint) {
+    /// A store compacting each chain after `full_every` snapshots.
+    pub fn with_full_every(full_every: u32) -> Self {
+        CheckpointStore {
+            slots: BTreeMap::new(),
+            full_every: (full_every.max(1)) as usize,
+            bytes: 0,
+            saved: 0,
+            restored: 0,
+            fallbacks: 0,
+            stale_rejected: 0,
+            deltas_saved: 0,
+            fulls_saved: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Installs a snapshot for a PE slot, extending its incremental chain
+    /// (or compacting to a fresh full base). Snapshots older than the
+    /// stored head are rejected — a stale snapshot racing a restart must
+    /// never roll a slot backwards. Returns whether the snapshot was
+    /// accepted.
+    pub fn save(
+        &mut self,
+        job: JobId,
+        adl_index: usize,
+        ckpt: PeCheckpoint,
+        sender_pos: Vec<(ChannelKey, u64)>,
+        quanta_now: u64,
+    ) -> bool {
+        match self.slots.get_mut(&(job, adl_index)) {
+            Some(slot) => {
+                if ckpt.taken_at < slot.head.taken_at {
+                    self.stale_rejected += 1;
+                    return false;
+                }
+                self.bytes -= slot.chain_bytes();
+                if slot.deltas.len() + 2 > self.full_every || !delta_compatible(&slot.head, &ckpt) {
+                    // Chain at its bound (or shape changed): compact to a
+                    // fresh full base.
+                    slot.base = ckpt.clone();
+                    slot.deltas.clear();
+                    self.fulls_saved += 1;
+                    self.compactions += 1;
+                } else {
+                    slot.deltas.push(diff(&slot.head, &ckpt));
+                    self.deltas_saved += 1;
+                }
+                slot.head = ckpt;
+                slot.sender_pos = sender_pos;
+                slot.last_snap_quantum = quanta_now;
+                self.bytes += slot.chain_bytes();
+            }
+            None => {
+                let slot = Slot {
+                    head: ckpt.clone(),
+                    base: ckpt,
+                    deltas: Vec::new(),
+                    sender_pos,
+                    last_snap_quantum: quanta_now,
+                };
+                self.bytes += slot.chain_bytes();
+                self.fulls_saved += 1;
+                self.slots.insert((job, adl_index), slot);
+            }
+        }
         self.saved += 1;
-        self.slots.insert((job, adl_index), ckpt);
+        debug_assert_eq!(
+            self.bytes,
+            self.slots.values().map(Slot::chain_bytes).sum::<usize>(),
+            "running byte counter out of sync with the chains"
+        );
+        debug_assert_eq!(
+            self.materialize(job, adl_index).map(|c| c.digest()),
+            self.latest(job, adl_index).map(|c| c.digest()),
+            "delta chain does not materialize back to its head"
+        );
+        true
     }
 
-    /// Newest snapshot for a PE slot, if any.
+    /// Newest snapshot for a PE slot, if any (the chain's cached head).
     pub fn latest(&self, job: JobId, adl_index: usize) -> Option<&PeCheckpoint> {
-        self.slots.get(&(job, adl_index))
+        self.slots.get(&(job, adl_index)).map(|s| &s.head)
+    }
+
+    /// Replays a slot's chain — base, then each delta in order — into a
+    /// full snapshot. Restores use the cached head; this exists to verify
+    /// the chain itself (and is what a cold-start recovery would run).
+    pub fn materialize(&self, job: JobId, adl_index: usize) -> Option<PeCheckpoint> {
+        let slot = self.slots.get(&(job, adl_index))?;
+        let mut cur = slot.base.clone();
+        for delta in &slot.deltas {
+            cur.taken_at = delta.taken_at;
+            for (op, dirty) in cur.ops.iter_mut().zip(&delta.ops) {
+                if let Some(new_op) = dirty {
+                    *op = new_op.clone();
+                }
+            }
+            cur.queues = delta.queues.clone();
+            cur.metrics = delta.metrics.clone();
+        }
+        Some(cur)
+    }
+
+    /// Number of deltas stacked on a slot's base snapshot.
+    pub fn chain_deltas(&self, job: JobId, adl_index: usize) -> usize {
+        self.slots
+            .get(&(job, adl_index))
+            .map_or(0, |s| s.deltas.len())
+    }
+
+    /// Sender-side channel positions recorded with a slot's newest snapshot.
+    pub fn sender_pos(&self, job: JobId, adl_index: usize) -> &[(ChannelKey, u64)] {
+        self.slots
+            .get(&(job, adl_index))
+            .map(|s| s.sender_pos.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Quanta elapsed since a slot's newest snapshot (or restore), if it
+    /// has one. The kernel skips the periodic snapshot of a PE whose state
+    /// was captured less than half a period ago.
+    pub fn quanta_since_snapshot(
+        &self,
+        job: JobId,
+        adl_index: usize,
+        quanta_now: u64,
+    ) -> Option<u64> {
+        self.slots
+            .get(&(job, adl_index))
+            .map(|s| quanta_now.saturating_sub(s.last_snap_quantum))
+    }
+
+    /// Marks a slot as freshly captured at `quanta_now` without saving
+    /// (used on restore: the revived PE equals its snapshot, so an
+    /// immediate re-snapshot would be pure overhead).
+    pub fn mark_snapshot_quantum(&mut self, job: JobId, adl_index: usize, quanta_now: u64) {
+        if let Some(slot) = self.slots.get_mut(&(job, adl_index)) {
+            slot.last_snap_quantum = quanta_now;
+        }
     }
 
     /// Drops every snapshot of a cancelled job.
     pub fn forget_job(&mut self, job: JobId) {
-        self.slots.retain(|(j, _), _| *j != job);
+        let mut removed = 0usize;
+        self.slots.retain(|(j, _), slot| {
+            if *j == job {
+                removed += slot.chain_bytes();
+                false
+            } else {
+                true
+            }
+        });
+        self.bytes -= removed;
     }
 
     /// Number of PE slots currently holding a snapshot.
@@ -91,7 +341,7 @@ impl CheckpointStore {
         self.slots.is_empty()
     }
 
-    /// Total snapshots ever taken.
+    /// Total snapshots ever accepted.
     pub fn saved(&self) -> u64 {
         self.saved
     }
@@ -106,6 +356,26 @@ impl CheckpointStore {
         self.fallbacks
     }
 
+    /// Snapshots rejected for being older than the stored head.
+    pub fn stale_rejected(&self) -> u64 {
+        self.stale_rejected
+    }
+
+    /// Snapshots stored incrementally (dirty ops only).
+    pub fn deltas_saved(&self) -> u64 {
+        self.deltas_saved
+    }
+
+    /// Snapshots stored as full bases (first save or compaction).
+    pub fn fulls_saved(&self) -> u64 {
+        self.fulls_saved
+    }
+
+    /// Chain compactions performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     pub(crate) fn count_restore(&mut self) {
         self.restored += 1;
     }
@@ -114,9 +384,55 @@ impl CheckpointStore {
         self.fallbacks += 1;
     }
 
-    /// Total serialized state bytes currently held (observability).
+    /// Total serialized state bytes currently held across all chains
+    /// (observability). O(1): maintained as a running counter on
+    /// save/compact/forget.
     pub fn state_bytes(&self) -> usize {
-        self.slots.values().map(PeCheckpoint::state_bytes).sum()
+        self.bytes
+    }
+}
+
+/// Can `next` extend the chain ending at `head` as a delta? Any shape
+/// change (which [`crate::kernel`] never produces for a live job, since the
+/// ADL is immutable) forces a full snapshot instead.
+fn delta_compatible(head: &PeCheckpoint, next: &PeCheckpoint) -> bool {
+    head.format_version == next.format_version
+        && head.pe_index == next.pe_index
+        && head.ops.len() == next.ops.len()
+        && head
+            .ops
+            .iter()
+            .zip(&next.ops)
+            .all(|(a, b)| a.name == b.name && a.kind == b.kind)
+}
+
+/// Builds the incremental snapshot taking `head` to `next`. An operator is
+/// dirty when any part of its checkpoint changed — the [`StateBlob`] digest
+/// comparison short-circuits the common clean case without a byte compare.
+///
+/// [`StateBlob`]: sps_engine::StateBlob
+fn diff(head: &PeCheckpoint, next: &PeCheckpoint) -> PeDelta {
+    PeDelta {
+        taken_at: next.taken_at,
+        ops: head
+            .ops
+            .iter()
+            .zip(&next.ops)
+            .map(|(old, new)| {
+                let clean = match (&old.blob, &new.blob) {
+                    (Some(a), Some(b)) => a.digest() == b.digest() && old == new,
+                    (None, None) => old == new,
+                    _ => false,
+                };
+                if clean {
+                    None
+                } else {
+                    Some(new.clone())
+                }
+            })
+            .collect(),
+        queues: next.queues.clone(),
+        metrics: next.metrics.clone(),
     }
 }
 
@@ -124,26 +440,58 @@ impl CheckpointStore {
 mod tests {
     use super::*;
     use sps_engine::ckpt::CKPT_FORMAT_VERSION;
-    use sps_sim::SimTime;
+    use sps_engine::StateWriter;
 
-    fn ckpt(at: u64) -> PeCheckpoint {
+    fn blob(v: i64) -> sps_engine::StateBlob {
+        let mut w = StateWriter::new();
+        w.put_i64(v);
+        w.finish()
+    }
+
+    fn ckpt_with(at: u64, state: i64, queued: &[&'static [u8]]) -> PeCheckpoint {
         PeCheckpoint {
             format_version: CKPT_FORMAT_VERSION,
             pe_index: 0,
             taken_at: SimTime::from_secs(at),
-            ops: vec![],
+            ops: vec![
+                OpCheckpoint {
+                    name: "agg".into(),
+                    kind: "Aggregate".into(),
+                    finals_seen: vec![false],
+                    blob: Some(blob(state)),
+                },
+                OpCheckpoint {
+                    name: "snk".into(),
+                    kind: "Sink".into(),
+                    finals_seen: vec![false],
+                    blob: None,
+                },
+            ],
+            queues: vec![
+                vec![queued.iter().map(|b| Bytes::from_static(b)).collect()],
+                vec![vec![]],
+            ],
             metrics: vec![],
         }
+    }
+
+    fn ckpt(at: u64) -> PeCheckpoint {
+        ckpt_with(at, 7, &[])
+    }
+
+    fn save(s: &mut CheckpointStore, job: u64, adl: usize, c: PeCheckpoint) -> bool {
+        let q = c.taken_at.as_millis() / 100;
+        s.save(JobId(job), adl, c, vec![], q)
     }
 
     #[test]
     fn save_replaces_and_forget_clears() {
         let mut s = CheckpointStore::new();
         assert!(s.is_empty());
-        s.save(JobId(1), 0, ckpt(1));
-        s.save(JobId(1), 0, ckpt(2));
-        s.save(JobId(1), 1, ckpt(2));
-        s.save(JobId(2), 0, ckpt(2));
+        save(&mut s, 1, 0, ckpt(1));
+        save(&mut s, 1, 0, ckpt(2));
+        save(&mut s, 1, 1, ckpt(2));
+        save(&mut s, 2, 0, ckpt(2));
         assert_eq!(s.len(), 3);
         assert_eq!(s.saved(), 4);
         assert_eq!(
@@ -154,12 +502,100 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert!(s.latest(JobId(1), 0).is_none());
         assert!(s.latest(JobId(2), 0).is_some());
+        assert_eq!(s.state_bytes(), 8);
+    }
+
+    #[test]
+    fn stale_snapshot_is_rejected() {
+        let mut s = CheckpointStore::new();
+        assert!(save(&mut s, 1, 0, ckpt_with(5, 50, &[])));
+        // A snapshot of the pre-restart incarnation arriving late must not
+        // roll the slot backwards.
+        assert!(!save(&mut s, 1, 0, ckpt_with(3, 30, &[])));
+        assert_eq!(s.stale_rejected(), 1);
+        assert_eq!(s.saved(), 1);
+        let head = s.latest(JobId(1), 0).unwrap();
+        assert_eq!(head.taken_at, SimTime::from_secs(5));
+        assert_eq!(head.ops[0].blob.as_ref().unwrap(), &blob(50));
+        // Same-time saves (restore-time re-marks) still replace.
+        assert!(save(&mut s, 1, 0, ckpt_with(5, 55, &[])));
+    }
+
+    #[test]
+    fn delta_chain_stores_dirty_ops_and_compacts() {
+        let mut s = CheckpointStore::with_full_every(3);
+        save(&mut s, 1, 0, ckpt_with(1, 10, &[b"aa"]));
+        assert_eq!((s.fulls_saved(), s.deltas_saved()), (1, 0));
+        // Unchanged operator state: the delta re-stores only the queues.
+        save(&mut s, 1, 0, ckpt_with(2, 10, &[b"bb", b"cc"]));
+        assert_eq!((s.fulls_saved(), s.deltas_saved()), (1, 1));
+        assert_eq!(s.chain_deltas(JobId(1), 0), 1);
+        assert_eq!(
+            s.state_bytes(),
+            (8 + 2) + 4,
+            "base blob+queue, delta queues only"
+        );
+        // Dirty operator: its blob rides in the second delta.
+        save(&mut s, 1, 0, ckpt_with(3, 30, &[]));
+        assert_eq!((s.fulls_saved(), s.deltas_saved()), (1, 2));
+        assert_eq!(s.state_bytes(), (8 + 2) + 4 + 8);
+        // Fourth save would stack a third delta past full_every=3: compact.
+        save(&mut s, 1, 0, ckpt_with(4, 40, &[]));
+        assert_eq!(s.chain_deltas(JobId(1), 0), 0);
+        assert_eq!(s.compactions(), 1);
+        assert_eq!(s.fulls_saved(), 2);
+        assert_eq!(s.state_bytes(), 8);
+        assert_eq!(
+            s.latest(JobId(1), 0).unwrap().ops[0].blob.as_ref().unwrap(),
+            &blob(40)
+        );
+    }
+
+    #[test]
+    fn materialize_replays_chain_to_head() {
+        let mut s = CheckpointStore::with_full_every(10);
+        save(&mut s, 1, 0, ckpt_with(1, 10, &[b"aa"]));
+        for at in 2..6 {
+            save(&mut s, 1, 0, ckpt_with(at, at as i64 * 10, &[b"zz"]));
+        }
+        assert_eq!(s.chain_deltas(JobId(1), 0), 4);
+        let materialized = s.materialize(JobId(1), 0).unwrap();
+        let head = s.latest(JobId(1), 0).unwrap();
+        assert_eq!(&materialized, head);
+        assert_eq!(materialized.digest(), head.digest());
+    }
+
+    #[test]
+    fn cadence_tracking() {
+        let mut s = CheckpointStore::new();
+        assert_eq!(s.quanta_since_snapshot(JobId(1), 0, 50), None);
+        s.save(JobId(1), 0, ckpt(1), vec![], 10);
+        assert_eq!(s.quanta_since_snapshot(JobId(1), 0, 14), Some(4));
+        s.mark_snapshot_quantum(JobId(1), 0, 13);
+        assert_eq!(s.quanta_since_snapshot(JobId(1), 0, 14), Some(1));
+    }
+
+    #[test]
+    fn sender_pos_roundtrips() {
+        let mut s = CheckpointStore::new();
+        let key = ChannelKey::Intra {
+            job: JobId(1),
+            from: 0,
+            to: 1,
+            op: "flt".into(),
+            port: 0,
+        };
+        s.save(JobId(1), 0, ckpt(1), vec![(key.clone(), 42)], 10);
+        assert_eq!(s.sender_pos(JobId(1), 0), &[(key, 42)]);
+        assert!(s.sender_pos(JobId(1), 1).is_empty());
     }
 
     #[test]
     fn policy_defaults_off() {
         let p = CheckpointPolicy::default();
         assert!(!p.enabled());
+        assert!(!p.upstream_backup);
+        assert_eq!(p.full_every, 8);
         let p = CheckpointPolicy::every(10);
         assert!(p.enabled());
         assert_eq!(

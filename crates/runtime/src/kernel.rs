@@ -7,7 +7,7 @@
 //! [`Kernel::quantum`] advances the whole distributed system by one
 //! scheduling quantum.
 
-use crate::broker::Broker;
+use crate::broker::{BackupEntry, BackupItem, Broker, ChannelKey, UbStats, UpstreamBackup};
 use crate::ckpt::{CheckpointPolicy, CheckpointStore};
 use crate::cluster::{Cluster, PeProcess, PeStatus};
 use crate::error::RuntimeError;
@@ -161,6 +161,13 @@ pub struct Kernel {
     last_metrics_push: SimTime,
     crash_log: Vec<CrashRecord>,
     restart_log: Vec<RestartRecord>,
+    /// Sender-side output buffers + duplicate suppression (active when
+    /// `config.checkpoint.upstream_backup`).
+    backup: UpstreamBackup,
+    /// Checkpoint-restored PEs awaiting their replay at promotion time,
+    /// keyed by the replacement PE id → snapshot time the restore rewound
+    /// to. Consumed when the PE is promoted `Starting` → `Up`.
+    pending_replay: BTreeMap<PeId, SimTime>,
 }
 
 /// A PE slot is checkpointable iff every operator fused into it opted in
@@ -187,17 +194,29 @@ impl Kernel {
             srm,
             broker: Broker::new(),
             registry,
-            ckpt: CheckpointStore::new(),
+            ckpt: CheckpointStore::with_full_every(config.checkpoint.full_every),
             trace: TraceRing::new(65_536),
             scheduled_kills: Vec::new(),
             last_metrics_push: SimTime::ZERO,
             crash_log: Vec::new(),
             restart_log: Vec::new(),
+            backup: UpstreamBackup::new(),
+            pending_replay: BTreeMap::new(),
         }
     }
 
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Whether deliveries are being buffered for exactly-once replay.
+    pub fn upstream_backup_enabled(&self) -> bool {
+        self.config.checkpoint.enabled() && self.config.checkpoint.upstream_backup
+    }
+
+    /// Upstream-backup counters (buffered/replayed/suppressed/trimmed).
+    pub fn ub_stats(&self) -> UbStats {
+        self.backup.stats()
     }
 
     // ---- job lifecycle ------------------------------------------------------
@@ -395,10 +414,12 @@ impl Kernel {
             // Belt and braces next to `forget_job` below: every retired PE
             // drops its SRM snapshot on the path that retires it.
             self.srm.forget_pe(job, *pe);
+            self.pending_replay.remove(pe);
         }
         self.broker.unregister_job(job);
         self.srm.forget_job(job);
         self.ckpt.forget_job(job);
+        self.backup.forget_job(job);
         self.trace.push(
             self.now,
             "sam",
@@ -519,6 +540,31 @@ impl Kernel {
                 reason: FreshReason::NoCheckpoint,
             }
         };
+
+        // Upstream-backup bookkeeping for the swap below.
+        self.pending_replay.remove(&pe);
+        if self.upstream_backup_enabled() {
+            if let RestoreOutcome::Restored { taken_at, .. } = &restore {
+                // Roll the sender-side duplicate-suppression counters back
+                // in lockstep with the restored state, so the deterministic
+                // replay walks the already-delivered range back up under
+                // the high-water marks instead of past them.
+                let snap = self.ckpt.sender_pos(job, adl_index).to_vec();
+                self.backup.rollback_sender(job, adl_index, &snap);
+                // The revived PE equals its snapshot; an immediate periodic
+                // re-snapshot would be pure overhead (satellite cadence fix).
+                let quanta_now = self.now.as_millis() / self.config.quantum.as_millis();
+                self.ckpt.mark_snapshot_quantum(job, adl_index, quanta_now);
+                // Replay the buffered gap once the process finishes
+                // spawning (`Starting` → `Up`), not before: a replay into a
+                // process that dies mid-spawn must be re-runnable.
+                self.pending_replay.insert(new_pe, *taken_at);
+            } else {
+                // Fresh state: the buffered gap assumes the checkpoint base
+                // and is meaningless to replay into a blank container.
+                self.backup.drop_receiver((job, adl_index));
+            }
+        }
 
         // Placement and build succeeded: swap the processes.
         self.cluster.remove_process(pe);
@@ -747,6 +793,22 @@ impl Kernel {
             .is_some_and(|info| pe_is_checkpointable(&info.adl, adl_index))
     }
 
+    /// Whether *every* PE slot of a job is checkpointable — the
+    /// precondition for the campaign's exactly-once (tap-count equality)
+    /// claim under upstream backup.
+    pub fn job_checkpointable(&self, job: JobId) -> bool {
+        self.sam
+            .job(job)
+            .is_some_and(|info| (0..info.adl.pes.len()).all(|i| pe_is_checkpointable(&info.adl, i)))
+    }
+
+    /// Time of the newest stored snapshot covering a job's ADL PE slot —
+    /// how fresh a recovery of that slot would be. Orchestrators use this
+    /// as their failover freshness signal.
+    pub fn checkpoint_coverage(&self, job: JobId, adl_index: usize) -> Option<SimTime> {
+        self.ckpt.latest(job, adl_index).map(|c| c.taken_at)
+    }
+
     /// Contents of a sink-like operator.
     pub fn tap(&self, job: JobId, op_name: &str) -> Option<Vec<Tuple>> {
         let info = self.sam.job(job)?;
@@ -802,8 +864,11 @@ impl Kernel {
             }
         }
 
-        // Promote spawning processes whose start latency elapsed.
+        // Promote spawning processes whose start latency elapsed, then
+        // replay the buffered upstream-backup gap into any that were
+        // restored from a checkpoint.
         let now_promote = self.now;
+        let mut promoted: Vec<(PeId, JobId, usize)> = Vec::new();
         for host in self.cluster.hosts_mut() {
             if !host.up {
                 continue;
@@ -811,13 +876,15 @@ impl Kernel {
             for proc in host.processes.values_mut() {
                 if proc.status == PeStatus::Starting && now_promote >= proc.up_at {
                     proc.status = PeStatus::Up;
+                    promoted.push((proc.pe_id, proc.job, proc.adl_index));
                 }
             }
         }
+        self.run_replays(promoted);
 
         // Step all live PEs.
-        let mut deliveries: Vec<(JobId, sps_engine::RemoteDelivery)> = Vec::new();
-        let mut exported: Vec<(JobId, ExportedItem)> = Vec::new();
+        let mut deliveries: Vec<(JobId, usize, sps_engine::RemoteDelivery)> = Vec::new();
+        let mut exported: Vec<(JobId, usize, ExportedItem)> = Vec::new();
         let mut crashes: Vec<(PeId, String)> = Vec::new();
         let (now, quantum, budget) = (self.now, self.config.quantum, self.config.pe_budget);
         for host in self.cluster.hosts_mut() {
@@ -830,10 +897,10 @@ impl Kernel {
                 }
                 let out = proc.runtime.step(now, quantum, budget);
                 for d in out.remote {
-                    deliveries.push((proc.job, d));
+                    deliveries.push((proc.job, proc.adl_index, d));
                 }
                 for e in out.exported {
-                    exported.push((proc.job, e));
+                    exported.push((proc.job, proc.adl_index, e));
                 }
                 if let Some(msg) = out.crashed {
                     proc.status = PeStatus::Crashed;
@@ -843,43 +910,13 @@ impl Kernel {
         }
 
         // Inter-PE transport (one quantum of latency).
-        for (job, delivery) in deliveries {
-            let Some(info) = self.sam.job(job) else {
-                continue;
-            };
-            let Some(&target_pe) = info.pe_ids.get(delivery.dest.pe) else {
-                continue;
-            };
-            if let Some(proc) = self.cluster.process_mut(target_pe) {
-                if proc.status == PeStatus::Up {
-                    if let Err(e) = proc.runtime.receive(&delivery) {
-                        self.trace
-                            .push(now, "transport", format!("delivery failed: {e}"));
-                    }
-                }
-            }
+        for (job, from_adl, delivery) in deliveries {
+            self.transport_remote(job, from_adl, delivery);
         }
 
         // Cross-job import/export routing.
-        for (job, item) in exported {
-            let targets: Vec<(JobId, String)> =
-                self.broker.route(job, &item.op, item.port).to_vec();
-            for (target_job, import_op) in targets {
-                let Some(info) = self.sam.job(target_job) else {
-                    continue;
-                };
-                let Some(op) = info.adl.operator(&import_op) else {
-                    continue;
-                };
-                let Some(&target_pe) = info.pe_ids.get(op.pe) else {
-                    continue;
-                };
-                if let Some(proc) = self.cluster.process_mut(target_pe) {
-                    if proc.status == PeStatus::Up {
-                        let _ = proc.runtime.inject(&import_op, 0, item.item.clone());
-                    }
-                }
-            }
+        for (job, from_adl, item) in exported {
+            self.transport_export(job, from_adl, item);
         }
 
         // Crash notifications (SRM detects, SAM routes to the orchestrator).
@@ -892,10 +929,14 @@ impl Kernel {
         // Periodic checkpointing: every `every_quanta` ticks, snapshot each
         // live PE whose operators all opted in. A PE that crashed this very
         // quantum is already `Crashed` and keeps its previous snapshot —
-        // exactly the state a subsequent restart should revive.
+        // exactly the state a subsequent restart should revive. Snapshots
+        // run *after* transport, so the captured input queues include this
+        // quantum's deliveries — which is what lets the checkpoint commit
+        // ack (trim) every buffered delivery up to `taken_at`.
         if self.config.checkpoint.enabled() {
             let quanta_elapsed = self.now.as_millis() / self.config.quantum.as_millis();
             if quanta_elapsed.is_multiple_of(self.config.checkpoint.every_quanta as u64) {
+                let half_period = (self.config.checkpoint.every_quanta / 2) as u64;
                 let mut snaps: Vec<(JobId, usize, PeCheckpoint)> = Vec::new();
                 for host in self.cluster.hosts() {
                     if !host.up {
@@ -909,13 +950,40 @@ impl Kernel {
                             .sam
                             .job(proc.job)
                             .is_some_and(|info| pe_is_checkpointable(&info.adl, proc.adl_index));
-                        if eligible {
-                            snaps.push((proc.job, proc.adl_index, proc.runtime.checkpoint(now)));
+                        if !eligible {
+                            continue;
                         }
+                        // Per-PE cadence: a slot captured (or restored) less
+                        // than half a period ago skips this boundary — a PE
+                        // revived just before the tick would otherwise be
+                        // re-snapshotted immediately for no recovery gain.
+                        if self
+                            .ckpt
+                            .quanta_since_snapshot(proc.job, proc.adl_index, quanta_elapsed)
+                            .is_some_and(|since| since < half_period)
+                        {
+                            continue;
+                        }
+                        snaps.push((proc.job, proc.adl_index, proc.runtime.checkpoint(now)));
                     }
                 }
+                let ub = self.upstream_backup_enabled();
                 for (job, adl_index, ckpt) in snaps {
-                    self.ckpt.save(job, adl_index, ckpt);
+                    let taken_at = ckpt.taken_at;
+                    let sender_pos = if ub {
+                        self.backup.sender_snapshot(job, adl_index)
+                    } else {
+                        Vec::new()
+                    };
+                    if self
+                        .ckpt
+                        .save(job, adl_index, ckpt, sender_pos, quanta_elapsed)
+                        && ub
+                    {
+                        // Commit acks the buffered gap: the snapshot covers
+                        // every delivery at or before `taken_at`.
+                        self.backup.trim((job, adl_index), taken_at);
+                    }
                 }
             }
         }
@@ -924,6 +992,208 @@ impl Kernel {
         if self.now.since(self.last_metrics_push) >= self.config.metrics_push_period {
             self.last_metrics_push = self.now;
             self.push_all_metrics();
+        }
+    }
+
+    /// Delivers one intra-job remote delivery. With upstream backup on,
+    /// every emission first advances its channel's position counter —
+    /// replay re-emissions at or below the high-water mark are duplicates
+    /// of traffic the channel already carried and are suppressed — and
+    /// deliveries to checkpointable receivers are retained in the
+    /// receiver's backup buffer until a checkpoint commit acks them.
+    fn transport_remote(
+        &mut self,
+        job: JobId,
+        from_adl: usize,
+        delivery: sps_engine::RemoteDelivery,
+    ) {
+        let Some(info) = self.sam.job(job) else {
+            return;
+        };
+        let to_adl = delivery.dest.pe;
+        let Some(&target_pe) = info.pe_ids.get(to_adl) else {
+            return;
+        };
+        let checkpointable = pe_is_checkpointable(&info.adl, to_adl);
+        let ub = self.upstream_backup_enabled();
+        if ub {
+            let key = ChannelKey::Intra {
+                job,
+                from: from_adl,
+                to: to_adl,
+                op: delivery.dest.op.clone(),
+                port: delivery.dest.port,
+            };
+            if self.backup.advance(&key) {
+                return; // replay duplicate: this tuple already went through
+            }
+        }
+        let now = self.now;
+        if ub && checkpointable {
+            self.backup
+                .buffer((job, to_adl), now, BackupItem::Remote(delivery.clone()));
+        }
+        if let Some(proc) = self.cluster.process_mut(target_pe) {
+            if proc.status == PeStatus::Up {
+                if let Err(e) = proc.runtime.receive(&delivery) {
+                    self.trace
+                        .push(now, "transport", format!("delivery failed: {e}"));
+                }
+            }
+            // A down receiver misses the delivery exactly as before — but
+            // when buffered above, its restored incarnation replays it.
+        }
+    }
+
+    /// Routes one exported item to every matching importer, with the same
+    /// upstream-backup suppression/buffering as [`Self::transport_remote`]
+    /// (each `(exporter, importer)` pair is its own channel).
+    fn transport_export(&mut self, job: JobId, from_adl: usize, item: ExportedItem) {
+        let targets: Vec<(JobId, String)> = self.broker.route(job, &item.op, item.port).to_vec();
+        let ub = self.upstream_backup_enabled();
+        let now = self.now;
+        for (target_job, import_op) in targets {
+            let Some(info) = self.sam.job(target_job) else {
+                continue;
+            };
+            let Some(op) = info.adl.operator(&import_op) else {
+                continue;
+            };
+            let to_adl = op.pe;
+            let Some(&target_pe) = info.pe_ids.get(to_adl) else {
+                continue;
+            };
+            let checkpointable = pe_is_checkpointable(&info.adl, to_adl);
+            if ub {
+                let key = ChannelKey::Export {
+                    from_job: job,
+                    from: from_adl,
+                    op: item.op.clone(),
+                    port: item.port,
+                    to_job: target_job,
+                    to_op: import_op.clone(),
+                };
+                if self.backup.advance(&key) {
+                    continue;
+                }
+            }
+            if ub && checkpointable {
+                self.backup.buffer(
+                    (target_job, to_adl),
+                    now,
+                    BackupItem::Import {
+                        op: import_op.clone(),
+                        item: item.item.clone(),
+                    },
+                );
+            }
+            if let Some(proc) = self.cluster.process_mut(target_pe) {
+                if proc.status == PeStatus::Up {
+                    let _ = proc.runtime.inject(&import_op, 0, item.item.clone());
+                }
+            }
+        }
+    }
+
+    /// Replays the upstream-backup gap into checkpoint-restored PEs at
+    /// promotion time. Buffers are snapshotted for *all* promoted PEs
+    /// before any replay runs: an emission one replay forwards to a fellow
+    /// restored PE this same quantum is delivered directly (it is already
+    /// `Up`) and must not also appear in that PE's replayed gap.
+    fn run_replays(&mut self, promoted: Vec<(PeId, JobId, usize)>) {
+        if self.pending_replay.is_empty() {
+            return;
+        }
+        let mut replays: Vec<(PeId, JobId, usize, SimTime, Vec<BackupEntry>)> = promoted
+            .into_iter()
+            .filter_map(|(pe, job, adl_index)| {
+                let from = self.pending_replay.remove(&pe)?;
+                let entries = self.backup.replay_entries((job, adl_index));
+                Some((pe, job, adl_index, from, entries))
+            })
+            .collect();
+        // Upstream slots replay first, so a downstream replica re-executing
+        // the same quantum sees deterministic channel-counter evolution.
+        replays.sort_by_key(|&(pe, job, adl_index, _, _)| (job, adl_index, pe));
+        for (pe, job, adl_index, from, entries) in replays {
+            self.replay_gap(pe, job, adl_index, from, entries);
+        }
+    }
+
+    /// Re-executes one restored PE through every grid quantum between its
+    /// snapshot (`from`) and now, injecting the buffered deliveries at
+    /// their original delivery quanta between steps. Deterministic
+    /// re-execution reproduces the fault-free internal state; re-emissions
+    /// the old incarnation already delivered downstream are suppressed by
+    /// the channel high-water marks, while emissions the crash swallowed
+    /// are delivered — late, but exactly once.
+    fn replay_gap(
+        &mut self,
+        pe: PeId,
+        job: JobId,
+        adl_index: usize,
+        from: SimTime,
+        entries: Vec<BackupEntry>,
+    ) {
+        let (now, quantum, budget) = (self.now, self.config.quantum, self.config.pe_budget);
+        let mut outs = Vec::new();
+        let mut crashed: Option<String> = None;
+        let mut injected = 0u64;
+        {
+            let Some(proc) = self.cluster.process_mut(pe) else {
+                return;
+            };
+            // Entries at or before the snapshot are already part of the
+            // restored state (the commit trims them, but be defensive).
+            let mut idx = entries
+                .iter()
+                .take_while(|e| e.delivered_at <= from)
+                .count();
+            let mut g = from + quantum;
+            while g < now && crashed.is_none() {
+                let out = proc.runtime.step(g, quantum, budget);
+                if let Some(msg) = &out.crashed {
+                    crashed = Some(msg.clone());
+                    proc.status = PeStatus::Crashed;
+                }
+                outs.push(out);
+                while idx < entries.len() && entries[idx].delivered_at <= g {
+                    match &entries[idx].item {
+                        BackupItem::Remote(d) => {
+                            let _ = proc.runtime.receive(d);
+                        }
+                        BackupItem::Import { op, item } => {
+                            let _ = proc.runtime.inject(op, 0, item.clone());
+                        }
+                    }
+                    injected += 1;
+                    idx += 1;
+                }
+                g += quantum;
+            }
+        }
+        self.backup.count_replayed(injected);
+        self.trace.push(
+            now,
+            "ckpt",
+            format!(
+                "PE {pe} (job {job} slot {adl_index}) replayed {} quanta, \
+                 {injected} buffered deliveries",
+                outs.len()
+            ),
+        );
+        for out in outs {
+            for d in out.remote {
+                self.transport_remote(job, adl_index, d);
+            }
+            for e in out.exported {
+                self.transport_export(job, adl_index, e);
+            }
+        }
+        if let Some(msg) = crashed {
+            self.trace
+                .push(now, "srm", format!("PE {pe} crashed during replay: {msg}"));
+            self.notify_pe_failure(pe, CrashReason::OperatorFault(msg));
         }
     }
 
@@ -1601,6 +1871,7 @@ mod tests {
                 checkpoint: crate::ckpt::CheckpointPolicy {
                     every_quanta: 5,
                     lossy_restore: true,
+                    ..Default::default()
                 },
                 ..RuntimeConfig::default()
             },

@@ -26,8 +26,8 @@ pub mod sam;
 pub mod srm;
 pub mod world;
 
-pub use broker::Broker;
-pub use ckpt::{CheckpointPolicy, CheckpointStore};
+pub use broker::{BackupEntry, BackupItem, Broker, ChannelKey, UbStats, UpstreamBackup};
+pub use ckpt::{CheckpointPolicy, CheckpointStore, PeDelta};
 pub use cluster::{Cluster, Host, PeProcess, PeStatus};
 pub use error::RuntimeError;
 pub use ids::{JobId, OrcaId, PeId};

@@ -321,6 +321,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
         checkpoint: CheckpointPolicy {
             every_quanta: 10,
             lossy_restore: true,
+            ..CheckpointPolicy::default()
         },
         ..Default::default()
     };
@@ -341,6 +342,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
     let opts = CheckpointPolicy {
         every_quanta: 10,
         lossy_restore: true,
+        ..CheckpointPolicy::default()
     };
     let oracles = default_oracles(false, true);
     // Candidates compare against the baseline keyed by the *original*
