@@ -20,8 +20,16 @@
 //! `--checkpoint-interval N` enables PE checkpointing every N scheduling
 //! quanta and activates the `StatePreservation` oracle; reproducer lines
 //! then carry `HARNESS_CKPT=N` (and `HARNESS_LOSSY=1` under
-//! `--lossy-restore`, `HARNESS_UB=1` under `--upstream-backup on`) so
-//! replays run under the same policy.
+//! `--lossy-restore`, `HARNESS_UB=1` under `--upstream-backup on`,
+//! `HARNESS_CKPT_LAT=MS` under `--ckpt-write-latency`,
+//! `HARNESS_CKPT_BUDGET=BYTES` under `--ckpt-budget`) so replays run under
+//! the same policy. `--ckpt-write-latency MS` adds a fixed per-snapshot
+//! write latency (commits — and upstream-backup trims — land that much sim
+//! time after the snapshot is taken); `--ckpt-budget BYTES` bounds total
+//! checkpoint storage, turning on sealed-generation retention and eviction.
+//! During `--replay`, policy knobs may come from the environment capture or
+//! from flags, but where both specify a knob they must agree —
+//! contradictions are rejected with an error naming both sides.
 //!
 //! `--upstream-backup on` additionally buffers in-flight deliveries at the
 //! sender and replays the post-checkpoint gap into restored PEs, making
@@ -54,7 +62,7 @@
 
 use orca_harness::{
     default_oracles, evaluate, run_campaign_cached, scenario, BaselineCache, BaselineSource,
-    CampaignConfig, CampaignReport, CheckpointPolicy, FaultPlan, Scenario,
+    CampaignConfig, CampaignReport, CheckpointPolicy, FaultPlan, Scenario, StorageModel,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -66,13 +74,25 @@ struct Args {
     broken_convergence: bool,
     check_determinism: bool,
     replay: bool,
-    checkpoint_interval: u32,
+    /// `Some` only when `--checkpoint-interval` was given on the command
+    /// line — `--replay` must distinguish "not specified" from an explicit
+    /// value to detect contradictions with `HARNESS_CKPT`.
+    checkpoint_interval: Option<u32>,
     lossy_restore: bool,
-    upstream_backup: bool,
+    upstream_backup: Option<bool>,
+    ckpt_write_latency: Option<u64>,
+    ckpt_budget: Option<usize>,
     jobs: usize,
     timing: bool,
     baseline_cache: bool,
     bench_json: Option<String>,
+}
+
+impl Args {
+    /// The checkpoint interval in effect for campaign (non-replay) runs.
+    fn interval(&self) -> u32 {
+        self.checkpoint_interval.unwrap_or(0)
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -83,9 +103,11 @@ fn parse_args() -> Result<Args, String> {
         broken_convergence: false,
         check_determinism: true,
         replay: false,
-        checkpoint_interval: 0,
+        checkpoint_interval: None,
         lossy_restore: false,
-        upstream_backup: false,
+        upstream_backup: None,
+        ckpt_write_latency: None,
+        ckpt_budget: None,
         jobs: 0,
         timing: false,
         baseline_cache: true,
@@ -117,17 +139,33 @@ fn parse_args() -> Result<Args, String> {
                 args.broken_convergence = true;
             }
             "--checkpoint-interval" => {
-                args.checkpoint_interval = value("--checkpoint-interval")?
-                    .parse()
-                    .map_err(|e| format!("{e}"))?;
+                args.checkpoint_interval = Some(
+                    value("--checkpoint-interval")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                );
             }
             "--lossy-restore" => args.lossy_restore = true,
             "--upstream-backup" => {
-                args.upstream_backup = match value("--upstream-backup")?.as_str() {
+                args.upstream_backup = Some(match value("--upstream-backup")?.as_str() {
                     "on" => true,
                     "off" => false,
                     other => return Err(format!("--upstream-backup {other}: expected on|off")),
-                };
+                });
+            }
+            "--ckpt-write-latency" => {
+                args.ckpt_write_latency = Some(
+                    value("--ckpt-write-latency")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                );
+            }
+            "--ckpt-budget" => {
+                args.ckpt_budget = Some(
+                    value("--ckpt-budget")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                );
             }
             "--no-determinism" => args.check_determinism = false,
             "--replay" => args.replay = true,
@@ -135,7 +173,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: campaign [--plans N] [--seed S] [--app NAME] [--jobs N] \
                      [--broken-oracle convergence] [--checkpoint-interval QUANTA] \
-                     [--lossy-restore] [--upstream-backup on|off] [--no-determinism] \
+                     [--lossy-restore] [--upstream-backup on|off] \
+                     [--ckpt-write-latency MS] [--ckpt-budget BYTES] [--no-determinism] \
                      [--timing] [--baseline-cache on|off] [--bench-json PATH] [--replay]"
                         .to_string(),
                 )
@@ -143,11 +182,21 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.lossy_restore && args.checkpoint_interval == 0 {
-        return Err("--lossy-restore requires --checkpoint-interval".to_string());
-    }
-    if args.upstream_backup && args.checkpoint_interval == 0 {
-        return Err("--upstream-backup on requires --checkpoint-interval".to_string());
+    // Replay defers these dependency checks to policy resolution, where the
+    // interval may arrive through `HARNESS_CKPT` instead of a flag.
+    if !args.replay {
+        if args.lossy_restore && args.interval() == 0 {
+            return Err("--lossy-restore requires --checkpoint-interval".to_string());
+        }
+        if args.upstream_backup == Some(true) && args.interval() == 0 {
+            return Err("--upstream-backup on requires --checkpoint-interval".to_string());
+        }
+        if args.ckpt_write_latency.unwrap_or(0) != 0 && args.interval() == 0 {
+            return Err("--ckpt-write-latency requires --checkpoint-interval".to_string());
+        }
+        if args.ckpt_budget.unwrap_or(0) != 0 && args.interval() == 0 {
+            return Err("--ckpt-budget requires --checkpoint-interval".to_string());
+        }
     }
     if args.bench_json.is_some() && !args.baseline_cache {
         // The bench mode owns its cache arms (off, cold, warm); silently
@@ -191,9 +240,14 @@ fn campaign_config(args: &Args) -> CampaignConfig {
         check_determinism: args.check_determinism,
         broken_convergence: args.broken_convergence,
         checkpoint: CheckpointPolicy {
-            every_quanta: args.checkpoint_interval,
+            every_quanta: args.interval(),
             lossy_restore: args.lossy_restore,
-            upstream_backup: args.upstream_backup,
+            upstream_backup: args.upstream_backup == Some(true),
+            storage: StorageModel {
+                write_op_ms: args.ckpt_write_latency.unwrap_or(0),
+                budget_bytes: args.ckpt_budget.unwrap_or(0),
+                ..StorageModel::default()
+            },
             ..CheckpointPolicy::default()
         },
         jobs: args.jobs,
@@ -209,9 +263,157 @@ fn cache_for(args: &Args) -> BaselineCache {
     }
 }
 
+/// One side's view of the replay checkpoint policy — either the `HARNESS_*`
+/// environment capture or the explicit command-line flags. `None` means
+/// "that side did not specify the knob".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct PolicySpec {
+    interval: Option<u32>,
+    lossy: Option<bool>,
+    ub: Option<bool>,
+    write_latency: Option<u64>,
+    budget: Option<usize>,
+}
+
+/// Strictly parses one `HARNESS_*` env var, erroring on malformed values
+/// instead of silently treating them as unset.
+fn env_parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match std::env::var(name) {
+        Ok(v) => v.parse().map(Some).map_err(|e| format!("bad {name}: {e}")),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Strict boolean env var: exactly `"0"` or `"1"`.
+fn env_bool(name: &str) -> Result<Option<bool>, String> {
+    match std::env::var(name) {
+        Ok(v) => match v.as_str() {
+            "1" => Ok(Some(true)),
+            "0" => Ok(Some(false)),
+            other => Err(format!("bad {name}: `{other}` (expected 0 or 1)")),
+        },
+        Err(_) => Ok(None),
+    }
+}
+
+fn env_spec() -> Result<PolicySpec, String> {
+    Ok(PolicySpec {
+        interval: env_parse("HARNESS_CKPT")?,
+        lossy: env_bool("HARNESS_LOSSY")?,
+        ub: env_bool("HARNESS_UB")?,
+        write_latency: env_parse("HARNESS_CKPT_LAT")?,
+        budget: env_parse("HARNESS_CKPT_BUDGET")?,
+    })
+}
+
+fn flags_spec(args: &Args) -> PolicySpec {
+    PolicySpec {
+        interval: args.checkpoint_interval,
+        // The flag can only assert "on"; absence is "unspecified", so a
+        // reproducer's `HARNESS_LOSSY=1` never conflicts with a bare replay.
+        lossy: args.lossy_restore.then_some(true),
+        ub: args.upstream_backup,
+        write_latency: args.ckpt_write_latency,
+        budget: args.ckpt_budget,
+    }
+}
+
+/// One knob of [`resolve_policy`]: when both the environment and the flags
+/// specify it, they must agree — a replay that silently preferred one side
+/// would reproduce a different policy than the operator asked for.
+fn pick<T: Copy + PartialEq + std::fmt::Display>(
+    env_name: &str,
+    flag_name: &str,
+    env: Option<T>,
+    flag: Option<T>,
+    default: T,
+) -> Result<T, String> {
+    match (env, flag) {
+        (Some(e), Some(f)) if e != f => Err(format!(
+            "{env_name}={e} contradicts {flag_name} {f}; drop one side"
+        )),
+        (Some(e), _) => Ok(e),
+        (None, Some(f)) => Ok(f),
+        (None, None) => Ok(default),
+    }
+}
+
+/// Merges the environment capture and the command-line flags into one
+/// checkpoint policy, rejecting contradictions and dependent knobs whose
+/// resolved interval leaves checkpointing disabled.
+fn resolve_policy(env: PolicySpec, flags: PolicySpec) -> Result<CheckpointPolicy, String> {
+    let interval = pick(
+        "HARNESS_CKPT",
+        "--checkpoint-interval",
+        env.interval,
+        flags.interval,
+        0,
+    )?;
+    let lossy = pick(
+        "HARNESS_LOSSY",
+        "--lossy-restore",
+        env.lossy,
+        flags.lossy,
+        false,
+    )?;
+    let ub = pick("HARNESS_UB", "--upstream-backup", env.ub, flags.ub, false)?;
+    let write_latency = pick(
+        "HARNESS_CKPT_LAT",
+        "--ckpt-write-latency",
+        env.write_latency,
+        flags.write_latency,
+        0,
+    )?;
+    let budget = pick(
+        "HARNESS_CKPT_BUDGET",
+        "--ckpt-budget",
+        env.budget,
+        flags.budget,
+        0,
+    )?;
+    if interval == 0 {
+        let needs = [
+            (lossy, "lossy restore (HARNESS_LOSSY / --lossy-restore)"),
+            (ub, "upstream backup (HARNESS_UB / --upstream-backup)"),
+            (
+                write_latency != 0,
+                "write latency (HARNESS_CKPT_LAT / --ckpt-write-latency)",
+            ),
+            (
+                budget != 0,
+                "a storage budget (HARNESS_CKPT_BUDGET / --ckpt-budget)",
+            ),
+        ];
+        for (on, what) in needs {
+            if on {
+                return Err(format!(
+                    "{what} requires a checkpoint interval \
+                     (HARNESS_CKPT / --checkpoint-interval)"
+                ));
+            }
+        }
+    }
+    Ok(CheckpointPolicy {
+        every_quanta: interval,
+        lossy_restore: lossy,
+        upstream_backup: ub,
+        storage: StorageModel {
+            write_op_ms: write_latency,
+            budget_bytes: budget,
+            ..StorageModel::default()
+        },
+        ..CheckpointPolicy::default()
+    })
+}
+
 /// Replays one plan from `HARNESS_APP` / `HARNESS_SEED` / `HARNESS_PLAN`
-/// (plus optional `HARNESS_CKPT` / `HARNESS_LOSSY` / `HARNESS_UB` policy
-/// capture).
+/// (plus optional `HARNESS_CKPT` / `HARNESS_LOSSY` / `HARNESS_UB` /
+/// `HARNESS_CKPT_LAT` / `HARNESS_CKPT_BUDGET` policy capture). Environment
+/// and flags may each specify policy knobs, but where both do they must
+/// agree — contradictions are rejected rather than silently resolved.
 fn replay(args: &Args) -> Result<ExitCode, String> {
     let app = std::env::var("HARNESS_APP")
         .ok()
@@ -224,18 +426,7 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
     let plan = FaultPlan::decode(
         &std::env::var("HARNESS_PLAN").map_err(|_| "replay needs HARNESS_PLAN")?,
     )?;
-    let checkpoint_interval = match std::env::var("HARNESS_CKPT") {
-        Ok(v) => v.parse().map_err(|e| format!("bad HARNESS_CKPT: {e}"))?,
-        Err(_) => args.checkpoint_interval,
-    };
-    let lossy = std::env::var("HARNESS_LOSSY").is_ok_and(|v| v == "1") || args.lossy_restore;
-    let ub = std::env::var("HARNESS_UB").is_ok_and(|v| v == "1") || args.upstream_backup;
-    let opts = CheckpointPolicy {
-        every_quanta: checkpoint_interval,
-        lossy_restore: lossy,
-        upstream_backup: ub,
-        ..CheckpointPolicy::default()
-    };
+    let opts = resolve_policy(env_spec()?, flags_spec(args))?;
     let sc = scenario::by_name(&app).ok_or_else(|| format!("unknown app `{app}`"))?;
     let oracles = default_oracles(args.broken_convergence, opts.enabled());
     // The baseline is fetched through the cache at the point of use: one
@@ -255,7 +446,7 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
         "replay app={} seed={} ckpt={} plan={} digest={:016x}",
         sc.name,
         seed,
-        checkpoint_interval,
+        opts.every_quanta,
         plan.encode(),
         digest
     );
@@ -279,7 +470,7 @@ fn print_report(args: &Args, report: &CampaignReport) {
         report.scenario,
         report.plans_run,
         args.seed,
-        args.checkpoint_interval,
+        args.interval(),
         report.digest,
         report.plans_failed
     );
@@ -454,7 +645,7 @@ fn bench(args: &Args, scenarios: &[Scenario], path: &str) -> Result<ExitCode, St
         args.plans,
         args.seed,
         args.jobs,
-        args.checkpoint_interval,
+        args.interval(),
         args.check_determinism,
         entries.join(",\n")
     );
@@ -535,5 +726,135 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orca_harness::reproducer_line;
+
+    /// Parses the `KEY=VAL` environment prefix of a reproducer line the way
+    /// a shell + [`env_spec`] would, without mutating process env vars
+    /// (tests share a process).
+    fn spec_from_line(line: &str) -> PolicySpec {
+        let mut spec = PolicySpec::default();
+        for tok in line.split_whitespace() {
+            let Some((k, v)) = tok.split_once('=') else {
+                continue;
+            };
+            match k {
+                "HARNESS_CKPT" => spec.interval = Some(v.parse().unwrap()),
+                "HARNESS_LOSSY" => spec.lossy = Some(v == "1"),
+                "HARNESS_UB" => spec.ub = Some(v == "1"),
+                "HARNESS_CKPT_LAT" => spec.write_latency = Some(v.parse().unwrap()),
+                "HARNESS_CKPT_BUDGET" => spec.budget = Some(v.parse().unwrap()),
+                _ => {}
+            }
+        }
+        spec
+    }
+
+    #[test]
+    fn reproducer_line_round_trips_through_replay_resolution() {
+        let sc = scenario::by_name("trend").unwrap();
+        let plan = FaultPlan::default();
+        for opts in [
+            CheckpointPolicy {
+                every_quanta: 10,
+                ..CheckpointPolicy::default()
+            },
+            CheckpointPolicy {
+                every_quanta: 10,
+                lossy_restore: true,
+                ..CheckpointPolicy::default()
+            },
+            CheckpointPolicy {
+                every_quanta: 5,
+                upstream_backup: true,
+                ..CheckpointPolicy::default()
+            },
+            CheckpointPolicy {
+                every_quanta: 10,
+                storage: StorageModel {
+                    write_op_ms: 250,
+                    budget_bytes: 16_384,
+                    ..StorageModel::default()
+                },
+                ..CheckpointPolicy::default()
+            },
+        ] {
+            let line = reproducer_line(&sc, 123, &plan, opts);
+            let resolved = resolve_policy(spec_from_line(&line), PolicySpec::default())
+                .expect("captured policy must resolve");
+            assert_eq!(resolved, opts, "round-trip mismatch for line `{line}`");
+        }
+    }
+
+    #[test]
+    fn contradictory_env_and_flags_are_rejected() {
+        let env = PolicySpec {
+            interval: Some(10),
+            ..PolicySpec::default()
+        };
+        let flags = PolicySpec {
+            interval: Some(20),
+            ..PolicySpec::default()
+        };
+        let err = resolve_policy(env, flags).unwrap_err();
+        assert!(err.contains("HARNESS_CKPT=10"), "got: {err}");
+        assert!(err.contains("--checkpoint-interval 20"), "got: {err}");
+
+        let env = PolicySpec {
+            interval: Some(10),
+            budget: Some(1_024),
+            ..PolicySpec::default()
+        };
+        let flags = PolicySpec {
+            budget: Some(2_048),
+            ..PolicySpec::default()
+        };
+        let err = resolve_policy(env, flags).unwrap_err();
+        assert!(err.contains("HARNESS_CKPT_BUDGET"), "got: {err}");
+    }
+
+    #[test]
+    fn agreeing_env_and_flags_resolve() {
+        let spec = PolicySpec {
+            interval: Some(10),
+            ub: Some(true),
+            ..PolicySpec::default()
+        };
+        let opts = resolve_policy(spec, spec).unwrap();
+        assert_eq!(opts.every_quanta, 10);
+        assert!(opts.upstream_backup);
+    }
+
+    #[test]
+    fn storage_knobs_require_an_interval() {
+        for spec in [
+            PolicySpec {
+                write_latency: Some(5),
+                ..PolicySpec::default()
+            },
+            PolicySpec {
+                budget: Some(4_096),
+                ..PolicySpec::default()
+            },
+            PolicySpec {
+                lossy: Some(true),
+                ..PolicySpec::default()
+            },
+        ] {
+            let err = resolve_policy(spec, PolicySpec::default()).unwrap_err();
+            assert!(err.contains("requires a checkpoint interval"), "got: {err}");
+        }
+        // Zero-valued knobs are no-ops and must not demand an interval.
+        let spec = PolicySpec {
+            write_latency: Some(0),
+            budget: Some(0),
+            ..PolicySpec::default()
+        };
+        assert!(resolve_policy(spec, PolicySpec::default()).is_ok());
     }
 }

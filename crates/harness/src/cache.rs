@@ -24,7 +24,7 @@
 use crate::oracle::BaselineSummary;
 use crate::runner::compute_baseline;
 use crate::scenario::Scenario;
-use sps_runtime::CheckpointPolicy;
+use sps_runtime::{CheckpointPolicy, StorageModel};
 use sps_sim::{fnv1a, SimTime, FNV_OFFSET};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +67,10 @@ pub struct BaselineKey {
     /// cadence changes `state_bytes`, which SRM snapshots carry into the
     /// rendered artifacts a baseline summarizes.
     pub full_every: u32,
+    /// Checkpoint storage cost model: write/restore latency defers commits
+    /// (shifting when trims and coverage land) and a finite budget changes
+    /// sealing/eviction, all of which perturb execution even fault-free.
+    pub storage: StorageModel,
 }
 
 impl BaselineKey {
@@ -84,6 +88,7 @@ impl BaselineKey {
             lossy_restore: opts.lossy_restore,
             upstream_backup: opts.upstream_backup,
             full_every: opts.full_every,
+            storage: opts.storage,
         }
     }
 
@@ -104,7 +109,12 @@ impl BaselineKey {
         h = fnv1a(h, &self.every_quanta.to_le_bytes());
         h = fnv1a(h, &[self.lossy_restore as u8]);
         h = fnv1a(h, &[self.upstream_backup as u8]);
-        fnv1a(h, &self.full_every.to_le_bytes())
+        h = fnv1a(h, &self.full_every.to_le_bytes());
+        h = fnv1a(h, &self.storage.write_op_ms.to_le_bytes());
+        h = fnv1a(h, &self.storage.write_bytes_per_ms.to_le_bytes());
+        h = fnv1a(h, &self.storage.restore_op_ms.to_le_bytes());
+        h = fnv1a(h, &self.storage.restore_bytes_per_ms.to_le_bytes());
+        fnv1a(h, &(self.storage.budget_bytes as u64).to_le_bytes())
     }
 }
 
@@ -307,6 +317,7 @@ mod tests {
             lossy_restore: false,
             upstream_backup: false,
             full_every: 8,
+            storage: StorageModel::default(),
         }
     }
 
@@ -421,6 +432,41 @@ mod tests {
             },
             BaselineKey {
                 full_every: 4,
+                ..base.clone()
+            },
+            BaselineKey {
+                storage: StorageModel {
+                    write_op_ms: 5,
+                    ..StorageModel::default()
+                },
+                ..base.clone()
+            },
+            BaselineKey {
+                storage: StorageModel {
+                    write_bytes_per_ms: 64,
+                    ..StorageModel::default()
+                },
+                ..base.clone()
+            },
+            BaselineKey {
+                storage: StorageModel {
+                    restore_op_ms: 5,
+                    ..StorageModel::default()
+                },
+                ..base.clone()
+            },
+            BaselineKey {
+                storage: StorageModel {
+                    restore_bytes_per_ms: 64,
+                    ..StorageModel::default()
+                },
+                ..base.clone()
+            },
+            BaselineKey {
+                storage: StorageModel {
+                    budget_bytes: 16_384,
+                    ..StorageModel::default()
+                },
                 ..base.clone()
             },
         ] {

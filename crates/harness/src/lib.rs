@@ -50,9 +50,9 @@ pub use plan::{FaultAction, FaultEvent, FaultPlan, PlanSpec};
 pub use pool::indexed_pool;
 pub use runner::{
     compute_baseline, evaluate, plan_seeds, quiescent, render_artifacts, render_artifacts_to,
-    reproducer_line, run_campaign, run_campaign_cached, run_plan, BaselineSource, CampaignConfig,
-    CampaignFailure, CampaignReport, PlanOutcome,
+    reproducer_line, run_campaign, run_campaign_cached, run_plan, settled_world, BaselineSource,
+    CampaignConfig, CampaignFailure, CampaignReport, PlanOutcome,
 };
 pub use scenario::{by_name, Built, Scenario};
 pub use shrink::shrink;
-pub use sps_runtime::{CheckpointPolicy, UbStats};
+pub use sps_runtime::{CheckpointPolicy, StorageModel, UbStats};

@@ -229,6 +229,9 @@ impl Oracle for StatePreservationOracle {
                         rec.new_pe, rec.job, rec.adl_index
                     ));
                 }
+                // `FreshReason::Evicted` is deliberately NOT a violation:
+                // losing a dead PE's chain to a finite storage budget is
+                // legitimate (modelled) behavior, not a recovery bug.
                 _ => {}
             }
         }
@@ -251,9 +254,13 @@ impl Oracle for StatePreservationOracle {
                 continue;
             }
             for (adl_index, &pe) in info.pe_ids.iter().enumerate() {
+                // A write still in flight counts as coverage: under a slow
+                // storage model the commit may land after settle, which is
+                // latency, not a hole in the snapshot cadence.
                 if kernel.pe_status(pe) == Some(PeStatus::Up)
                     && kernel.pe_checkpointable(job, adl_index)
                     && kernel.ckpt.latest(job, adl_index).is_none()
+                    && !kernel.ckpt.write_in_flight(job, adl_index)
                 {
                     return Err(format!(
                         "job {job} slot {adl_index} is Up and checkpointable \

@@ -74,7 +74,8 @@ pub struct CampaignFailure {
     pub shrunk: FaultPlan,
     pub violations: Vec<Violation>,
     /// One-line environment reproducer (`HARNESS_APP=… HARNESS_SEED=…
-    /// [HARNESS_CKPT=… [HARNESS_LOSSY=1] [HARNESS_UB=1]] HARNESS_PLAN=…`).
+    /// [HARNESS_CKPT=… [HARNESS_LOSSY=1] [HARNESS_UB=1]
+    /// [HARNESS_CKPT_LAT=…] [HARNESS_CKPT_BUDGET=…]] HARNESS_PLAN=…`).
     pub reproducer: String,
 }
 
@@ -194,10 +195,13 @@ pub fn render_artifacts(world: &World, taps: &[&str]) -> String {
 }
 
 /// Builds a world, drives warmup → fault window → settle, and returns the
-/// settled world plus the first quiescent settle quantum. Shared by
-/// [`run_plan`] and [`compute_baseline`] so the faulted run and its
-/// fault-free baseline are produced by the exact same machinery.
-fn settled_world(
+/// settled world plus the ORCA controller index and the first quiescent
+/// settle quantum. Shared by [`run_plan`] and [`compute_baseline`] so the
+/// faulted run and its fault-free baseline are produced by the exact same
+/// machinery; public so sweep drivers (the `ckpt_sweep` bench) can reuse the
+/// same warmup → fault window → settle schedule and mine the settled
+/// kernel's restart log.
+pub fn settled_world(
     scenario: &Scenario,
     seed: u64,
     plan: &FaultPlan,
@@ -403,6 +407,17 @@ pub fn reproducer_line(
     }
     if opts.upstream_backup {
         line.push_str(" HARNESS_UB=1");
+    }
+    // Storage-model knobs the campaign binary exposes; omitted at their
+    // zero defaults so pre-storage reproducer lines are reproduced verbatim.
+    if opts.storage.write_op_ms != 0 {
+        line.push_str(&format!(" HARNESS_CKPT_LAT={}", opts.storage.write_op_ms));
+    }
+    if opts.storage.budget_bytes != 0 {
+        line.push_str(&format!(
+            " HARNESS_CKPT_BUDGET={}",
+            opts.storage.budget_bytes
+        ));
     }
     line.push_str(&format!(" HARNESS_PLAN={}", plan.encode()));
     line

@@ -600,6 +600,33 @@ mod tests {
         assert_eq!(ub.stats().peak_buffered, 3);
     }
 
+    /// Trim-boundary regression: a tuple delivered at exactly the snapshot
+    /// instant is *inside* the v2 checkpoint (kernel snapshots run after
+    /// transport, so the captured input queues include that quantum's
+    /// deliveries). It must therefore be acked by the commit — trimmed
+    /// exactly once, absent from any later replay — and never double-count
+    /// as both restored-queue state and a replay suppression.
+    #[test]
+    fn trim_acks_equal_timestamp_delivery_exactly_once() {
+        let mut ub = UpstreamBackup::new();
+        let slot = (JobId(1), 1);
+        let taken_at = SimTime::from_millis(500);
+        for at in [400, 500, 600] {
+            let (t, item) = entry(at);
+            ub.buffer(slot, t, item);
+        }
+        ub.trim(slot, taken_at);
+        // The == taken_at entry went with the <= boundary…
+        assert_eq!(ub.stats().trimmed, 2);
+        let rest = ub.replay_entries(slot);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].delivered_at, SimTime::from_millis(600));
+        // …and a second commit at the same instant does not re-count it.
+        ub.trim(slot, taken_at);
+        assert_eq!(ub.stats().trimmed, 2);
+        assert_eq!(ub.buffered_now(), 1);
+    }
+
     #[test]
     fn forget_job_clears_channels_and_buffers() {
         let mut ub = UpstreamBackup::new();

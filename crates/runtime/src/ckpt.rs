@@ -15,15 +15,28 @@
 //! and the store keeps each slot as an *incremental chain*: a full base
 //! snapshot plus per-interval deltas that re-store only the operators whose
 //! state blob actually changed (dirty tracking via [`StateBlob`] digests).
-//! Every [`CheckpointPolicy::full_every`] snapshots the chain is compacted
-//! back into a fresh full base, bounding recovery-chain length. Alongside
-//! each snapshot the store records the sender-side upstream-backup channel
-//! positions, so a restore can roll the sender's duplicate-suppression
-//! counters back in lockstep with its state.
+//! A chain holds at most [`CheckpointPolicy::full_every`] snapshots — one
+//! full base plus `full_every - 1` deltas; the save that would stack one
+//! more delta instead compacts the chain back into a fresh full base,
+//! bounding recovery-chain length (`full_every = 1` disables deltas
+//! entirely). Alongside each snapshot the store records the sender-side
+//! upstream-backup channel positions, so a restore can roll the sender's
+//! duplicate-suppression counters back in lockstep with its state.
 //!
 //! The store models a highly available external service (the real system
 //! would keep this in a distributed file system): host failures do not lose
-//! checkpoints, only job cancellation discards them.
+//! checkpoints, only job cancellation discards them. What the service does
+//! cost is *time* and *space*, captured by a [`StorageModel`]: saves are
+//! issued with [`CheckpointStore::begin_save`] and only become visible
+//! (restorable, upstream-backup-trimmable) once
+//! [`CheckpointStore::poll_commits`] reaches `issue + write_latency(bytes)`
+//! in sim-time, and a finite byte budget is enforced by deterministic
+//! oldest-first eviction that never claims the only restorable chain of a
+//! PE the kernel marks protected (its `Up` checkpointable PEs). Under a
+//! finite budget, compaction *seals* the old chain head as a read-only
+//! older generation instead of discarding it, so a restore whose newest
+//! generation is unusable can fall back one or more generations
+//! (`generations_back` on the restart record).
 //!
 //! [`StateBlob`]: sps_engine::StateBlob
 //! [`PeId`]: crate::ids::PeId
@@ -33,8 +46,51 @@ use crate::ids::JobId;
 use bytes::Bytes;
 use sps_engine::{OpCheckpoint, PeCheckpoint};
 use sps_sim::{SimDuration, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Simulated storage cost model for the checkpoint service.
+///
+/// The default is the free, instant store of earlier revisions: zero
+/// latency on both paths and an unbounded budget. With those defaults every
+/// save issued by [`CheckpointStore::begin_save`] commits within the same
+/// scheduling quantum, in issue order, so kernel behavior is byte-identical
+/// to the synchronous store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct StorageModel {
+    /// Fixed per-write latency in sim-milliseconds (seek/RPC cost).
+    pub write_op_ms: u64,
+    /// Write throughput in bytes per sim-millisecond; `0` = infinite.
+    pub write_bytes_per_ms: u64,
+    /// Fixed per-restore latency in sim-milliseconds.
+    pub restore_op_ms: u64,
+    /// Restore throughput in bytes per sim-millisecond; `0` = infinite.
+    pub restore_bytes_per_ms: u64,
+    /// Total serialized-byte budget across all chains; `0` = unbounded.
+    /// A finite budget turns on sealed-generation retention and eviction.
+    pub budget_bytes: usize,
+}
+
+impl StorageModel {
+    fn latency(op_ms: u64, bytes_per_ms: u64, bytes: usize) -> SimDuration {
+        let transfer = if bytes_per_ms == 0 {
+            0
+        } else {
+            (bytes as u64).div_ceil(bytes_per_ms)
+        };
+        SimDuration::from_millis(op_ms + transfer)
+    }
+
+    /// Sim-time between a save being issued and the snapshot committing.
+    pub fn write_latency(&self, bytes: usize) -> SimDuration {
+        Self::latency(self.write_op_ms, self.write_bytes_per_ms, bytes)
+    }
+
+    /// Sim-time a restore spends reading `bytes` back before replay begins.
+    pub fn restore_latency(&self, bytes: usize) -> SimDuration {
+        Self::latency(self.restore_op_ms, self.restore_bytes_per_ms, bytes)
+    }
+}
 
 /// Per-kernel checkpointing policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,10 +108,12 @@ pub struct CheckpointPolicy {
     /// into restored PEs — exactly-once recovery instead of losing the
     /// tuples in flight between the snapshot and the crash.
     pub upstream_backup: bool,
-    /// Chain compaction bound: force a full snapshot once a slot's chain
-    /// would exceed this many snapshots (base + deltas). `1` disables
-    /// deltas entirely.
+    /// Chain compaction bound: a slot's chain holds at most this many
+    /// snapshots (base + deltas); the save that would exceed it lands as a
+    /// fresh full base instead. `1` disables deltas entirely.
     pub full_every: u32,
+    /// Simulated write/restore latency and byte budget of the store.
+    pub storage: StorageModel,
 }
 
 impl Default for CheckpointPolicy {
@@ -65,6 +123,7 @@ impl Default for CheckpointPolicy {
             lossy_restore: false,
             upstream_backup: false,
             full_every: 8,
+            storage: StorageModel::default(),
         }
     }
 }
@@ -126,6 +185,20 @@ impl PeDelta {
     }
 }
 
+/// A compacted-away chain head retained as a read-only older generation
+/// (finite budgets only): the fallback a restore reaches for when its newer
+/// generations are unusable, and the first thing eviction reclaims.
+struct SealedGen {
+    ckpt: PeCheckpoint,
+    sender_pos: Vec<(ChannelKey, u64)>,
+}
+
+impl SealedGen {
+    fn state_bytes(&self) -> usize {
+        self.ckpt.state_bytes()
+    }
+}
+
 /// One PE slot's recovery chain plus its replay bookkeeping.
 struct Slot {
     /// Full snapshot anchoring the chain.
@@ -137,15 +210,60 @@ struct Slot {
     head: PeCheckpoint,
     /// Sender-side upstream-backup channel positions at snapshot time.
     sender_pos: Vec<(ChannelKey, u64)>,
-    /// Global quantum index of the newest snapshot (or restore), for the
-    /// per-PE cadence skip.
-    last_snap_quantum: u64,
+    /// Older generations sealed off by compaction, oldest first (empty
+    /// under an unbounded budget).
+    sealed: Vec<SealedGen>,
 }
 
 impl Slot {
+    /// Serialized bytes of the live chain (what a head restore reads).
     fn chain_bytes(&self) -> usize {
         self.base.state_bytes() + self.deltas.iter().map(PeDelta::state_bytes).sum::<usize>()
     }
+
+    /// Everything the slot stores: live chain plus sealed generations.
+    fn stored_bytes(&self) -> usize {
+        self.chain_bytes()
+            + self
+                .sealed
+                .iter()
+                .map(SealedGen::state_bytes)
+                .sum::<usize>()
+    }
+}
+
+/// A save issued but not yet durable: commits at `commit_at`.
+struct PendingWrite {
+    job: JobId,
+    adl_index: usize,
+    ckpt: PeCheckpoint,
+    sender_pos: Vec<(ChannelKey, u64)>,
+    quanta_now: u64,
+    commit_at: SimTime,
+    /// Issue-order tiebreak so equal `commit_at` writes commit
+    /// deterministically in issue order.
+    seq: u64,
+}
+
+/// One durable commit reported by [`CheckpointStore::poll_commits`]. The
+/// kernel trims upstream-backup buffers on *accepted* commits only — an
+/// in-flight snapshot must never trim tuples it has not durably covered.
+pub struct CommittedSave {
+    pub job: JobId,
+    pub adl_index: usize,
+    pub taken_at: SimTime,
+    /// `false` when the store rejected the commit as stale.
+    pub accepted: bool,
+}
+
+/// One restorable generation of a slot, newest-first by `generations_back`
+/// (0 = live chain head, 1 = newest sealed generation, …).
+pub struct RestoreCandidate {
+    pub ckpt: PeCheckpoint,
+    pub sender_pos: Vec<(ChannelKey, u64)>,
+    /// Bytes a restore reads back (the whole live chain for generation 0,
+    /// the sealed snapshot itself otherwise) — drives restore latency.
+    pub read_bytes: usize,
 }
 
 /// Newest checkpoint chain per `(job, ADL PE index)`, plus observability
@@ -154,8 +272,20 @@ pub struct CheckpointStore {
     slots: BTreeMap<(JobId, usize), Slot>,
     /// Compaction bound (from [`CheckpointPolicy::full_every`], min 1).
     full_every: usize,
+    /// Simulated latency/budget model (default: instant and unbounded).
+    storage: StorageModel,
+    /// Saves issued but not yet committed, in issue order.
+    pending: Vec<PendingWrite>,
+    next_seq: u64,
+    /// Global quantum index of each slot's newest snapshot *issue* (or
+    /// restore), for the per-PE cadence skip. Store-level so an in-flight
+    /// write already counts as recent capture.
+    cadence: BTreeMap<(JobId, usize), u64>,
+    /// Slots whose live chain eviction reclaimed, and how often — restarts
+    /// report `FreshReason::Evicted` instead of `NoCheckpoint` for these.
+    evicted: BTreeMap<(JobId, usize), u64>,
     /// Running total of serialized chain bytes, maintained on
-    /// save/compact/forget so `state_bytes()` is O(1) per SRM push.
+    /// save/compact/evict/forget so `state_bytes()` is O(1) per SRM push.
     bytes: usize,
     saved: u64,
     restored: u64,
@@ -164,6 +294,10 @@ pub struct CheckpointStore {
     deltas_saved: u64,
     fulls_saved: u64,
     compactions: u64,
+    issued: u64,
+    aborted: u64,
+    evictions: u64,
+    peak_bytes: usize,
 }
 
 impl Default for CheckpointStore {
@@ -177,11 +311,25 @@ impl CheckpointStore {
         CheckpointStore::with_full_every(CheckpointPolicy::default().full_every)
     }
 
-    /// A store compacting each chain after `full_every` snapshots.
+    /// A store compacting each chain after `full_every` snapshots, with the
+    /// default (instant, unbounded) storage model.
     pub fn with_full_every(full_every: u32) -> Self {
+        CheckpointStore::for_policy(&CheckpointPolicy {
+            full_every,
+            ..Default::default()
+        })
+    }
+
+    /// A store configured from the full checkpoint policy.
+    pub fn for_policy(policy: &CheckpointPolicy) -> Self {
         CheckpointStore {
             slots: BTreeMap::new(),
-            full_every: (full_every.max(1)) as usize,
+            full_every: (policy.full_every.max(1)) as usize,
+            storage: policy.storage,
+            pending: Vec::new(),
+            next_seq: 0,
+            cadence: BTreeMap::new(),
+            evicted: BTreeMap::new(),
             bytes: 0,
             saved: 0,
             restored: 0,
@@ -190,7 +338,126 @@ impl CheckpointStore {
             deltas_saved: 0,
             fulls_saved: 0,
             compactions: 0,
+            issued: 0,
+            aborted: 0,
+            evictions: 0,
+            peak_bytes: 0,
         }
+    }
+
+    /// The storage model this store simulates.
+    pub fn storage(&self) -> &StorageModel {
+        &self.storage
+    }
+
+    /// Issues an asynchronous save: the snapshot becomes durable (and
+    /// restorable) only when [`Self::poll_commits`] reaches
+    /// `now + write_latency`. Records the slot's snapshot cadence at issue
+    /// time so the kernel does not re-issue while a write is in flight.
+    /// Returns the commit time.
+    pub fn begin_save(
+        &mut self,
+        job: JobId,
+        adl_index: usize,
+        ckpt: PeCheckpoint,
+        sender_pos: Vec<(ChannelKey, u64)>,
+        quanta_now: u64,
+        now: SimTime,
+    ) -> SimTime {
+        // Estimate the write size against the committed head: a compatible
+        // non-full chain pays only the delta, anything else a full base.
+        // Skipped entirely when throughput is infinite (bytes cost nothing).
+        let write_bytes = if self.storage.write_bytes_per_ms == 0 {
+            0
+        } else {
+            match self.slots.get(&(job, adl_index)) {
+                Some(slot)
+                    if slot.deltas.len() + 1 < self.full_every
+                        && delta_compatible(&slot.head, &ckpt) =>
+                {
+                    diff(&slot.head, &ckpt).state_bytes()
+                }
+                _ => ckpt.state_bytes(),
+            }
+        };
+        let commit_at = now + self.storage.write_latency(write_bytes);
+        self.cadence.insert((job, adl_index), quanta_now);
+        self.issued += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(PendingWrite {
+            job,
+            adl_index,
+            ckpt,
+            sender_pos,
+            quanta_now,
+            commit_at,
+            seq,
+        });
+        commit_at
+    }
+
+    /// Commits every pending write due by `now` (in `(commit_at, issue)`
+    /// order, so zero-latency saves commit exactly as the old synchronous
+    /// store did), then enforces the byte budget. `protected` lists the PE
+    /// slots whose live chain eviction must never reclaim — the kernel
+    /// passes its `Up` checkpointable PEs.
+    pub fn poll_commits(
+        &mut self,
+        now: SimTime,
+        protected: &BTreeSet<(JobId, usize)>,
+    ) -> Vec<CommittedSave> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        let mut rest = Vec::new();
+        for w in self.pending.drain(..) {
+            if w.commit_at <= now {
+                due.push(w);
+            } else {
+                rest.push(w);
+            }
+        }
+        self.pending = rest;
+        due.sort_by_key(|w| (w.commit_at, w.seq));
+        let mut out = Vec::with_capacity(due.len());
+        for w in due {
+            let taken_at = w.ckpt.taken_at;
+            let accepted = self.save(w.job, w.adl_index, w.ckpt, w.sender_pos, w.quanta_now);
+            out.push(CommittedSave {
+                job: w.job,
+                adl_index: w.adl_index,
+                taken_at,
+                accepted,
+            });
+        }
+        self.enforce_budget(protected);
+        out
+    }
+
+    /// Whether any issued save has yet to commit.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Whether a save for this PE slot is issued but not yet committed.
+    pub fn write_in_flight(&self, job: JobId, adl_index: usize) -> bool {
+        self.pending
+            .iter()
+            .any(|w| w.job == job && w.adl_index == adl_index)
+    }
+
+    /// Drops this slot's in-flight writes (a restart must not let a
+    /// snapshot of the dead incarnation commit later and shadow the
+    /// restored state's cadence). Returns how many were aborted.
+    pub fn abort_inflight(&mut self, job: JobId, adl_index: usize) -> usize {
+        let before = self.pending.len();
+        self.pending
+            .retain(|w| !(w.job == job && w.adl_index == adl_index));
+        let aborted = before - self.pending.len();
+        self.aborted += aborted as u64;
+        aborted
     }
 
     /// Installs a snapshot for a PE slot, extending its incremental chain
@@ -198,6 +465,9 @@ impl CheckpointStore {
     /// stored head are rejected — a stale snapshot racing a restart must
     /// never roll a slot backwards. Returns whether the snapshot was
     /// accepted.
+    ///
+    /// This is the synchronous commit step; latency-modelled callers go
+    /// through [`Self::begin_save`] / [`Self::poll_commits`] instead.
     pub fn save(
         &mut self,
         job: JobId,
@@ -212,10 +482,22 @@ impl CheckpointStore {
                     self.stale_rejected += 1;
                     return false;
                 }
-                self.bytes -= slot.chain_bytes();
-                if slot.deltas.len() + 2 > self.full_every || !delta_compatible(&slot.head, &ckpt) {
-                    // Chain at its bound (or shape changed): compact to a
-                    // fresh full base.
+                self.bytes -= slot.stored_bytes();
+                // The chain holds at most `full_every` snapshots (base +
+                // full_every - 1 deltas): once this save would stack one
+                // more delta — or the shape changed — compact to a fresh
+                // full base instead.
+                let chain_full = slot.deltas.len() + 1 >= self.full_every;
+                if chain_full || !delta_compatible(&slot.head, &ckpt) {
+                    if self.storage.budget_bytes > 0 {
+                        // Finite budget: seal the outgoing head as an older
+                        // generation for restore fallback (it is also first
+                        // in line for eviction).
+                        slot.sealed.push(SealedGen {
+                            ckpt: slot.head.clone(),
+                            sender_pos: std::mem::take(&mut slot.sender_pos),
+                        });
+                    }
                     slot.base = ckpt.clone();
                     slot.deltas.clear();
                     self.fulls_saved += 1;
@@ -226,8 +508,7 @@ impl CheckpointStore {
                 }
                 slot.head = ckpt;
                 slot.sender_pos = sender_pos;
-                slot.last_snap_quantum = quanta_now;
-                self.bytes += slot.chain_bytes();
+                self.bytes += slot.stored_bytes();
             }
             None => {
                 let slot = Slot {
@@ -235,17 +516,19 @@ impl CheckpointStore {
                     base: ckpt,
                     deltas: Vec::new(),
                     sender_pos,
-                    last_snap_quantum: quanta_now,
+                    sealed: Vec::new(),
                 };
-                self.bytes += slot.chain_bytes();
+                self.bytes += slot.stored_bytes();
                 self.fulls_saved += 1;
                 self.slots.insert((job, adl_index), slot);
             }
         }
+        self.cadence.insert((job, adl_index), quanta_now);
         self.saved += 1;
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
         debug_assert_eq!(
             self.bytes,
-            self.slots.values().map(Slot::chain_bytes).sum::<usize>(),
+            self.slots.values().map(Slot::stored_bytes).sum::<usize>(),
             "running byte counter out of sync with the chains"
         );
         debug_assert_eq!(
@@ -256,9 +539,100 @@ impl CheckpointStore {
         true
     }
 
-    /// Newest snapshot for a PE slot, if any (the chain's cached head).
+    /// Evicts oldest-first until stored bytes fit the budget (no-op when
+    /// unbounded). Per slot the oldest sealed generation goes before the
+    /// live chain, and a live chain in `protected` is never evicted — an
+    /// `Up` PE always keeps at least one restorable generation. Public so
+    /// the eviction-safety property test can drive it directly.
+    pub fn enforce_budget(&mut self, protected: &BTreeSet<(JobId, usize)>) {
+        let budget = self.storage.budget_bytes;
+        if budget == 0 {
+            return;
+        }
+        enum Victim {
+            Sealed,
+            Chain,
+        }
+        while self.bytes > budget {
+            let mut best: Option<(SimTime, (JobId, usize), Victim)> = None;
+            for (key, slot) in &self.slots {
+                let cand = if let Some(gen) = slot.sealed.first() {
+                    (gen.ckpt.taken_at, *key, Victim::Sealed)
+                } else if !protected.contains(key) {
+                    (slot.base.taken_at, *key, Victim::Chain)
+                } else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                    best = Some(cand);
+                }
+            }
+            match best {
+                Some((_, key, Victim::Sealed)) => {
+                    let slot = self.slots.get_mut(&key).expect("victim slot exists");
+                    let gen = slot.sealed.remove(0);
+                    self.bytes -= gen.state_bytes();
+                    self.evictions += 1;
+                }
+                Some((_, key, Victim::Chain)) => {
+                    let slot = self.slots.remove(&key).expect("victim slot exists");
+                    self.bytes -= slot.stored_bytes();
+                    *self.evicted.entry(key).or_insert(0) += 1;
+                    self.evictions += 1;
+                }
+                // Only protected live chains remain: stop rather than
+                // evict an Up PE's last restorable generation.
+                None => break,
+            }
+        }
+    }
+
+    /// Newest committed snapshot for a PE slot, if any (the chain's cached
+    /// head). In-flight writes are invisible here until they commit.
     pub fn latest(&self, job: JobId, adl_index: usize) -> Option<&PeCheckpoint> {
         self.slots.get(&(job, adl_index)).map(|s| &s.head)
+    }
+
+    /// Restorable generations of a slot: the live chain head plus any
+    /// sealed older generations (0 when the slot holds nothing).
+    pub fn restore_candidates(&self, job: JobId, adl_index: usize) -> usize {
+        self.slots
+            .get(&(job, adl_index))
+            .map_or(0, |s| 1 + s.sealed.len())
+    }
+
+    /// The snapshot `generations_back` generations behind the head
+    /// (0 = live head, 1 = newest sealed generation, …), with the
+    /// sender-side positions recorded alongside it and the bytes a restore
+    /// would read back.
+    pub fn restore_candidate(
+        &self,
+        job: JobId,
+        adl_index: usize,
+        generations_back: usize,
+    ) -> Option<RestoreCandidate> {
+        let slot = self.slots.get(&(job, adl_index))?;
+        if generations_back == 0 {
+            return Some(RestoreCandidate {
+                ckpt: slot.head.clone(),
+                sender_pos: slot.sender_pos.clone(),
+                read_bytes: slot.chain_bytes(),
+            });
+        }
+        let idx = slot.sealed.len().checked_sub(generations_back)?;
+        let gen = &slot.sealed[idx];
+        Some(RestoreCandidate {
+            ckpt: gen.ckpt.clone(),
+            sender_pos: gen.sender_pos.clone(),
+            read_bytes: gen.state_bytes(),
+        })
+    }
+
+    /// Whether this slot's live chain was ever reclaimed by eviction — a
+    /// restart that finds nothing distinguishes `Evicted` from plain
+    /// `NoCheckpoint`.
+    pub fn was_evicted(&self, job: JobId, adl_index: usize) -> bool {
+        self.evicted.contains_key(&(job, adl_index))
     }
 
     /// Replays a slot's chain — base, then each delta in order — into a
@@ -295,41 +669,45 @@ impl CheckpointStore {
             .unwrap_or(&[])
     }
 
-    /// Quanta elapsed since a slot's newest snapshot (or restore), if it
-    /// has one. The kernel skips the periodic snapshot of a PE whose state
-    /// was captured less than half a period ago.
+    /// Quanta elapsed since a slot's newest snapshot issue (or restore), if
+    /// it has one. The kernel skips the periodic snapshot of a PE whose
+    /// state was captured less than half a period ago.
     pub fn quanta_since_snapshot(
         &self,
         job: JobId,
         adl_index: usize,
         quanta_now: u64,
     ) -> Option<u64> {
-        self.slots
+        self.cadence
             .get(&(job, adl_index))
-            .map(|s| quanta_now.saturating_sub(s.last_snap_quantum))
+            .map(|last| quanta_now.saturating_sub(*last))
     }
 
     /// Marks a slot as freshly captured at `quanta_now` without saving
     /// (used on restore: the revived PE equals its snapshot, so an
     /// immediate re-snapshot would be pure overhead).
     pub fn mark_snapshot_quantum(&mut self, job: JobId, adl_index: usize, quanta_now: u64) {
-        if let Some(slot) = self.slots.get_mut(&(job, adl_index)) {
-            slot.last_snap_quantum = quanta_now;
+        if let Some(last) = self.cadence.get_mut(&(job, adl_index)) {
+            *last = quanta_now;
         }
     }
 
-    /// Drops every snapshot of a cancelled job.
+    /// Drops every snapshot (committed, sealed, and in-flight) of a
+    /// cancelled job, plus its cadence and eviction bookkeeping.
     pub fn forget_job(&mut self, job: JobId) {
         let mut removed = 0usize;
         self.slots.retain(|(j, _), slot| {
             if *j == job {
-                removed += slot.chain_bytes();
+                removed += slot.stored_bytes();
                 false
             } else {
                 true
             }
         });
         self.bytes -= removed;
+        self.pending.retain(|w| w.job != job);
+        self.cadence.retain(|(j, _), _| *j != job);
+        self.evicted.retain(|(j, _), _| *j != job);
     }
 
     /// Number of PE slots currently holding a snapshot.
@@ -376,6 +754,26 @@ impl CheckpointStore {
         self.compactions
     }
 
+    /// Saves issued through [`Self::begin_save`].
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// In-flight writes dropped by [`Self::abort_inflight`].
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Sealed generations and live chains reclaimed by the budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// High-water mark of `state_bytes()` across the store's lifetime.
+    pub fn peak_state_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
     pub(crate) fn count_restore(&mut self) {
         self.restored += 1;
     }
@@ -386,7 +784,7 @@ impl CheckpointStore {
 
     /// Total serialized state bytes currently held across all chains
     /// (observability). O(1): maintained as a running counter on
-    /// save/compact/forget.
+    /// save/compact/evict/forget.
     pub fn state_bytes(&self) -> usize {
         self.bytes
     }
@@ -484,6 +882,18 @@ mod tests {
         s.save(JobId(job), adl, c, vec![], q)
     }
 
+    /// A store with a finite byte budget (instant writes).
+    fn budgeted(full_every: u32, budget: usize) -> CheckpointStore {
+        CheckpointStore::for_policy(&CheckpointPolicy {
+            full_every,
+            storage: StorageModel {
+                budget_bytes: budget,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
     #[test]
     fn save_replaces_and_forget_clears() {
         let mut s = CheckpointStore::new();
@@ -539,7 +949,8 @@ mod tests {
         save(&mut s, 1, 0, ckpt_with(3, 30, &[]));
         assert_eq!((s.fulls_saved(), s.deltas_saved()), (1, 2));
         assert_eq!(s.state_bytes(), (8 + 2) + 4 + 8);
-        // Fourth save would stack a third delta past full_every=3: compact.
+        // The chain now holds full_every=3 snapshots (base + 2 deltas): the
+        // fourth save compacts instead of stacking a third delta.
         save(&mut s, 1, 0, ckpt_with(4, 40, &[]));
         assert_eq!(s.chain_deltas(JobId(1), 0), 0);
         assert_eq!(s.compactions(), 1);
@@ -548,6 +959,29 @@ mod tests {
         assert_eq!(
             s.latest(JobId(1), 0).unwrap().ops[0].blob.as_ref().unwrap(),
             &blob(40)
+        );
+        // The cycle repeats: saves 5 and 6 stack deltas, save 7 compacts —
+        // fulls land on every full_every-th save of the slot (1, 4, 7).
+        save(&mut s, 1, 0, ckpt_with(5, 50, &[]));
+        save(&mut s, 1, 0, ckpt_with(6, 60, &[]));
+        assert_eq!((s.fulls_saved(), s.compactions()), (2, 1));
+        save(&mut s, 1, 0, ckpt_with(7, 70, &[]));
+        assert_eq!((s.fulls_saved(), s.compactions()), (3, 2));
+        assert_eq!(s.chain_deltas(JobId(1), 0), 0);
+    }
+
+    #[test]
+    fn full_every_one_disables_deltas() {
+        let mut s = CheckpointStore::with_full_every(1);
+        save(&mut s, 1, 0, ckpt_with(1, 10, &[]));
+        save(&mut s, 1, 0, ckpt_with(2, 20, &[]));
+        save(&mut s, 1, 0, ckpt_with(3, 30, &[]));
+        assert_eq!(s.deltas_saved(), 0);
+        assert_eq!(s.fulls_saved(), 3);
+        assert_eq!(s.chain_deltas(JobId(1), 0), 0);
+        assert_eq!(
+            s.latest(JobId(1), 0).unwrap().ops[0].blob.as_ref().unwrap(),
+            &blob(30)
         );
     }
 
@@ -596,11 +1030,197 @@ mod tests {
         assert!(!p.enabled());
         assert!(!p.upstream_backup);
         assert_eq!(p.full_every, 8);
+        assert_eq!(p.storage, StorageModel::default());
         let p = CheckpointPolicy::every(10);
         assert!(p.enabled());
         assert_eq!(
             p.period(SimDuration::from_millis(100)),
             SimDuration::from_secs(1)
         );
+    }
+
+    #[test]
+    fn storage_latency_math() {
+        let m = StorageModel {
+            write_op_ms: 5,
+            write_bytes_per_ms: 4,
+            restore_op_ms: 2,
+            restore_bytes_per_ms: 0,
+            ..Default::default()
+        };
+        // op cost + ceil(bytes / throughput)
+        assert_eq!(m.write_latency(0), SimDuration::from_millis(5));
+        assert_eq!(m.write_latency(9), SimDuration::from_millis(5 + 3));
+        // infinite throughput: only the op cost
+        assert_eq!(m.restore_latency(1 << 20), SimDuration::from_millis(2));
+        // defaults are free
+        assert_eq!(
+            StorageModel::default().write_latency(1 << 20),
+            SimDuration::from_millis(0)
+        );
+    }
+
+    #[test]
+    fn async_save_commits_at_write_latency() {
+        let mut s = CheckpointStore::for_policy(&CheckpointPolicy {
+            storage: StorageModel {
+                write_op_ms: 250,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let none = BTreeSet::new();
+        let t0 = SimTime::from_secs(1);
+        let commit_at = s.begin_save(JobId(1), 0, ckpt(1), vec![], 10, t0);
+        assert_eq!(commit_at, t0 + SimDuration::from_millis(250));
+        assert!(s.write_in_flight(JobId(1), 0));
+        // Cadence counts from issue, so the kernel won't re-issue mid-write.
+        assert_eq!(s.quanta_since_snapshot(JobId(1), 0, 12), Some(2));
+        // Not yet durable: invisible to restores, and polling early is a
+        // no-op.
+        assert!(s.latest(JobId(1), 0).is_none());
+        assert!(s.poll_commits(t0, &none).is_empty());
+        assert!(s.has_pending());
+        let commits = s.poll_commits(commit_at, &none);
+        assert_eq!(commits.len(), 1);
+        assert!(commits[0].accepted);
+        assert_eq!(commits[0].taken_at, SimTime::from_secs(1));
+        assert!(!s.has_pending());
+        assert!(s.latest(JobId(1), 0).is_some());
+        assert_eq!((s.issued(), s.saved()), (1, 1));
+    }
+
+    #[test]
+    fn zero_latency_saves_commit_in_issue_order() {
+        let mut s = CheckpointStore::new();
+        let none = BTreeSet::new();
+        let t = SimTime::from_secs(2);
+        s.begin_save(JobId(1), 0, ckpt_with(2, 20, &[]), vec![], 20, t);
+        s.begin_save(JobId(1), 1, ckpt_with(2, 21, &[]), vec![], 20, t);
+        let commits = s.poll_commits(t, &none);
+        assert_eq!(commits.len(), 2);
+        assert_eq!((commits[0].job, commits[0].adl_index), (JobId(1), 0));
+        assert_eq!((commits[1].job, commits[1].adl_index), (JobId(1), 1));
+        assert!(commits.iter().all(|c| c.accepted));
+    }
+
+    #[test]
+    fn abort_inflight_drops_pending_writes() {
+        let mut s = CheckpointStore::for_policy(&CheckpointPolicy {
+            storage: StorageModel {
+                write_op_ms: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let t = SimTime::from_secs(1);
+        s.begin_save(JobId(1), 0, ckpt(1), vec![], 10, t);
+        s.begin_save(JobId(1), 1, ckpt(1), vec![], 10, t);
+        assert_eq!(s.abort_inflight(JobId(1), 0), 1);
+        assert!(!s.write_in_flight(JobId(1), 0));
+        assert!(s.write_in_flight(JobId(1), 1));
+        assert_eq!(s.aborted(), 1);
+        let commits = s.poll_commits(SimTime::from_secs(5), &BTreeSet::new());
+        assert_eq!(commits.len(), 1);
+        assert_eq!(commits[0].adl_index, 1);
+    }
+
+    #[test]
+    fn eviction_reclaims_oldest_unprotected_chain() {
+        // Two slots, 8 bytes each; budget fits only one.
+        let mut s = budgeted(8, 12);
+        save(&mut s, 1, 0, ckpt_with(1, 10, &[]));
+        save(&mut s, 1, 1, ckpt_with(2, 20, &[]));
+        assert_eq!(s.state_bytes(), 16);
+        s.enforce_budget(&BTreeSet::new());
+        // Oldest chain (slot 0, taken at t=1) goes first.
+        assert!(s.latest(JobId(1), 0).is_none());
+        assert!(s.latest(JobId(1), 1).is_some());
+        assert!(s.was_evicted(JobId(1), 0));
+        assert!(!s.was_evicted(JobId(1), 1));
+        assert_eq!(s.evictions(), 1);
+        assert!(s.state_bytes() <= 12);
+        assert_eq!(s.peak_state_bytes(), 16);
+    }
+
+    #[test]
+    fn eviction_never_claims_protected_live_chain() {
+        let mut s = budgeted(8, 4);
+        save(&mut s, 1, 0, ckpt_with(1, 10, &[]));
+        save(&mut s, 1, 1, ckpt_with(2, 20, &[]));
+        let protected: BTreeSet<_> = [(JobId(1), 0), (JobId(1), 1)].into_iter().collect();
+        s.enforce_budget(&protected);
+        // Both slots protected: over budget, but neither chain is evicted.
+        assert!(s.latest(JobId(1), 0).is_some());
+        assert!(s.latest(JobId(1), 1).is_some());
+        assert_eq!(s.evictions(), 0);
+        assert!(s.state_bytes() > 4);
+    }
+
+    #[test]
+    fn compaction_seals_old_head_for_fallback_restores() {
+        // full_every=2 with a finite budget: saves 3 and 5 compact,
+        // sealing the outgoing heads (t2, t4) as older generations.
+        let mut s = budgeted(2, 1 << 20);
+        for at in 1..=5 {
+            save(&mut s, 1, 0, ckpt_with(at, at as i64 * 10, &[]));
+        }
+        assert_eq!(s.compactions(), 2);
+        assert_eq!(s.restore_candidates(JobId(1), 0), 3);
+        let head = s.restore_candidate(JobId(1), 0, 0).unwrap();
+        assert_eq!(head.ckpt.taken_at, SimTime::from_secs(5));
+        let prev = s.restore_candidate(JobId(1), 0, 1).unwrap();
+        assert_eq!(prev.ckpt.taken_at, SimTime::from_secs(4));
+        let oldest = s.restore_candidate(JobId(1), 0, 2).unwrap();
+        assert_eq!(oldest.ckpt.taken_at, SimTime::from_secs(2));
+        assert!(s.restore_candidate(JobId(1), 0, 3).is_none());
+        // Sealed generations count toward the stored bytes.
+        assert_eq!(s.state_bytes(), 3 * 8);
+        // Eviction under pressure reclaims sealed generations oldest-first
+        // before touching any live chain.
+        let protected: BTreeSet<_> = [(JobId(1), 0)].into_iter().collect();
+        s.storage.budget_bytes = 16;
+        s.enforce_budget(&protected);
+        assert_eq!(s.restore_candidates(JobId(1), 0), 2);
+        assert_eq!(
+            s.restore_candidate(JobId(1), 0, 1).unwrap().ckpt.taken_at,
+            SimTime::from_secs(4)
+        );
+        assert!(!s.was_evicted(JobId(1), 0), "live chain survived");
+        assert_eq!(s.state_bytes(), 16);
+    }
+
+    #[test]
+    fn unbounded_budget_never_seals() {
+        let mut s = CheckpointStore::with_full_every(2);
+        for at in 1..6 {
+            save(&mut s, 1, 0, ckpt_with(at, at as i64, &[]));
+        }
+        assert!(s.compactions() > 0);
+        // No sealed generations pile up: the old behavior, byte-for-byte.
+        assert_eq!(s.restore_candidates(JobId(1), 0), 1);
+        assert_eq!(s.state_bytes(), 8);
+    }
+
+    #[test]
+    fn forget_job_clears_pending_and_tombstones() {
+        let mut s = budgeted(8, 8);
+        save(&mut s, 1, 0, ckpt_with(1, 10, &[]));
+        save(&mut s, 1, 1, ckpt_with(2, 20, &[]));
+        s.enforce_budget(&BTreeSet::new());
+        assert!(s.was_evicted(JobId(1), 0));
+        s.begin_save(
+            JobId(1),
+            1,
+            ckpt_with(3, 30, &[]),
+            vec![],
+            30,
+            SimTime::from_secs(3),
+        );
+        s.forget_job(JobId(1));
+        assert!(!s.has_pending());
+        assert!(!s.was_evicted(JobId(1), 0));
+        assert_eq!(s.quanta_since_snapshot(JobId(1), 1, 40), None);
+        assert_eq!(s.state_bytes(), 0);
     }
 }

@@ -90,6 +90,9 @@ pub enum FreshReason {
     /// A snapshot existed but no longer matched the container (format
     /// version, PE index, or operator list) and was rejected.
     Incompatible,
+    /// The slot's checkpoint chain was reclaimed by the storage budget
+    /// before the restart could use it.
+    Evicted,
 }
 
 impl std::fmt::Display for FreshReason {
@@ -99,6 +102,7 @@ impl std::fmt::Display for FreshReason {
             FreshReason::NotCheckpointable => "PE not checkpointable",
             FreshReason::NoCheckpoint => "no checkpoint",
             FreshReason::Incompatible => "incompatible checkpoint",
+            FreshReason::Evicted => "checkpoint evicted",
         })
     }
 }
@@ -115,6 +119,10 @@ pub enum RestoreOutcome {
         digest: u64,
         verified: bool,
         ops_restored: usize,
+        /// How far behind the chain head the restored generation was:
+        /// 0 = the live head, k > 0 = the k-th sealed generation, reached
+        /// because every newer generation failed to restore.
+        generations_back: usize,
     },
     /// Fresh operator state (checkpointing disabled, PE not checkpointable,
     /// no snapshot yet, or an incompatible snapshot was rejected).
@@ -143,6 +151,9 @@ pub struct RestartRecord {
     /// checkpoint (empty for fresh restarts). The campaign's state oracle
     /// checks these monotone counters never go backwards afterwards.
     pub restored_op_counts: Vec<(String, i64)>,
+    /// Simulated storage read latency this restart paid before replay
+    /// (0 for fresh restarts): added onto `restart_delay` in `up_at`.
+    pub restore_ms: u64,
 }
 
 /// The assembled runtime.
@@ -194,7 +205,7 @@ impl Kernel {
             srm,
             broker: Broker::new(),
             registry,
-            ckpt: CheckpointStore::with_full_every(config.checkpoint.full_every),
+            ckpt: CheckpointStore::for_policy(&config.checkpoint),
             trace: TraceRing::new(65_536),
             scheduled_kills: Vec::new(),
             last_metrics_push: SimTime::ZERO,
@@ -475,8 +486,15 @@ impl Kernel {
         let pe_rng = self.rng.fork(new_pe.0);
         let mut runtime = PeRuntime::build(&adl, adl_index, &self.registry, pe_rng.clone())?;
 
-        // Recover operator state from the newest compatible checkpoint.
+        // Recover operator state from the newest restorable checkpoint
+        // generation. Any write still in flight for this slot belongs to
+        // the dead incarnation — were it to commit *after* the restore
+        // rolled back to an older snapshot, its (newer) head would
+        // misrepresent the revived PE's state and, under upstream backup,
+        // trim buffered tuples the replacement still needs. Abort it.
         let mut restored_op_counts: Vec<(String, i64)> = Vec::new();
+        let mut restore_ms = 0u64;
+        let mut restored_sender_pos: Vec<(crate::broker::ChannelKey, u64)> = Vec::new();
         let restore = if !self.config.checkpoint.enabled() {
             RestoreOutcome::Fresh {
                 reason: FreshReason::Disabled,
@@ -485,59 +503,89 @@ impl Kernel {
             RestoreOutcome::Fresh {
                 reason: FreshReason::NotCheckpointable,
             }
-        } else if let Some(stored) = self.ckpt.latest(job, adl_index).cloned() {
-            // Harness fault injection: silently lose the last stateful
-            // operator's blob. The self-verification below must notice.
-            // Only this test-only path pays for a second checkpoint clone.
-            let degraded = self.config.checkpoint.lossy_restore.then(|| {
-                let mut c = stored.clone();
-                if let Some(op) = c.ops.iter_mut().rev().find(|o| o.blob.is_some()) {
-                    op.blob = None;
-                }
-                c
-            });
-            match runtime.restore(degraded.as_ref().unwrap_or(&stored)) {
-                Ok(ops_restored) => {
-                    // Self-verify: a faithful restore re-serializes to the
-                    // stored digest (taken_at is excluded from the digest).
-                    let stored_digest = stored.digest();
-                    let verified = runtime.checkpoint(self.now).digest() == stored_digest;
-                    restored_op_counts = stored
-                        .metrics
-                        .iter()
-                        .filter_map(|(key, v)| match key.as_ref() {
-                            MetricKey::Operator(op, m) if m == builtin::N_TUPLES_PROCESSED => {
-                                Some((op.clone(), *v))
-                            }
-                            _ => None,
-                        })
-                        .collect();
-                    self.ckpt.count_restore();
-                    RestoreOutcome::Restored {
-                        taken_at: stored.taken_at,
-                        digest: stored_digest,
-                        verified,
-                        ops_restored,
+        } else {
+            self.ckpt.abort_inflight(job, adl_index);
+            let candidates = self.ckpt.restore_candidates(job, adl_index);
+            let mut outcome = None;
+            for generation in 0..candidates {
+                let cand = self
+                    .ckpt
+                    .restore_candidate(job, adl_index, generation)
+                    .expect("generation index in range");
+                let stored = cand.ckpt;
+                // Harness fault injection: silently lose the last stateful
+                // operator's blob. The self-verification below must notice.
+                // Only this test-only path pays for a second checkpoint
+                // clone.
+                let degraded = self.config.checkpoint.lossy_restore.then(|| {
+                    let mut c = stored.clone();
+                    if let Some(op) = c.ops.iter_mut().rev().find(|o| o.blob.is_some()) {
+                        op.blob = None;
                     }
-                }
-                Err(e) => {
-                    // Partial restores corrupt state: discard and go fresh.
-                    runtime = PeRuntime::build(&adl, adl_index, &self.registry, pe_rng)?;
-                    self.trace.push(
-                        self.now,
-                        "ckpt",
-                        format!("restore of PE slot {job}/{adl_index} rejected: {e}"),
-                    );
-                    self.ckpt.count_fallback();
-                    RestoreOutcome::Fresh {
-                        reason: FreshReason::Incompatible,
+                    c
+                });
+                match runtime.restore(degraded.as_ref().unwrap_or(&stored)) {
+                    Ok(ops_restored) => {
+                        // Self-verify: a faithful restore re-serializes to
+                        // the stored digest (taken_at is excluded from the
+                        // digest).
+                        let stored_digest = stored.digest();
+                        let verified = runtime.checkpoint(self.now).digest() == stored_digest;
+                        restored_op_counts = stored
+                            .metrics
+                            .iter()
+                            .filter_map(|(key, v)| match key.as_ref() {
+                                MetricKey::Operator(op, m) if m == builtin::N_TUPLES_PROCESSED => {
+                                    Some((op.clone(), *v))
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        // Reading the chain back from storage costs
+                        // sim-time, paid on top of the spawn delay below.
+                        restore_ms = self
+                            .ckpt
+                            .storage()
+                            .restore_latency(cand.read_bytes)
+                            .as_millis();
+                        restored_sender_pos = cand.sender_pos;
+                        self.ckpt.count_restore();
+                        outcome = Some(RestoreOutcome::Restored {
+                            taken_at: stored.taken_at,
+                            digest: stored_digest,
+                            verified,
+                            ops_restored,
+                            generations_back: generation,
+                        });
+                        break;
+                    }
+                    Err(e) => {
+                        // Partial restores corrupt state: discard and fall
+                        // back to the next-oldest sealed generation (fresh
+                        // state once none are left).
+                        runtime =
+                            PeRuntime::build(&adl, adl_index, &self.registry, pe_rng.clone())?;
+                        self.trace.push(
+                            self.now,
+                            "ckpt",
+                            format!("restore of PE slot {job}/{adl_index} rejected: {e}"),
+                        );
                     }
                 }
             }
-        } else {
-            self.ckpt.count_fallback();
-            RestoreOutcome::Fresh {
-                reason: FreshReason::NoCheckpoint,
+            match outcome {
+                Some(o) => o,
+                None => {
+                    self.ckpt.count_fallback();
+                    let reason = if candidates > 0 {
+                        FreshReason::Incompatible
+                    } else if self.ckpt.was_evicted(job, adl_index) {
+                        FreshReason::Evicted
+                    } else {
+                        FreshReason::NoCheckpoint
+                    };
+                    RestoreOutcome::Fresh { reason }
+                }
             }
         };
 
@@ -549,8 +597,8 @@ impl Kernel {
                 // in lockstep with the restored state, so the deterministic
                 // replay walks the already-delivered range back up under
                 // the high-water marks instead of past them.
-                let snap = self.ckpt.sender_pos(job, adl_index).to_vec();
-                self.backup.rollback_sender(job, adl_index, &snap);
+                self.backup
+                    .rollback_sender(job, adl_index, &restored_sender_pos);
                 // The revived PE equals its snapshot; an immediate periodic
                 // re-snapshot would be pure overhead (satellite cadence fix).
                 let quanta_now = self.now.as_millis() / self.config.quantum.as_millis();
@@ -600,7 +648,12 @@ impl Kernel {
                     adl_index,
                     status: PeStatus::Starting,
                     started_at: self.now,
-                    up_at: self.now + self.config.restart_delay,
+                    // Restores pay the storage read latency on top of the
+                    // spawn delay: replay begins only once the chain has
+                    // been read back.
+                    up_at: self.now
+                        + self.config.restart_delay
+                        + SimDuration::from_millis(restore_ms),
                     runtime,
                 },
             );
@@ -621,6 +674,7 @@ impl Kernel {
             adl_index,
             restore,
             restored_op_counts,
+            restore_ms,
         });
         self.trace.push(
             self.now,
@@ -809,6 +863,31 @@ impl Kernel {
         self.ckpt.latest(job, adl_index).map(|c| c.taken_at)
     }
 
+    /// PE slots whose live checkpoint chain budget eviction must never
+    /// reclaim: every `Up`, checkpointable PE (any of them may need to
+    /// restore at any moment). Slots of crashed PEs are deliberately *not*
+    /// protected — losing a dead PE's chain to the budget is exactly the
+    /// recovery cost the storage model exists to expose.
+    fn protected_slots(&self) -> BTreeSet<(JobId, usize)> {
+        let mut protected = BTreeSet::new();
+        for host in self.cluster.hosts() {
+            if !host.up {
+                continue;
+            }
+            for proc in host.processes.values() {
+                if proc.status == PeStatus::Up
+                    && self
+                        .sam
+                        .job(proc.job)
+                        .is_some_and(|info| pe_is_checkpointable(&info.adl, proc.adl_index))
+                {
+                    protected.insert((proc.job, proc.adl_index));
+                }
+            }
+        }
+        protected
+    }
+
     /// Contents of a sink-like operator.
     pub fn tap(&self, job: JobId, op_name: &str) -> Option<Vec<Tuple>> {
         let info = self.sam.job(job)?;
@@ -969,20 +1048,35 @@ impl Kernel {
                 }
                 let ub = self.upstream_backup_enabled();
                 for (job, adl_index, ckpt) in snaps {
-                    let taken_at = ckpt.taken_at;
                     let sender_pos = if ub {
                         self.backup.sender_snapshot(job, adl_index)
                     } else {
                         Vec::new()
                     };
-                    if self
-                        .ckpt
-                        .save(job, adl_index, ckpt, sender_pos, quanta_elapsed)
-                        && ub
-                    {
+                    // Issue only: the snapshot becomes durable — and acks
+                    // the upstream-backup gap — at commit time below.
+                    self.ckpt
+                        .begin_save(job, adl_index, ckpt, sender_pos, quanta_elapsed, now);
+                }
+            }
+            // Commit every in-flight write whose latency elapsed (with the
+            // default zero-latency model that is this quantum's issues, in
+            // issue order). Upstream-backup trimming fires here, on durable
+            // *commit*, never at issue — an in-flight snapshot must not
+            // trim tuples it has not yet covered.
+            if self.ckpt.has_pending() {
+                let protected = if self.ckpt.storage().budget_bytes > 0 {
+                    self.protected_slots()
+                } else {
+                    BTreeSet::new()
+                };
+                let ub = self.upstream_backup_enabled();
+                for commit in self.ckpt.poll_commits(self.now, &protected) {
+                    if commit.accepted && ub {
                         // Commit acks the buffered gap: the snapshot covers
                         // every delivery at or before `taken_at`.
-                        self.backup.trim((job, adl_index), taken_at);
+                        self.backup
+                            .trim((commit.job, commit.adl_index), commit.taken_at);
                     }
                 }
             }
@@ -1902,6 +1996,171 @@ mod tests {
         assert!(k.ckpt.state_bytes() > 0);
         k.cancel_job(job).unwrap();
         assert_eq!(k.ckpt.len(), 0);
+    }
+
+    fn storage_kernel(hosts: usize, policy: crate::ckpt::CheckpointPolicy) -> Kernel {
+        Kernel::new(
+            Cluster::with_hosts(hosts),
+            OperatorRegistry::with_builtins(),
+            RuntimeConfig {
+                checkpoint: policy,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    /// With write latency, a snapshot issued at the boundary is invisible
+    /// (unrestorable, untrimmed) until its commit time passes — the
+    /// in-flight window the async store exists to model.
+    #[test]
+    fn write_latency_defers_commit_and_trim() {
+        let mut k = storage_kernel(
+            2,
+            crate::ckpt::CheckpointPolicy {
+                every_quanta: 5,
+                upstream_backup: true,
+                storage: crate::ckpt::StorageModel {
+                    write_op_ms: 250,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 5); // t = 500 ms: snapshots issued, commit at 750 ms
+        assert!(k.ckpt.issued() > 0);
+        assert_eq!(k.ckpt.saved(), 0, "nothing durable yet");
+        assert!(k.ckpt.write_in_flight(job, 2));
+        assert!(k.ckpt.latest(job, 2).is_none());
+        assert!(k.backup.buffered_now() > 0);
+        assert_eq!(
+            k.backup.stats().trimmed,
+            0,
+            "an uncommitted snapshot must not trim the backup buffers"
+        );
+        run(&mut k, 3); // t = 800 ms >= commit time
+        assert!(k.ckpt.saved() > 0);
+        assert!(!k.ckpt.has_pending());
+        assert!(k.ckpt.latest(job, 2).is_some());
+        assert!(
+            k.backup.stats().trimmed > 0,
+            "the durable commit acks the covered deliveries"
+        );
+    }
+
+    /// A restore reads the chain back through the storage model: the paid
+    /// latency lands in the restart record and delays promotion.
+    #[test]
+    fn restore_latency_delays_promotion() {
+        let mut k = storage_kernel(
+            2,
+            crate::ckpt::CheckpointPolicy {
+                every_quanta: 5,
+                storage: crate::ckpt::StorageModel {
+                    restore_op_ms: 300,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 10); // t = 1 s, two snapshot rounds committed
+        let pe = k.pe_id_of(job, 2).unwrap();
+        k.kill_pe(pe).unwrap();
+        let new_pe = k.restart_pe(pe).unwrap();
+        let rec = k.restart_log().last().unwrap().clone();
+        assert!(rec.restore.restored());
+        assert_eq!(rec.restore_ms, 300);
+        // restart_delay (2 s = 20 quanta) alone is no longer enough…
+        run(&mut k, 22); // t = 3.2 s < 1 s + 2 s + 300 ms
+        assert_eq!(
+            k.cluster.process(new_pe).unwrap().status,
+            PeStatus::Starting
+        );
+        // …the storage read must finish first.
+        run(&mut k, 1); // t = 3.3 s
+        assert_eq!(k.cluster.process(new_pe).unwrap().status, PeStatus::Up);
+    }
+
+    /// Budget pressure never touches the chains of `Up` PEs, but a crashed
+    /// PE's slot is fair game — and its restart then reports `Evicted`.
+    #[test]
+    fn budget_eviction_reclaims_crashed_slot_and_reports_evicted() {
+        let mut k = storage_kernel(
+            2,
+            crate::ckpt::CheckpointPolicy {
+                every_quanta: 2,
+                storage: crate::ckpt::StorageModel {
+                    budget_bytes: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 10);
+        // Hopelessly over budget, yet nothing was evicted: every slot
+        // belongs to an Up PE and is protected.
+        assert!(k.ckpt.state_bytes() > 1);
+        assert_eq!(k.ckpt.evictions(), 0);
+        let pe = k.pe_id_of(job, 2).unwrap();
+        k.kill_pe(pe).unwrap();
+        run(&mut k, 2); // next boundary: the dead slot is now evictable
+        assert!(k.ckpt.was_evicted(job, 2));
+        assert!(k.ckpt.latest(job, 2).is_none());
+        assert!(k.ckpt.latest(job, 0).is_some(), "live slots survive");
+        k.restart_pe(pe).unwrap();
+        let rec = k.restart_log().last().unwrap().clone();
+        assert_eq!(
+            rec.restore,
+            RestoreOutcome::Fresh {
+                reason: FreshReason::Evicted
+            }
+        );
+        assert_eq!(rec.restore_ms, 0);
+    }
+
+    /// Satellite regression for the `delivered_at <= taken_at` trim
+    /// boundary, end to end: deliveries landing on the snapshot instant are
+    /// captured inside the v2 queue snapshot *and* acked by the commit, so
+    /// a crash-restart around that boundary neither loses nor duplicates
+    /// them — the faulted run converges to the fault-free twin exactly.
+    #[test]
+    fn snapshot_instant_delivery_is_neither_lost_nor_duplicated() {
+        let policy = crate::ckpt::CheckpointPolicy {
+            every_quanta: 5,
+            upstream_backup: true,
+            ..Default::default()
+        };
+        let mut k = storage_kernel(2, policy);
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 10); // kill lands exactly on a snapshot boundary
+        let cov = k.checkpoint_coverage(job, 2).unwrap();
+        assert_eq!(cov, SimTime::from_millis(1000));
+        // Every buffered entry at or before the snapshot instant was
+        // trimmed by the commit — none survive to be replayed on top of
+        // the restored queues.
+        assert!(k
+            .backup
+            .replay_entries((job, 2))
+            .iter()
+            .all(|e| e.delivered_at > cov));
+        let pe = k.pe_id_of(job, 2).unwrap();
+        k.kill_pe(pe).unwrap();
+        k.restart_pe(pe).unwrap();
+        run(&mut k, 40);
+
+        let mut twin = storage_kernel(2, policy);
+        let twin_job = twin.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut twin, 50);
+        let seqs = |k: &Kernel, j: JobId| {
+            k.tap(j, "snk")
+                .unwrap()
+                .iter()
+                .map(|t| t.get_int("seq").unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seqs(&k, job), seqs(&twin, twin_job));
     }
 
     /// Regression (SRM hygiene): every path that retires or crashes a PE

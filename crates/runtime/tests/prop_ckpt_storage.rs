@@ -1,0 +1,149 @@
+//! Property tests for [`sps_runtime::CheckpointStore`] eviction under a
+//! finite storage budget:
+//!
+//! 1. eviction never leaves a protected (`Up`, checkpointable) slot without
+//!    a restorable chain, for any save sequence and any budget,
+//! 2. after every save + budget pass, either stored bytes fit the budget or
+//!    everything still stored belongs to protected live chains (the only
+//!    state eviction refuses to reclaim),
+//! 3. the running `state_bytes()` counter always equals the sum of the
+//!    surviving chains, and every restore generation the store advertises
+//!    actually materializes.
+
+use proptest::prelude::*;
+use sps_engine::ckpt::{OpCheckpoint, PeCheckpoint, CKPT_FORMAT_VERSION};
+use sps_engine::StateWriter;
+use sps_runtime::{CheckpointPolicy, CheckpointStore, JobId, StorageModel};
+use std::collections::BTreeSet;
+
+/// A checkpoint whose serialized size grows with `weight` (the state blob
+/// carries `weight` i64 words), so save sequences exercise uneven chains.
+fn ckpt(at_secs: u64, weight: usize) -> PeCheckpoint {
+    let mut w = StateWriter::new();
+    for i in 0..weight as i64 + 1 {
+        w.put_i64(i);
+    }
+    PeCheckpoint {
+        format_version: CKPT_FORMAT_VERSION,
+        pe_index: 0,
+        taken_at: sps_sim::SimTime::from_secs(at_secs),
+        ops: vec![OpCheckpoint {
+            name: "agg".into(),
+            kind: "Aggregate".into(),
+            finals_seen: vec![false],
+            blob: Some(w.finish()),
+        }],
+        queues: vec![vec![vec![]]],
+        metrics: vec![],
+    }
+}
+
+/// One scripted save: which of the 4 slots, how heavy the snapshot is.
+fn arb_saves() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0usize..4, 0usize..16), 1..40)
+}
+
+fn slot_key(slot: usize) -> (JobId, usize) {
+    // Two jobs × two ADL slots, so eviction crosses job boundaries.
+    (JobId(1 + (slot / 2) as u64), slot % 2)
+}
+
+proptest! {
+    #[test]
+    fn eviction_never_strands_a_protected_slot(
+        saves in arb_saves(),
+        full_every in 1u32..5,
+        budget in 1usize..2_000,
+        protected_mask in 0usize..16,
+    ) {
+        let mut store = CheckpointStore::for_policy(&CheckpointPolicy {
+            full_every,
+            storage: StorageModel {
+                budget_bytes: budget,
+                ..StorageModel::default()
+            },
+            ..CheckpointPolicy::default()
+        });
+        let protected: BTreeSet<(JobId, usize)> = (0..4)
+            .filter(|s| protected_mask & (1 << s) != 0)
+            .map(slot_key)
+            .collect();
+        let mut saved_to: BTreeSet<(JobId, usize)> = BTreeSet::new();
+
+        for (tick, &(slot, weight)) in saves.iter().enumerate() {
+            let (job, adl) = slot_key(slot);
+            // Monotonically increasing timestamps keep every save accepted.
+            let accepted = store.save(job, adl, ckpt(tick as u64 + 1, weight), vec![], tick as u64);
+            prop_assert!(accepted);
+            saved_to.insert((job, adl));
+            store.enforce_budget(&protected);
+
+            // (1) Protected slots that ever saved stay restorable.
+            for &(job, adl) in protected.intersection(&saved_to) {
+                prop_assert!(
+                    store.latest(job, adl).is_some(),
+                    "protected slot {job:?}/{adl} lost its chain under budget {budget}"
+                );
+            }
+
+            // (2) Within budget, or only protected live chains remain.
+            if store.state_bytes() > budget {
+                let survivors: Vec<_> = saved_to
+                    .iter()
+                    .filter(|&&(job, adl)| store.latest(job, adl).is_some())
+                    .collect();
+                prop_assert!(
+                    survivors.iter().all(|k| protected.contains(k)),
+                    "over budget ({} > {budget}) with evictable state left",
+                    store.state_bytes()
+                );
+                for &&(job, adl) in &survivors {
+                    prop_assert_eq!(
+                        store.restore_candidates(job, adl),
+                        1,
+                        "over budget but sealed generations survive"
+                    );
+                }
+            }
+
+            // (3) Every advertised restore generation materializes, and the
+            // advertised read size is the bytes a restore would stream back.
+            for &(job, adl) in &saved_to {
+                for generation in 0..store.restore_candidates(job, adl) {
+                    let cand = store.restore_candidate(job, adl, generation);
+                    prop_assert!(
+                        cand.is_some(),
+                        "generation {generation} advertised but missing for {job:?}/{adl}"
+                    );
+                    prop_assert!(cand.unwrap().read_bytes > 0);
+                }
+            }
+        }
+
+        // Unprotected slots may have been evicted, but never silently: a
+        // missing chain must carry an eviction tombstone.
+        for &(job, adl) in &saved_to {
+            if store.latest(job, adl).is_none() {
+                prop_assert!(store.was_evicted(job, adl));
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_budget_never_evicts(
+        saves in arb_saves(),
+        full_every in 1u32..5,
+    ) {
+        let mut store = CheckpointStore::for_policy(&CheckpointPolicy {
+            full_every,
+            ..CheckpointPolicy::default()
+        });
+        for (tick, &(slot, weight)) in saves.iter().enumerate() {
+            let (job, adl) = slot_key(slot);
+            store.save(job, adl, ckpt(tick as u64 + 1, weight), vec![], tick as u64);
+            store.enforce_budget(&BTreeSet::new());
+            prop_assert!(store.latest(job, adl).is_some());
+        }
+        prop_assert_eq!(store.evictions(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! System tests for the checkpoint storage cost model: the all-zero
+//! [`StorageModel`] must be byte-invisible (async bookkeeping with zero
+//! latency reproduces the synchronous reports bit-for-bit), while nonzero
+//! write/restore latency and a finite byte budget must run whole campaigns
+//! through the standard oracle set — deferred commits, delayed promotions,
+//! sealed-generation fallbacks, and evictions included — without tripping
+//! recovery, convergence, or state preservation.
+
+use orca_harness::{
+    run_campaign, scenario, CampaignConfig, CampaignReport, CheckpointPolicy, StorageModel,
+};
+
+fn render(report: &CampaignReport) -> String {
+    report.render()
+}
+
+fn cfg(sc_seed: u64, plans: usize, checkpoint: CheckpointPolicy) -> CampaignConfig {
+    CampaignConfig {
+        plans,
+        seed: sc_seed,
+        checkpoint,
+        ..Default::default()
+    }
+}
+
+/// A storage model expensive enough to defer every commit past its issue
+/// quantum and make restores pay a visible read delay.
+fn slow_storage() -> StorageModel {
+    StorageModel {
+        write_op_ms: 150,
+        write_bytes_per_ms: 64,
+        restore_op_ms: 150,
+        restore_bytes_per_ms: 64,
+        ..StorageModel::default()
+    }
+}
+
+#[test]
+fn zero_storage_model_is_byte_invisible() {
+    // The async save/commit machinery with an all-zero model must reproduce
+    // the pre-storage synchronous reports exactly — this is the identity the
+    // campaign CI diff rests on.
+    let sc = scenario::live();
+    let plain = cfg(0xC0FFEE, 3, CheckpointPolicy::every(10));
+    let explicit = cfg(
+        0xC0FFEE,
+        3,
+        CheckpointPolicy {
+            storage: StorageModel::default(),
+            ..CheckpointPolicy::every(10)
+        },
+    );
+    assert_eq!(
+        render(&run_campaign(&sc, &plain)),
+        render(&run_campaign(&sc, &explicit)),
+        "default StorageModel must not perturb a campaign"
+    );
+}
+
+#[test]
+fn write_and_restore_latency_pass_the_oracles() {
+    // Deferred commits shift checkpoint coverage and trim points; restore
+    // latency delays Up promotions. The recovery/convergence/state oracles
+    // must absorb both without violations.
+    for sc in [scenario::live(), scenario::trend()] {
+        let policy = CheckpointPolicy {
+            storage: slow_storage(),
+            ..CheckpointPolicy::every(10)
+        };
+        let report = run_campaign(&sc, &cfg(7, 3, policy));
+        assert_eq!(
+            report.plans_failed,
+            0,
+            "[{}] storage latency tripped an oracle:\n{}",
+            sc.name,
+            render(&report)
+        );
+    }
+}
+
+#[test]
+fn finite_budget_evictions_pass_the_oracles() {
+    // A budget far below the working set forces sealing and eviction on
+    // every compaction; fresh restarts from evicted chains are a legitimate
+    // recovery mode (FreshReason::Evicted), not an oracle violation.
+    let sc = scenario::live();
+    let policy = CheckpointPolicy {
+        storage: StorageModel {
+            budget_bytes: 16_384,
+            ..slow_storage()
+        },
+        ..CheckpointPolicy::every(5)
+    };
+    let report = run_campaign(&sc, &cfg(7, 3, policy));
+    assert_eq!(
+        report.plans_failed,
+        0,
+        "budget eviction tripped an oracle:\n{}",
+        render(&report)
+    );
+}
+
+#[test]
+fn storage_model_reports_are_byte_identical_across_jobs() {
+    // The determinism-under-parallelism guarantee extends to the storage
+    // model: pending-write queues and eviction order are part of kernel
+    // state, not coordinator state, so sharding cannot reorder them.
+    let sc = scenario::trend();
+    let policy = CheckpointPolicy {
+        storage: StorageModel {
+            budget_bytes: 32_768,
+            ..slow_storage()
+        },
+        ..CheckpointPolicy::every(10)
+    };
+    let run = |jobs| {
+        render(&run_campaign(
+            &sc,
+            &CampaignConfig {
+                jobs,
+                ..cfg(0xC0FFEE, 4, policy)
+            },
+        ))
+    };
+    assert_eq!(run(1), run(4), "storage-model report depends on --jobs");
+}
