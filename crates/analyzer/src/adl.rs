@@ -1,0 +1,158 @@
+//! `sslint --adl`: static graph verification of the real applications.
+//!
+//! Builds the same six ADLs the campaign scenarios submit (Live ×2, the
+//! sentiment pipeline, the three-stage social composition, the trend
+//! replicas) and runs [`sps_model::verify_graph`] over each. Statefulness is
+//! probed *dynamically but hermetically*: each operator is instantiated
+//! through the real [`OperatorRegistry`] and asked whether a fresh instance
+//! produces a checkpoint blob — no heuristics, no annotation drift. An
+//! operator that cannot be instantiated statically (e.g. template
+//! parameters resolved at submission) probes as unknown and is skipped by
+//! the checkpoint-intent checks.
+
+use sps_engine::registry::OperatorRegistry;
+use sps_model::adl::{Adl, AdlOperator};
+use sps_model::compiler::{compile, CompileOptions};
+use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
+use sps_model::verify::{verify_graph, Severity, VerifyOptions};
+
+use orca_apps::sentiment::{sentiment_app, SentimentParams};
+use orca_apps::social::{c1_app, c2_app, c3_app};
+use orca_apps::trend::{trend_app, TrendParams};
+use orca_apps::SharedStores;
+
+/// One app's verification result, rendered machine-readably.
+pub struct AppReport {
+    pub app: String,
+    /// `error …` / `warning …` lines from [`verify_graph`].
+    pub lines: Vec<String>,
+    pub errors: usize,
+    pub warnings: usize,
+}
+
+/// The `live` scenario's twin pipeline (mirrors
+/// `orca_harness::scenario::build_live`, seed 0): Beacon → Filter → Sink.
+fn live_app(name: &str, rate: f64) -> Adl {
+    let mut m = CompositeGraphBuilder::main();
+    m.operator(
+        "src",
+        OperatorInvocation::new("Beacon")
+            .source()
+            .param("rate", rate),
+    );
+    m.operator(
+        "flt",
+        OperatorInvocation::new("Filter").param("predicate", "seq % 2 == 0"),
+    );
+    m.operator("snk", OperatorInvocation::new("Sink").sink());
+    m.pipe("src", "flt");
+    m.pipe("flt", "snk");
+    let model = AppModelBuilder::new(name)
+        .build(m.build().unwrap())
+        .unwrap();
+    compile(&model, CompileOptions::default()).unwrap()
+}
+
+/// Every ADL the four campaign scenarios submit. Seeds/rates are
+/// representative fixed values — the structural shape (operators, ports,
+/// streams, PEs, ckpt flags) is seed-independent.
+pub fn campaign_adls() -> Vec<Adl> {
+    vec![
+        live_app("LiveA", 18.0),
+        live_app("LiveB", 27.0),
+        sentiment_app(SentimentParams {
+            drift_at_secs: 8.0,
+            metric_window_secs: 10.0,
+            seed: 0,
+            ..Default::default()
+        }),
+        c1_app("TwitterStreamReader", "twitter", 80.0, 21),
+        c1_app("MySpaceStreamReader", "myspace", 40.0, 22),
+        c2_app("TwitterQuery", "twitter", 31),
+        c2_app("BlogQuery", "blogs", 32),
+        c2_app("FacebookQuery", "facebook", 33),
+        c3_app(),
+        trend_app(TrendParams {
+            window_secs: 8.0,
+            tick_rate: 20.0,
+            symbols: 3,
+            seed: 0,
+            ..Default::default()
+        }),
+    ]
+}
+
+/// Statefulness probe: instantiate the operator through the registry and
+/// ask a fresh instance for a checkpoint blob. `None` = cannot tell
+/// statically (instantiation failed, e.g. unresolved template params).
+pub fn statefulness_probe(registry: &OperatorRegistry, op: &AdlOperator) -> Option<bool> {
+    registry
+        .instantiate(op)
+        .ok()
+        .map(|inst| inst.checkpoint().is_some())
+}
+
+/// Verifies one ADL with the full option set (upstream-backup preconditions
+/// included — campaigns run with `--upstream-backup on`, so the structural
+/// requirement must hold for every app).
+pub fn verify_app(registry: &OperatorRegistry, adl: &Adl) -> AppReport {
+    let probe = |op: &AdlOperator| statefulness_probe(registry, op);
+    let opts = VerifyOptions {
+        upstream_backup: true,
+        statefulness: Some(&probe),
+    };
+    let diags = verify_graph(adl, &opts);
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    AppReport {
+        app: adl.app_name.clone(),
+        lines: diags.iter().map(|d| d.render(&adl.app_name)).collect(),
+        errors,
+        warnings,
+    }
+}
+
+/// Verifies every campaign application. This is what `sslint --adl` runs.
+pub fn verify_campaign_apps() -> Vec<AppReport> {
+    let stores = SharedStores::new();
+    let registry = orca_apps::registry(&stores);
+    campaign_adls()
+        .iter()
+        .map(|adl| verify_app(&registry, adl))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CI gate in miniature: all ten campaign ADLs verify clean.
+    #[test]
+    fn campaign_apps_verify_without_errors() {
+        for report in verify_campaign_apps() {
+            assert_eq!(
+                report.errors,
+                0,
+                "app {} has verifier errors:\n{}",
+                report.app,
+                report.lines.join("\n")
+            );
+        }
+    }
+
+    /// The probe recognizes stateless and stateful built-ins.
+    #[test]
+    fn probe_separates_state_from_stateless() {
+        let stores = SharedStores::new();
+        let registry = orca_apps::registry(&stores);
+        let adls = campaign_adls();
+        let live = &adls[0];
+        let flt = live.operator("flt").unwrap();
+        assert_eq!(statefulness_probe(&registry, flt), Some(false));
+        let src = live.operator("src").unwrap();
+        assert_eq!(statefulness_probe(&registry, src), Some(true));
+    }
+}

@@ -1,0 +1,109 @@
+//! `sslint` CLI.
+//!
+//! ```text
+//! sslint [--deny] [--adl] [--paths P...]
+//! ```
+//!
+//! Default mode lints every `.rs` file under the workspace `crates/`
+//! directory (vendor/, target/, tests/, fixtures/ excluded) and prints one
+//! `sslint: <rule> <path>:<line> <message>` diagnostic per finding plus a
+//! trailing summary line. `--adl` additionally compiles the campaign
+//! applications and runs the static graph verifier over each. `--deny`
+//! turns findings (and ADL verifier errors) into a non-zero exit — the CI
+//! gate. `--paths` restricts the lint to explicit files/directories (used
+//! to lint the fixture corpus on purpose).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut adl = false;
+    let mut lint = true;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--adl" => adl = true,
+            "--adl-only" => {
+                adl = true;
+                lint = false;
+            }
+            "--paths" => {
+                for p in args.by_ref() {
+                    paths.push(PathBuf::from(p));
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sslint [--deny] [--adl] [--adl-only] [--paths P...]\n\
+                     \n\
+                     --deny       exit non-zero on any finding or verifier error\n\
+                     --adl        also statically verify the campaign application graphs\n\
+                     --adl-only   skip the source lint, run only the graph verifier\n\
+                     --paths P..  lint these files/dirs instead of the workspace"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("sslint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().expect("cwd");
+    let base = analyzer::workspace_root(&cwd).unwrap_or_else(|| cwd.clone());
+    let mut failures = 0usize;
+
+    if lint {
+        let roots = if paths.is_empty() {
+            vec![base.join("crates")]
+        } else {
+            paths.clone()
+        };
+        match analyzer::scan_paths(&base, &roots) {
+            Ok(diags) => {
+                for d in &diags {
+                    println!("{}", d.render());
+                }
+                failures += diags.len();
+                println!(
+                    "sslint: lint summary: {} finding(s) across {} root(s)",
+                    diags.len(),
+                    roots.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("sslint: scan failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if adl {
+        let reports = analyzer::adl::verify_campaign_apps();
+        let (mut errors, mut warnings) = (0, 0);
+        for r in &reports {
+            for line in &r.lines {
+                println!("sslint: adl {line}");
+            }
+            errors += r.errors;
+            warnings += r.warnings;
+        }
+        println!(
+            "sslint: adl summary: {} app(s), {} error(s), {} warning(s)",
+            reports.len(),
+            errors,
+            warnings
+        );
+        failures += errors;
+    }
+
+    if deny && failures > 0 {
+        eprintln!("sslint: denying: {failures} blocking finding(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

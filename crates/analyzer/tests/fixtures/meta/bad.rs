@@ -1,0 +1,10 @@
+//! Meta fixture: malformed and unused allows are themselves findings.
+
+// sslint: allow(unordered-iter)
+pub fn nothing() {}
+
+// sslint: allow(unordered-iter, this reason suppresses nothing on the next line)
+pub fn also_nothing() {}
+
+// sslint: allow(made-up-rule, with a reason but an unknown rule id)
+pub fn still_nothing() {}

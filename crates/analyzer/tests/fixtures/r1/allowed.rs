@@ -1,0 +1,8 @@
+//! R1 fixture: a justified allow suppresses the diagnostic.
+
+use std::collections::HashMap;
+
+pub fn any_key(map: &HashMap<String, usize>) -> Option<&String> {
+    // sslint: allow(unordered-iter, victim choice is perf-only and never reaches a digest)
+    map.keys().next()
+}

@@ -1,0 +1,20 @@
+//! R1 fixture: unordered iteration over hash containers on the digest path.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Index {
+    slots: HashMap<String, usize>,
+    seen: HashSet<u64>,
+}
+
+pub fn fold_slots(index: &Index) -> u64 {
+    let mut acc = 0u64;
+    for (name, slot) in &index.slots {
+        acc ^= *slot as u64 ^ name.len() as u64;
+    }
+    acc
+}
+
+pub fn first_key(map: &HashMap<String, usize>) -> Option<&String> {
+    map.keys().next()
+}

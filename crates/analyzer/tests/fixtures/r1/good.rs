@@ -1,0 +1,21 @@
+//! R1 fixture: ordered containers and sorting adapters are clean.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Index {
+    slots: BTreeMap<String, usize>,
+}
+
+pub fn fold_slots(index: &Index) -> u64 {
+    let mut acc = 0u64;
+    for (name, slot) in &index.slots {
+        acc ^= *slot as u64 ^ name.len() as u64;
+    }
+    acc
+}
+
+pub fn sorted_keys(map: &HashMap<String, usize>) -> Vec<&String> {
+    let mut keys: Vec<&String> = map.keys().collect();
+    keys.sort_unstable();
+    keys
+}

@@ -1,0 +1,9 @@
+//! R2 fixture: an allow with a recorded invariant suppresses the diagnostic.
+
+use std::time::Instant;
+
+pub fn wall_secs() -> f64 {
+    // sslint: allow(ambient-authority, timing is printed only under --timing and never reaches default stdout)
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

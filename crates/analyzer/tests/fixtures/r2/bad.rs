@@ -1,0 +1,12 @@
+//! R2 fixture: ambient authority — wall clocks and free-running threads.
+
+use std::time::Instant;
+
+pub fn stamp() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn spawn_worker() {
+    std::thread::spawn(|| {});
+}

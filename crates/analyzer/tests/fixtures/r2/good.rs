@@ -1,0 +1,5 @@
+//! R2 fixture: simulated time flows in as data; no ambient reads.
+
+pub fn stamp(now_quanta: u64) -> u64 {
+    now_quanta + 1
+}

@@ -1,0 +1,12 @@
+//! R3 fixture: a declared not_checkpointable() decision recorded in an allow.
+
+pub struct Scratch {
+    hits: u64,
+}
+
+// sslint: allow(ckpt-contract, logical op is declared not_checkpointable() — scratch state is rebuilt from the stream)
+impl Operator for Scratch {
+    fn process(&mut self) {
+        self.hits += 1;
+    }
+}

@@ -1,0 +1,11 @@
+//! R3 fixture: stateful operator missing the checkpoint contract.
+
+pub struct Counter {
+    count: u64,
+}
+
+impl Operator for Counter {
+    fn process(&mut self) {
+        self.count += 1;
+    }
+}

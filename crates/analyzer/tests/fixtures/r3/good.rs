@@ -1,0 +1,19 @@
+//! R3 fixture: stateful operator honoring the checkpoint contract.
+
+pub struct Counter {
+    count: u64,
+}
+
+impl Operator for Counter {
+    fn process(&mut self) {
+        self.count += 1;
+    }
+
+    fn checkpoint(&self) -> Option<StateBlob> {
+        None
+    }
+
+    fn restore(&mut self, _blob: &StateBlob) -> Result<(), EngineError> {
+        Ok(())
+    }
+}

@@ -1,0 +1,6 @@
+//! R4 fixture: a justified float in a digest context.
+
+// sslint: allow(float-digest, rate is quantized to a fixed grid before hashing so formatting is stable)
+pub fn digest_rate(rate: f64) -> u64 {
+    format!("{rate:.3}").len() as u64
+}

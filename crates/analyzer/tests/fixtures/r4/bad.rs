@@ -1,0 +1,6 @@
+//! R4 fixture: a float formatted inside a digest context.
+
+pub fn digest_rate(rate: f64) -> u64 {
+    let text = format!("{rate}");
+    text.len() as u64
+}

@@ -1,0 +1,5 @@
+//! R4 fixture: floats enter digests as bits, never as text.
+
+pub fn digest_rate(rate: f64) -> u64 {
+    rate.to_bits()
+}

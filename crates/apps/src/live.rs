@@ -80,6 +80,7 @@ pub fn spawn_printer(
     rx: Receiver<TapUpdate>,
     mut render: impl FnMut(&TapUpdate) -> String + Send + 'static,
 ) -> JoinHandle<usize> {
+    // sslint: allow(ambient-authority, display-only printer thread; output never feeds digests or campaign artifacts)
     std::thread::spawn(move || {
         let mut printed = 0;
         while let Ok(update) = rx.recv() {

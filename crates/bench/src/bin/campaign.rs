@@ -524,6 +524,7 @@ fn timed_run(
     cache: &BaselineCache,
 ) -> (CampaignReport, f64, orca_harness::CacheStats) {
     let before = cache.stats();
+    // sslint: allow(ambient-authority, wall-clock timing is printed only under --timing and never reaches default stdout)
     let start = Instant::now();
     let report = run_campaign_cached(sc, cfg, cache);
     let wall = start.elapsed().as_secs_f64();

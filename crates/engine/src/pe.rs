@@ -24,7 +24,7 @@ use crate::tuple::Tuple;
 use bytes::Bytes;
 use sps_model::adl::Adl;
 use sps_sim::{SimDuration, SimRng, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Address of an operator input port in another PE.
@@ -89,7 +89,7 @@ struct OpSlot {
 pub struct PeRuntime {
     pe_index: usize,
     slots: Vec<OpSlot>,
-    op_index: HashMap<String, usize>,
+    op_index: BTreeMap<String, usize>,
     metrics: MetricStore,
     rng: SimRng,
     crashed: Option<String>,
@@ -106,7 +106,7 @@ impl PeRuntime {
         rng: SimRng,
     ) -> Result<Self, EngineError> {
         let mut slots = Vec::new();
-        let mut op_index = HashMap::new();
+        let mut op_index = BTreeMap::new();
         for op in adl.operators.iter().filter(|o| o.pe == pe_index) {
             let instance = registry.instantiate(op)?;
             let cost = instance.cost_per_tuple();

@@ -9,7 +9,7 @@ use crate::error::EngineError;
 use crate::op::Operator;
 use crate::ops;
 use sps_model::adl::AdlOperator;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Factory signature: given the ADL invocation, build a fresh operator
 /// instance. Called at job start and on every PE restart — instances start
@@ -19,7 +19,7 @@ pub type OperatorFactory = Box<dyn Fn(&AdlOperator) -> Result<Box<dyn Operator>,
 
 /// Maps operator kinds to factories.
 pub struct OperatorRegistry {
-    factories: HashMap<String, OperatorFactory>,
+    factories: BTreeMap<String, OperatorFactory>,
 }
 
 impl Default for OperatorRegistry {
@@ -32,7 +32,7 @@ impl OperatorRegistry {
     /// An empty registry (no kinds).
     pub fn empty() -> Self {
         OperatorRegistry {
-            factories: HashMap::new(),
+            factories: BTreeMap::new(),
         }
     }
 
@@ -94,10 +94,9 @@ impl OperatorRegistry {
         self.factories.contains_key(kind)
     }
 
+    /// Registered kinds, in sorted order (the map is a `BTreeMap`).
     pub fn kinds(&self) -> Vec<&str> {
-        let mut kinds: Vec<&str> = self.factories.keys().map(String::as_str).collect();
-        kinds.sort_unstable();
-        kinds
+        self.factories.keys().map(String::as_str).collect()
     }
 
     /// Builds a fresh operator instance for an ADL invocation.

@@ -291,6 +291,7 @@ impl BaselineCache {
                 // to the cost of simulating even one baseline world.
                 let Some(oldest) = guard
                     .map
+                    // sslint: allow(unordered-iter, eviction victim choice is perf-only: values are key-pinned, any evictee recomputes bit-identically)
                     .iter()
                     .min_by_key(|(_, e)| e.last_used)
                     .map(|(k, _)| k.clone())

@@ -10,7 +10,7 @@
 
 use crate::adl::{Adl, AdlExport, AdlImport, AdlPe, AdlStream};
 use crate::value::ParamMap;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One composite operator *instance* discovered in the ADL.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,11 +44,11 @@ pub struct OperatorMeta {
 pub struct GraphStore {
     app_name: String,
     ops: Vec<OperatorMeta>,
-    op_index: HashMap<String, usize>,
+    op_index: BTreeMap<String, usize>,
     pes: Vec<AdlPe>,
     pe_ops: Vec<Vec<usize>>,
     composites: Vec<CompositeInstance>,
-    comp_index: HashMap<String, usize>,
+    comp_index: BTreeMap<String, usize>,
     streams: Vec<AdlStream>,
     /// op index -> (downstream op index, from_port, to_port)
     downstream: Vec<Vec<(usize, usize, usize)>>,
@@ -61,10 +61,10 @@ impl GraphStore {
     /// Builds the store from a compiled ADL.
     pub fn from_adl(adl: &Adl) -> Self {
         let mut composites: Vec<CompositeInstance> = Vec::new();
-        let mut comp_index: HashMap<String, usize> = HashMap::new();
+        let mut comp_index: BTreeMap<String, usize> = BTreeMap::new();
 
         let mut ops = Vec::with_capacity(adl.operators.len());
-        let mut op_index = HashMap::with_capacity(adl.operators.len());
+        let mut op_index = BTreeMap::new();
         for op in &adl.operators {
             let mut chain = Vec::with_capacity(op.composite_path.len());
             let mut parent: Option<usize> = None;

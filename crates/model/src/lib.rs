@@ -23,6 +23,7 @@ pub mod error;
 pub mod graph;
 pub mod logical;
 pub mod value;
+pub mod verify;
 pub mod xml;
 
 pub use adl::{Adl, AdlExport, AdlImport, AdlOperator, AdlPe, AdlStream};
@@ -34,3 +35,4 @@ pub use logical::{
     ImportSpec, NodeRef, OperatorInvocation,
 };
 pub use value::{AttrType, Schema, Value};
+pub use verify::{graph_is_sound, verify_graph, Severity, VerifyDiagnostic, VerifyOptions};

@@ -8,7 +8,7 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Identifies a scheduled event so it can be cancelled before it fires.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -55,7 +55,7 @@ pub struct Scheduler<E> {
     now: SimTime,
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -70,7 +70,7 @@ impl<E> Scheduler<E> {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
         }
     }
 
