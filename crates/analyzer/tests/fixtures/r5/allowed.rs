@@ -1,0 +1,17 @@
+//! R5 fixture: a deliberate fault-path divergence recorded in an allow.
+
+pub struct Sampler;
+
+impl Operator for Sampler {
+    fn on_tuple(&mut self, _port: usize, t: Tuple, ctx: &mut OpCtx) {
+        if t.attrs.is_empty() {
+            ctx.raise_fault("empty tuple");
+        }
+        ctx.submit(0, t);
+    }
+
+    // sslint: allow(batch-contract, batched path pre-filters empty tuples upstream so the fault arm is unreachable by construction)
+    fn on_batch(&mut self, _port: usize, batch: TupleBatch, ctx: &mut OpCtx) {
+        ctx.submit_batch(0, batch);
+    }
+}

@@ -1,0 +1,28 @@
+//! R5 fixture: batched overrides that drift from the per-tuple path.
+
+pub struct BatchOnly;
+
+impl Operator for BatchOnly {
+    fn on_batch(&mut self, _port: usize, batch: TupleBatch, ctx: &mut OpCtx) {
+        for t in batch {
+            ctx.submit(0, t);
+        }
+    }
+}
+
+pub struct DropsFault;
+
+impl Operator for DropsFault {
+    fn on_tuple(&mut self, _port: usize, t: Tuple, ctx: &mut OpCtx) {
+        if t.attrs.is_empty() {
+            ctx.raise_fault("empty tuple");
+        }
+        ctx.submit(0, t);
+    }
+
+    fn on_batch(&mut self, _port: usize, batch: TupleBatch, ctx: &mut OpCtx) {
+        for t in batch {
+            ctx.submit(0, t);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! R5 fixture: coherent batched overrides — `on_tuple` maintained alongside
+//! `on_batch`, with the fault contract preserved on both paths.
+
+pub struct Fwd;
+
+impl Operator for Fwd {
+    fn on_tuple(&mut self, _port: usize, t: Tuple, ctx: &mut OpCtx) {
+        if t.attrs.is_empty() {
+            ctx.raise_fault("empty tuple");
+            return;
+        }
+        ctx.submit(0, t);
+    }
+
+    fn on_batch(&mut self, _port: usize, batch: TupleBatch, ctx: &mut OpCtx) {
+        for t in batch {
+            if t.attrs.is_empty() {
+                ctx.raise_fault("empty tuple");
+                return;
+            }
+            ctx.submit(0, t);
+        }
+    }
+}
+
+pub struct Faultless;
+
+impl Operator for Faultless {
+    fn on_tuple(&mut self, _port: usize, t: Tuple, ctx: &mut OpCtx) {
+        ctx.submit(0, t);
+    }
+
+    fn on_batch(&mut self, _port: usize, batch: TupleBatch, ctx: &mut OpCtx) {
+        ctx.submit_batch(0, batch);
+    }
+}

@@ -60,7 +60,7 @@ fn sample_checkpoint(ops: usize, tuples_per_op: usize) -> PeCheckpoint {
                 blob: Some(encode_window(tuples_per_op)),
             })
             .collect(),
-        queues: (0..ops).map(|_| vec![vec![]]).collect(),
+        queues: (0..ops).map(|_| vec![bytes::Bytes::new()]).collect(),
         metrics,
     }
 }

@@ -239,17 +239,14 @@ fn campaign_config(args: &Args) -> CampaignConfig {
         seed: args.seed,
         check_determinism: args.check_determinism,
         broken_convergence: args.broken_convergence,
-        checkpoint: CheckpointPolicy {
-            every_quanta: args.interval(),
-            lossy_restore: args.lossy_restore,
-            upstream_backup: args.upstream_backup == Some(true),
-            storage: StorageModel {
-                write_op_ms: args.ckpt_write_latency.unwrap_or(0),
-                budget_bytes: args.ckpt_budget.unwrap_or(0),
-                ..StorageModel::default()
-            },
-            ..CheckpointPolicy::default()
-        },
+        checkpoint: CheckpointPolicy::every(args.interval())
+            .lossy(args.lossy_restore)
+            .upstream_backup(args.upstream_backup == Some(true))
+            .storage(
+                StorageModel::default()
+                    .with_write(args.ckpt_write_latency.unwrap_or(0), 0)
+                    .with_budget(args.ckpt_budget.unwrap_or(0)),
+            ),
         jobs: args.jobs,
         ..Default::default()
     }
@@ -396,17 +393,14 @@ fn resolve_policy(env: PolicySpec, flags: PolicySpec) -> Result<CheckpointPolicy
             }
         }
     }
-    Ok(CheckpointPolicy {
-        every_quanta: interval,
-        lossy_restore: lossy,
-        upstream_backup: ub,
-        storage: StorageModel {
-            write_op_ms: write_latency,
-            budget_bytes: budget,
-            ..StorageModel::default()
-        },
-        ..CheckpointPolicy::default()
-    })
+    Ok(CheckpointPolicy::every(interval)
+        .lossy(lossy)
+        .upstream_backup(ub)
+        .storage(
+            StorageModel::default()
+                .with_write(write_latency, 0)
+                .with_budget(budget),
+        ))
 }
 
 /// Replays one plan from `HARNESS_APP` / `HARNESS_SEED` / `HARNESS_PLAN`
@@ -761,29 +755,14 @@ mod tests {
         let sc = scenario::by_name("trend").unwrap();
         let plan = FaultPlan::default();
         for opts in [
-            CheckpointPolicy {
-                every_quanta: 10,
-                ..CheckpointPolicy::default()
-            },
-            CheckpointPolicy {
-                every_quanta: 10,
-                lossy_restore: true,
-                ..CheckpointPolicy::default()
-            },
-            CheckpointPolicy {
-                every_quanta: 5,
-                upstream_backup: true,
-                ..CheckpointPolicy::default()
-            },
-            CheckpointPolicy {
-                every_quanta: 10,
-                storage: StorageModel {
-                    write_op_ms: 250,
-                    budget_bytes: 16_384,
-                    ..StorageModel::default()
-                },
-                ..CheckpointPolicy::default()
-            },
+            CheckpointPolicy::every(10),
+            CheckpointPolicy::every(10).lossy(true),
+            CheckpointPolicy::every(5).upstream_backup(true),
+            CheckpointPolicy::every(10).storage(
+                StorageModel::default()
+                    .with_write(250, 0)
+                    .with_budget(16_384),
+            ),
         ] {
             let line = reproducer_line(&sc, 123, &plan, opts);
             let resolved = resolve_policy(spec_from_line(&line), PolicySpec::default())

@@ -157,17 +157,12 @@ impl Point {
 
 fn run_point(app: &str, interval: u32, budget: usize, args: &Args) -> Result<Point, String> {
     let sc = scenario::by_name(app).ok_or_else(|| format!("unknown app `{app}`"))?;
-    let opts = CheckpointPolicy {
-        every_quanta: interval,
-        storage: StorageModel {
-            write_op_ms: args.write_op_ms,
-            write_bytes_per_ms: args.write_bytes_per_ms,
-            restore_op_ms: args.restore_op_ms,
-            restore_bytes_per_ms: args.restore_bytes_per_ms,
-            budget_bytes: budget,
-        },
-        ..CheckpointPolicy::default()
-    };
+    let opts = CheckpointPolicy::every(interval).storage(
+        StorageModel::default()
+            .with_write(args.write_op_ms, args.write_bytes_per_ms)
+            .with_restore(args.restore_op_ms, args.restore_bytes_per_ms)
+            .with_budget(budget),
+    );
     let mut point = Point::default();
     for plan_seed in plan_seeds(args.seed, args.plans) {
         let plan = FaultPlan::generate(&mut SimRng::new(plan_seed), &sc.plan_spec());

@@ -79,10 +79,10 @@ impl StateBlob {
 #[derive(Default)]
 pub struct StateWriter {
     buf: BytesMut,
-    /// Reusable tuple-encode scratch: cleared per tuple, so a snapshot of a
-    /// window with thousands of tuples allocates the buffer once instead of
-    /// once per tuple.
-    scratch: BytesMut,
+    /// Owned tuple codec: its internal scratch is reused across tuples, so a
+    /// snapshot of a window with thousands of tuples allocates the encode
+    /// buffer once instead of once per tuple.
+    codec: codec::TupleCodec,
 }
 
 impl StateWriter {
@@ -154,11 +154,11 @@ impl StateWriter {
     pub fn put_tuple(&mut self, t: &Tuple) {
         // Reuse the full stream-item encoding (tag + tuple body) so blobs
         // and transport share one definition of a tuple's bytes — borrowed,
-        // into the reusable scratch: no tuple clone, no per-call buffer.
-        self.scratch.clear();
-        codec::encode_tuple_item(t, &mut self.scratch);
-        self.buf.put_u32_le(self.scratch.len() as u32);
-        self.buf.put_slice(&self.scratch);
+        // through the codec's own scratch: no tuple clone, no per-call
+        // buffer threading.
+        let frame = self.codec.tuple_frame(t);
+        self.buf.put_u32_le(frame.len() as u32);
+        self.buf.put_slice(frame);
     }
 }
 
@@ -296,9 +296,11 @@ pub struct PeCheckpoint {
     /// Simulation time the snapshot was taken.
     pub taken_at: SimTime,
     pub ops: Vec<OpCheckpoint>,
-    /// Input queues at snapshot time: `[op slot][input port][item]`, each
-    /// item in wire encoding. Outer arity mirrors `ops`.
-    pub queues: Vec<Vec<Vec<Bytes>>>,
+    /// Input queues at snapshot time: `[op slot][input port]` → one blob per
+    /// port in wire encoding at batch granularity (runs of consecutive
+    /// tuples coalesced into batch frames, punctuation as bare item frames —
+    /// see [`crate::codec::encode_queue`]). Outer arity mirrors `ops`.
+    pub queues: Vec<Vec<Bytes>>,
     /// Metric snapshot, restored wholesale so monotone counters
     /// (`nTuplesProcessed`, custom metrics) stay continuous across restarts.
     /// Keys are the store's interned `Arc`s — snapshotting bumps refcounts
@@ -331,12 +333,9 @@ impl PeCheckpoint {
         }
         for op_queues in &self.queues {
             h = fnv1a(h, &(op_queues.len() as u64).to_le_bytes());
-            for port in op_queues {
-                h = fnv1a(h, &(port.len() as u64).to_le_bytes());
-                for item in port {
-                    h = fnv1a(h, &(item.len() as u64).to_le_bytes());
-                    h = fnv1a(h, item);
-                }
+            for blob in op_queues {
+                h = fnv1a(h, &(blob.len() as u64).to_le_bytes());
+                h = fnv1a(h, blob);
             }
         }
         for (key, value) in &self.metrics {
@@ -382,7 +381,6 @@ impl PeCheckpoint {
         self.queues
             .iter()
             .flat_map(|op| op.iter())
-            .flat_map(|port| port.iter())
             .map(Bytes::len)
             .sum()
     }
@@ -465,7 +463,7 @@ mod tests {
                     blob: None,
                 },
             ],
-            queues: vec![vec![vec![]], vec![vec![Bytes::from_static(b"abcd")]]],
+            queues: vec![vec![Bytes::new()], vec![Bytes::from_static(b"abcd")]],
             metrics: vec![(Arc::new(MetricKey::Operator("src".into(), "n".into())), 3)],
         }
     }
@@ -490,7 +488,7 @@ mod tests {
         assert_ne!(a.digest(), e.digest());
 
         let mut f = a.clone();
-        f.queues[1][0].clear(); // dropped in-flight tuples must change digest
+        f.queues[1][0] = Bytes::new(); // dropped in-flight tuples must change digest
         assert_ne!(a.digest(), f.digest());
     }
 

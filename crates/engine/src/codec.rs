@@ -7,15 +7,21 @@
 //!
 //! Wire format (little-endian):
 //! ```text
-//! u8  item tag: 0 = tuple, 1 = window punct, 2 = final punct
+//! u8  item tag: 0 = tuple, 1 = window punct, 2 = final punct, 3 = batch
 //! u16 attr count                      (tuple only)
 //! per attr:
 //!   u16 name len, name bytes
 //!   u8  value tag, payload
+//! batch frame (tag 3): u32 tuple count, then that many tuple frames
 //! ```
+//!
+//! The preferred entry point is [`TupleCodec`], which owns a reusable
+//! scratch buffer so hot paths (transport, checkpoint writers) amortize
+//! allocations without threading a `BytesMut` by hand. The free functions
+//! below remain as thin wrappers over the same frame writers.
 
 use crate::error::EngineError;
-use crate::op::{Punct, StreamItem};
+use crate::op::{Punct, StreamItem, TupleBatch};
 use crate::tuple::Tuple;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sps_model::Value;
@@ -23,6 +29,7 @@ use sps_model::Value;
 const TAG_TUPLE: u8 = 0;
 const TAG_WINDOW_PUNCT: u8 = 1;
 const TAG_FINAL_PUNCT: u8 = 2;
+const TAG_BATCH: u8 = 3;
 
 const VTAG_INT: u8 = 0;
 const VTAG_FLOAT: u8 = 1;
@@ -56,6 +63,84 @@ pub fn encode_into(item: &StreamItem, buf: &mut BytesMut) {
 pub fn encode_tuple_item(t: &Tuple, buf: &mut BytesMut) {
     buf.put_u8(TAG_TUPLE);
     encode_tuple(t, buf);
+}
+
+/// Appends a batch frame — `TAG_BATCH`, a tuple count, then each tuple's
+/// ordinary item frame — so a whole per-quantum run of tuples crosses a PE
+/// boundary as one payload instead of one payload per tuple.
+pub fn encode_batch_into(tuples: &[Tuple], buf: &mut BytesMut) {
+    buf.put_u8(TAG_BATCH);
+    buf.put_u32_le(tuples.len() as u32);
+    for t in tuples {
+        encode_tuple_item(t, buf);
+    }
+}
+
+/// A decoded transport frame: either a single stream item or a batch of
+/// consecutive tuples (one input-port run from one quantum).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decoded {
+    Item(StreamItem),
+    Batch(TupleBatch),
+}
+
+/// A stateful codec owning its scratch buffer. This is the primary encode
+/// API: one instance per transport/checkpoint call site amortizes a single
+/// allocation across every encode it performs, replacing the hand-threaded
+/// `BytesMut` scratch the free functions require.
+#[derive(Debug, Default)]
+pub struct TupleCodec {
+    scratch: BytesMut,
+}
+
+impl TupleCodec {
+    pub fn new() -> Self {
+        TupleCodec {
+            scratch: BytesMut::with_capacity(256),
+        }
+    }
+
+    /// Encodes one stream item into a standalone payload.
+    pub fn encode_item(&mut self, item: &StreamItem) -> Bytes {
+        self.scratch.clear();
+        encode_into(item, &mut self.scratch);
+        Bytes::from(&self.scratch[..])
+    }
+
+    /// Encodes a run of tuples into a standalone batch payload.
+    pub fn encode_batch(&mut self, tuples: &[Tuple]) -> Bytes {
+        self.encode_tuple_run(tuples.len(), tuples.iter())
+    }
+
+    /// Batch-payload variant over borrowed tuples scattered in another
+    /// structure (the PE's emission list), avoiding an intermediate `Vec`.
+    /// `count` must equal the iterator's length.
+    pub fn encode_tuple_run<'a>(
+        &mut self,
+        count: usize,
+        tuples: impl Iterator<Item = &'a Tuple>,
+    ) -> Bytes {
+        self.scratch.clear();
+        self.scratch.put_u8(TAG_BATCH);
+        self.scratch.put_u32_le(count as u32);
+        let mut written = 0usize;
+        for t in tuples {
+            encode_tuple_item(t, &mut self.scratch);
+            written += 1;
+        }
+        debug_assert_eq!(written, count, "encode_tuple_run count mismatch");
+        Bytes::from(&self.scratch[..])
+    }
+
+    /// Encodes a borrowed tuple's item frame and returns it as a borrowed
+    /// slice, valid until the next call. Callers that need to length-prefix
+    /// or embed the frame (checkpoint writers) copy from this slice instead
+    /// of managing their own scratch.
+    pub fn tuple_frame(&mut self, t: &Tuple) -> &[u8] {
+        self.scratch.clear();
+        encode_tuple_item(t, &mut self.scratch);
+        &self.scratch
+    }
 }
 
 fn encode_tuple(t: &Tuple, buf: &mut BytesMut) {
@@ -100,6 +185,26 @@ fn encode_value(value: &Value, buf: &mut BytesMut) {
     }
 }
 
+/// Drops the first `skip` tuples of a batch payload and re-encodes the
+/// remainder as a fresh batch frame. Upstream backup uses this when a
+/// replayed run straddles a channel's high-water mark — re-execution after
+/// restore batches the same tuple sequence at different boundaries, so the
+/// payload's prefix duplicates traffic already delivered while its tail is
+/// new. `skip` must be less than the batch length.
+pub fn split_batch_payload(payload: Bytes, skip: usize) -> Result<Bytes, EngineError> {
+    let batch = decode_batch(payload)?;
+    if skip >= batch.len() {
+        return Err(EngineError::Codec(format!(
+            "split skip {skip} covers whole batch of {}",
+            batch.len()
+        )));
+    }
+    let rest: Vec<Tuple> = batch.into_iter().skip(skip).collect();
+    let mut buf = BytesMut::with_capacity(64 * rest.len());
+    encode_batch_into(&rest, &mut buf);
+    Ok(buf.freeze())
+}
+
 /// Decodes a stream item from a buffer produced by [`encode`].
 pub fn decode(mut buf: Bytes) -> Result<StreamItem, EngineError> {
     if buf.remaining() < 1 {
@@ -117,6 +222,93 @@ pub fn decode(mut buf: Bytes) -> Result<StreamItem, EngineError> {
         TAG_FINAL_PUNCT => Ok(StreamItem::Punct(Punct::Final)),
         tag => Err(EngineError::Codec(format!("unknown item tag {tag}"))),
     }
+}
+
+/// Decodes a batch frame produced by [`encode_batch_into`].
+pub fn decode_batch(mut buf: Bytes) -> Result<TupleBatch, EngineError> {
+    if buf.remaining() < 1 || buf.get_u8() != TAG_BATCH {
+        return Err(EngineError::Codec("not a batch frame".into()));
+    }
+    let batch = decode_batch_body(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(EngineError::Codec("trailing bytes after batch".into()));
+    }
+    Ok(batch)
+}
+
+fn decode_batch_body(buf: &mut Bytes) -> Result<TupleBatch, EngineError> {
+    if buf.remaining() < 4 {
+        return Err(EngineError::Codec("truncated batch header".into()));
+    }
+    let count = buf.get_u32_le() as usize;
+    if count > buf.remaining() {
+        return Err(EngineError::Codec("batch count exceeds buffer".into()));
+    }
+    let mut batch = TupleBatch::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 1 || buf.get_u8() != TAG_TUPLE {
+            return Err(EngineError::Codec("batch frame holds a non-tuple".into()));
+        }
+        batch.push(decode_tuple(buf)?);
+    }
+    Ok(batch)
+}
+
+/// Decodes a transport payload that may be either a single item frame or a
+/// batch frame — what [`crate::pe::PeRuntime::receive`] sees on the wire.
+pub fn decode_frame(buf: Bytes) -> Result<Decoded, EngineError> {
+    match buf.first() {
+        Some(&TAG_BATCH) => Ok(Decoded::Batch(decode_batch(buf)?)),
+        _ => Ok(Decoded::Item(decode(buf)?)),
+    }
+}
+
+/// Serializes one input-port queue as a single blob: runs of consecutive
+/// tuples become batch frames, punctuation stays as bare item frames. This
+/// is the checkpoint-v2 queue capture at batch granularity.
+pub fn encode_queue<'a>(items: impl IntoIterator<Item = &'a StreamItem>) -> Bytes {
+    let mut buf = BytesMut::new();
+    let mut run: Vec<&Tuple> = Vec::new();
+    let flush = |run: &mut Vec<&Tuple>, buf: &mut BytesMut| {
+        if run.is_empty() {
+            return;
+        }
+        buf.put_u8(TAG_BATCH);
+        buf.put_u32_le(run.len() as u32);
+        for t in run.drain(..) {
+            encode_tuple_item(t, buf);
+        }
+    };
+    for item in items {
+        match item {
+            StreamItem::Tuple(t) => run.push(t),
+            punct => {
+                flush(&mut run, &mut buf);
+                encode_into(punct, &mut buf);
+            }
+        }
+    }
+    flush(&mut run, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes a queue blob written by [`encode_queue`] back into its item
+/// sequence (batch frames are flattened in order).
+pub fn decode_queue(mut buf: Bytes) -> Result<Vec<StreamItem>, EngineError> {
+    let mut items = Vec::new();
+    while buf.has_remaining() {
+        match buf.get_u8() {
+            TAG_TUPLE => items.push(StreamItem::Tuple(decode_tuple(&mut buf)?)),
+            TAG_WINDOW_PUNCT => items.push(StreamItem::Punct(Punct::Window)),
+            TAG_FINAL_PUNCT => items.push(StreamItem::Punct(Punct::Final)),
+            TAG_BATCH => {
+                let batch = decode_batch_body(&mut buf)?;
+                items.extend(batch.into_iter().map(StreamItem::Tuple));
+            }
+            tag => return Err(EngineError::Codec(format!("unknown queue tag {tag}"))),
+        }
+    }
+    Ok(items)
 }
 
 fn decode_tuple(buf: &mut Bytes) -> Result<Tuple, EngineError> {
@@ -297,6 +489,91 @@ mod tests {
         scratch.clear();
         encode_tuple_item(&t, &mut scratch);
         assert_eq!(&scratch[..], &encode(&StreamItem::Tuple(t))[..]);
+    }
+
+    #[test]
+    fn batch_roundtrips_and_matches_item_frames() {
+        let tuples = vec![
+            Tuple::new().with("a", 1i64),
+            Tuple::new().with("b", "two"),
+            Tuple::new(),
+        ];
+        let mut buf = BytesMut::new();
+        encode_batch_into(&tuples, &mut buf);
+        let payload = buf.freeze();
+        let back = decode_batch(payload.clone()).unwrap();
+        assert_eq!(back.as_slice(), &tuples[..]);
+        // The batch body is exactly the concatenated single-item frames.
+        let concat: Vec<u8> = tuples
+            .iter()
+            .flat_map(|t| encode(&StreamItem::Tuple(t.clone())).to_vec())
+            .collect();
+        assert_eq!(&payload[5..], &concat[..]);
+        // decode_frame dispatches on the leading tag.
+        assert_eq!(
+            decode_frame(payload).unwrap(),
+            Decoded::Batch(tuples.clone().into())
+        );
+        assert_eq!(
+            decode_frame(encode(&StreamItem::Punct(Punct::Final))).unwrap(),
+            Decoded::Item(StreamItem::Punct(Punct::Final))
+        );
+    }
+
+    #[test]
+    fn batch_decode_rejects_corruption() {
+        let tuples = vec![Tuple::new().with("a", 1i64), Tuple::new().with("b", 2i64)];
+        let mut buf = BytesMut::new();
+        encode_batch_into(&tuples, &mut buf);
+        let full = buf.freeze();
+        for cut in 1..full.len() {
+            assert!(decode_batch(full.slice(0..cut)).is_err());
+        }
+        let mut trailing = full.to_vec();
+        trailing.push(0xAB);
+        assert!(decode_batch(Bytes::from(trailing)).is_err());
+        // A single-item frame is not a batch.
+        assert!(decode_batch(encode(&StreamItem::Tuple(Tuple::new()))).is_err());
+        // A claimed count far beyond the buffer fails fast.
+        let mut bogus = BytesMut::new();
+        bogus.put_u8(3);
+        bogus.put_u32_le(u32::MAX);
+        assert!(decode_batch(bogus.freeze()).is_err());
+    }
+
+    #[test]
+    fn queue_blob_roundtrips_mixed_items() {
+        let items = vec![
+            StreamItem::Tuple(Tuple::new().with("a", 1i64)),
+            StreamItem::Tuple(Tuple::new().with("b", 2i64)),
+            StreamItem::Punct(Punct::Window),
+            StreamItem::Tuple(Tuple::new().with("c", 3i64)),
+            StreamItem::Punct(Punct::Final),
+        ];
+        let blob = encode_queue(&items);
+        assert_eq!(decode_queue(blob).unwrap(), items);
+        // Degenerate queues.
+        assert!(decode_queue(encode_queue(&[])).unwrap().is_empty());
+        let puncts_only = vec![StreamItem::Punct(Punct::Window); 3];
+        assert_eq!(
+            decode_queue(encode_queue(&puncts_only)).unwrap(),
+            puncts_only
+        );
+    }
+
+    #[test]
+    fn tuple_codec_matches_free_functions() {
+        let mut codec = TupleCodec::new();
+        let item = StreamItem::Tuple(Tuple::new().with("x", 9i64).with("s", "str"));
+        assert_eq!(codec.encode_item(&item), encode(&item));
+        let t = Tuple::new().with("y", 4i64);
+        let mut scratch = BytesMut::new();
+        encode_tuple_item(&t, &mut scratch);
+        assert_eq!(codec.tuple_frame(&t), &scratch[..]);
+        let tuples = vec![Tuple::new().with("a", 1i64), Tuple::new().with("b", 2i64)];
+        let mut buf = BytesMut::new();
+        encode_batch_into(&tuples, &mut buf);
+        assert_eq!(codec.encode_batch(&tuples), buf.freeze());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Windowed aggregation over a numeric attribute, optionally grouped.
 
 use crate::ckpt::{StateBlob, StateReader, StateWriter};
-use crate::op::{OpCtx, Operator, Punct};
+use crate::op::{OpCtx, Operator, Punct, TupleBatch};
 use crate::ops::{opt_str, req_f64, req_str};
 use crate::tuple::Tuple;
 use crate::window::SlidingTimeWindow;
@@ -105,6 +105,56 @@ impl Operator for Aggregate {
             .entry(group)
             .or_insert_with(|| SlidingTimeWindow::new(window_span))
             .push(ctx.now(), v);
+    }
+
+    // Batched ingest. Ungrouped aggregation resolves the group window once
+    // for the whole run instead of one BTreeMap probe per tuple; grouped
+    // aggregation keeps per-tuple probes (keys vary within a run) but
+    // hoists the timestamp and mode dispatch. Faults stop consumption at
+    // the faulting tuple, matching the per-tuple fallback.
+    fn on_batch(&mut self, _port: usize, batch: TupleBatch, ctx: &mut OpCtx) {
+        let now = ctx.now();
+        let span = self.window;
+        match &self.group_by {
+            None => {
+                let window = self
+                    .groups
+                    .entry(String::new())
+                    .or_insert_with(|| SlidingTimeWindow::new(span));
+                for tuple in batch {
+                    let Some(v) = tuple.get_f64(&self.value_attr) else {
+                        ctx.raise_fault(format!(
+                            "aggregate value attribute '{}' missing or non-numeric",
+                            self.value_attr
+                        ));
+                        return;
+                    };
+                    window.push(now, v);
+                }
+            }
+            Some(attr) => {
+                for tuple in batch {
+                    let Some(v) = tuple.get_f64(&self.value_attr) else {
+                        ctx.raise_fault(format!(
+                            "aggregate value attribute '{}' missing or non-numeric",
+                            self.value_attr
+                        ));
+                        return;
+                    };
+                    let group = match tuple.get(attr) {
+                        Some(val) => val.render(),
+                        None => {
+                            ctx.raise_fault(format!("group_by attribute '{attr}' missing"));
+                            return;
+                        }
+                    };
+                    self.groups
+                        .entry(group)
+                        .or_insert_with(|| SlidingTimeWindow::new(span))
+                        .push(now, v);
+                }
+            }
+        }
     }
 
     fn on_punct(&mut self, _port: usize, punct: Punct, ctx: &mut OpCtx) {

@@ -15,10 +15,10 @@
 //!   produces the orchestrator's PE-failure event (§4.2).
 
 use crate::ckpt::{OpCheckpoint, PeCheckpoint, CKPT_FORMAT_VERSION};
-use crate::codec;
+use crate::codec::{self, TupleCodec};
 use crate::error::EngineError;
 use crate::metrics::{builtin, MetricKey, MetricStore};
-use crate::op::{OpCtx, Operator, Punct, StreamItem};
+use crate::op::{OpCtx, Operator, Punct, StreamItem, TupleBatch};
 use crate::registry::OperatorRegistry;
 use crate::tuple::Tuple;
 use bytes::Bytes;
@@ -35,11 +35,16 @@ pub struct RemoteDest {
     pub port: usize,
 }
 
-/// A serialized item bound for another PE.
+/// A serialized payload bound for another PE: either a single item frame or
+/// a batch frame holding a run of consecutive tuples from one quantum.
 #[derive(Clone, Debug)]
 pub struct RemoteDelivery {
     pub dest: RemoteDest,
     pub payload: Bytes,
+    /// Tuples (or punctuations) carried by `payload` — 1 for item frames,
+    /// the run length for batch frames. Transport counters (upstream-backup
+    /// buffered/replayed/suppressed totals) stay tuple-granular through this.
+    pub items: u32,
 }
 
 /// An item emitted on an exported output port, to be routed across jobs by
@@ -93,6 +98,30 @@ pub struct PeRuntime {
     metrics: MetricStore,
     rng: SimRng,
     crashed: Option<String>,
+    /// Reusable encode scratch for the remote transport path.
+    codec: TupleCodec,
+}
+
+/// One scheduling decision from the drain loop: a run of consecutive tuples
+/// from one port, or a single punctuation (punctuation is never batched).
+enum PoppedRun {
+    Batch(usize, TupleBatch),
+    Punct(usize, Punct),
+}
+
+/// Whether batched delivery is on. `SPS_BATCH=off|0|false` forces the
+/// per-tuple reference path — single-item runs dispatched through
+/// `on_tuple`, one transport payload per tuple — which the batching
+/// systest diffs against to prove the batched data path is
+/// observationally identical. Read once per process.
+fn batching_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("SPS_BATCH").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        )
+    })
 }
 
 impl PeRuntime {
@@ -157,6 +186,7 @@ impl PeRuntime {
             metrics: MetricStore::new(),
             rng,
             crashed: None,
+            codec: TupleCodec::new(),
         })
     }
 
@@ -206,17 +236,33 @@ impl PeRuntime {
         Ok(())
     }
 
-    /// Decodes and injects a serialized remote delivery.
+    /// Decodes and injects a serialized remote delivery — one item frame or
+    /// a whole batch frame (the tuples land on the port queue in batch
+    /// order, exactly as per-item deliveries would).
     pub fn receive(&mut self, delivery: &RemoteDelivery) -> Result<(), EngineError> {
-        let item = codec::decode(delivery.payload.clone())?;
-        if let StreamItem::Tuple(t) = &item {
-            self.metrics.pe_add(
-                self.pe_index,
-                builtin::N_TUPLE_BYTES_PROCESSED,
-                t.approx_bytes() as i64,
-            );
+        match codec::decode_frame(delivery.payload.clone())? {
+            codec::Decoded::Item(item) => {
+                if let StreamItem::Tuple(t) = &item {
+                    self.metrics.pe_add(
+                        self.pe_index,
+                        builtin::N_TUPLE_BYTES_PROCESSED,
+                        t.approx_bytes() as i64,
+                    );
+                }
+                self.inject(&delivery.dest.op, delivery.dest.port, item)
+            }
+            codec::Decoded::Batch(batch) => {
+                self.metrics.pe_add(
+                    self.pe_index,
+                    builtin::N_TUPLE_BYTES_PROCESSED,
+                    batch.approx_bytes() as i64,
+                );
+                for t in batch {
+                    self.inject(&delivery.dest.op, delivery.dest.port, StreamItem::Tuple(t))?;
+                }
+                Ok(())
+            }
         }
-        self.inject(&delivery.dest.op, delivery.dest.port, item)
     }
 
     /// Runs one scheduling quantum: source ticks, then queue draining up to
@@ -234,7 +280,10 @@ impl PeRuntime {
             }
         }
 
-        // Phase 2: drain queues round-robin until budget exhausted.
+        // Phase 2: drain queues round-robin until budget exhausted. Each
+        // visit to a slot hands down a whole run of consecutive tuples from
+        // one port as a single `on_batch` call; punctuation is delivered
+        // singly so batch boundaries never cross a punct.
         let mut spent: u64 = 0;
         loop {
             let mut progressed = false;
@@ -242,12 +291,26 @@ impl PeRuntime {
                 if spent >= budget as u64 {
                     break;
                 }
-                let Some((port, item)) = self.pop_next(slot_idx) else {
+                let cost = self.slots[slot_idx].cost as u64;
+                // Largest run the remaining budget admits; matches the
+                // legacy loop's overshoot (an item started under budget is
+                // always charged in full).
+                let headroom = (budget as u64 - spent).div_ceil(cost.max(1));
+                let Some(run) = self.pop_run(slot_idx, headroom as usize) else {
                     continue;
                 };
                 progressed = true;
-                spent += self.slots[slot_idx].cost as u64;
-                if self.process_item(slot_idx, port, item, now, quantum, &mut out) {
+                let crashed = match run {
+                    PoppedRun::Punct(port, punct) => {
+                        spent += cost;
+                        self.process_punct(slot_idx, port, punct, now, quantum, &mut out)
+                    }
+                    PoppedRun::Batch(port, batch) => {
+                        spent += cost * batch.len() as u64;
+                        self.process_batch(slot_idx, port, batch, now, quantum, &mut out)
+                    }
+                };
+                if crashed {
                     out.work_done = spent;
                     return self.crash(out);
                 }
@@ -289,15 +352,47 @@ impl PeRuntime {
         }
     }
 
-    /// Pops the next queued item for a slot, rotating over input ports.
-    fn pop_next(&mut self, slot_idx: usize) -> Option<(usize, StreamItem)> {
+    /// Pops the next run for a slot, rotating over input ports: up to
+    /// `max_items` consecutive tuples from one port (stopping at queued
+    /// punctuation), or one punctuation. Slots with several input ports keep
+    /// per-item runs — the legacy loop rotates ports after *every* item, so
+    /// longer runs would change a multi-input operator's interleaving.
+    fn pop_run(&mut self, slot_idx: usize, max_items: usize) -> Option<PoppedRun> {
         let slot = &mut self.slots[slot_idx];
         let ports = slot.queues.len();
         for offset in 0..ports {
             let port = (slot.next_port + offset) % ports;
-            if let Some(item) = slot.queues[port].pop_front() {
-                slot.next_port = (port + 1) % ports;
-                return Some((port, item));
+            let queue = &mut slot.queues[port];
+            match queue.front() {
+                None => continue,
+                Some(StreamItem::Punct(_)) => {
+                    let Some(StreamItem::Punct(p)) = queue.pop_front() else {
+                        unreachable!("front was a punct");
+                    };
+                    slot.next_port = (port + 1) % ports;
+                    return Some(PoppedRun::Punct(port, p));
+                }
+                Some(StreamItem::Tuple(_)) => {
+                    let cap = if ports > 1 || !batching_enabled() {
+                        1
+                    } else {
+                        max_items.max(1)
+                    };
+                    let mut batch = TupleBatch::with_capacity(cap.min(queue.len()));
+                    while batch.len() < cap {
+                        match queue.front() {
+                            Some(StreamItem::Tuple(_)) => {
+                                let Some(StreamItem::Tuple(t)) = queue.pop_front() else {
+                                    unreachable!("front was a tuple");
+                                };
+                                batch.push(t);
+                            }
+                            _ => break,
+                        }
+                    }
+                    slot.next_port = (port + 1) % ports;
+                    return Some(PoppedRun::Batch(port, batch));
+                }
             }
         }
         None
@@ -331,41 +426,83 @@ impl PeRuntime {
         false
     }
 
-    /// Returns true if the operator faulted.
-    fn process_item(
+    /// Delivers a run of consecutive tuples from one port through a single
+    /// `on_batch` call. Returns true if the operator faulted; in that case
+    /// the whole run was consumed — tuples after the faulting one are lost
+    /// with the crashing process, like the cleared input queues.
+    fn process_batch(
         &mut self,
         slot_idx: usize,
         port: usize,
-        item: StreamItem,
+        batch: TupleBatch,
         now: SimTime,
         quantum: SimDuration,
         out: &mut PeOutput,
     ) -> bool {
-        // Built-in metrics for the consumption side.
-        match &item {
-            StreamItem::Tuple(t) => {
-                let name = self.slots[slot_idx].name.clone();
-                self.metrics.op_add(&name, builtin::N_TUPLES_PROCESSED, 1);
-                self.metrics.add(
-                    MetricKey::OperatorPort(name, port, builtin::N_TUPLES_PROCESSED.into()),
-                    1,
-                );
-                self.metrics.pe_add(
-                    self.pe_index,
-                    builtin::N_TUPLE_BYTES_PROCESSED,
-                    t.approx_bytes() as i64,
-                );
-            }
-            StreamItem::Punct(Punct::Final) => {
-                let name = self.slots[slot_idx].name.clone();
-                self.metrics
-                    .op_add(&name, builtin::N_FINAL_PUNCTS_PROCESSED, 1);
-            }
-            StreamItem::Punct(Punct::Window) => {}
-        }
+        // Consumption-side built-in metrics, amortized over the run.
+        let k = batch.len() as i64;
+        let name = self.slots[slot_idx].name.clone();
+        self.metrics.op_add(&name, builtin::N_TUPLES_PROCESSED, k);
+        self.metrics.add(
+            MetricKey::OperatorPort(name, port, builtin::N_TUPLES_PROCESSED.into()),
+            k,
+        );
+        self.metrics.pe_add(
+            self.pe_index,
+            builtin::N_TUPLE_BYTES_PROCESSED,
+            batch.approx_bytes() as i64,
+        );
 
         let slot = &mut self.slots[slot_idx];
-        if matches!(item, StreamItem::Punct(Punct::Final)) {
+        let all_final = slot.finals_seen.iter().all(|&s| s);
+        let mut ctx = OpCtx::new(
+            now,
+            quantum,
+            &slot.name,
+            slot.outputs,
+            &mut self.metrics,
+            &mut self.rng,
+        );
+        ctx.set_all_inputs_final(all_final);
+        if batching_enabled() {
+            slot.op.on_batch(port, batch, &mut ctx);
+        } else {
+            // Reference path: dispatch each tuple through `on_tuple`,
+            // bypassing every batched override.
+            for tuple in batch {
+                if ctx.has_fault() {
+                    break;
+                }
+                slot.op.on_tuple(port, tuple, &mut ctx);
+            }
+        }
+        let emitted = ctx.take_emitted();
+        let fault = ctx.take_fault();
+        self.route(slot_idx, emitted, out);
+        if let Some(msg) = fault {
+            self.crashed = Some(format!("{}: {msg}", self.slots[slot_idx].name));
+            return true;
+        }
+        false
+    }
+
+    /// Returns true if the operator faulted.
+    fn process_punct(
+        &mut self,
+        slot_idx: usize,
+        port: usize,
+        punct: Punct,
+        now: SimTime,
+        quantum: SimDuration,
+        out: &mut PeOutput,
+    ) -> bool {
+        if punct == Punct::Final {
+            let name = self.slots[slot_idx].name.clone();
+            self.metrics
+                .op_add(&name, builtin::N_FINAL_PUNCTS_PROCESSED, 1);
+        }
+        let slot = &mut self.slots[slot_idx];
+        if punct == Punct::Final {
             if let Some(seen) = slot.finals_seen.get_mut(port) {
                 *seen = true;
             }
@@ -380,10 +517,7 @@ impl PeRuntime {
             &mut self.rng,
         );
         ctx.set_all_inputs_final(all_final);
-        match item {
-            StreamItem::Tuple(t) => slot.op.on_tuple(port, t, &mut ctx),
-            StreamItem::Punct(p) => slot.op.on_punct(port, p, &mut ctx),
-        }
+        slot.op.on_punct(port, punct, &mut ctx);
         let emitted = ctx.take_emitted();
         let fault = ctx.take_fault();
         self.route(slot_idx, emitted, out);
@@ -395,7 +529,10 @@ impl PeRuntime {
     }
 
     /// Routes items emitted by `slot_idx` to local queues, the remote
-    /// outbox, and the export outbox.
+    /// outbox, and the export outbox. Runs of consecutive tuples on one
+    /// output port are serialized as a single batch payload per remote
+    /// channel; local queues and the (cross-job) export path stay per-item,
+    /// preserving emission order exactly.
     fn route(&mut self, slot_idx: usize, emitted: Vec<(usize, StreamItem)>, out: &mut PeOutput) {
         if emitted.is_empty() {
             return;
@@ -406,39 +543,71 @@ impl PeRuntime {
         {
             let slot = &self.slots[slot_idx];
             let name = &slot.name;
-            for (port, item) in &emitted {
+            let mut i = 0;
+            while i < emitted.len() {
+                let (port, item) = &emitted[i];
+                let port = *port;
+                // Extend the run while consecutive emissions are tuples on
+                // the same port; puncts and port switches end it.
+                let mut j = i + 1;
+                if matches!(item, StreamItem::Tuple(_)) && batching_enabled() {
+                    while j < emitted.len()
+                        && emitted[j].0 == port
+                        && matches!(emitted[j].1, StreamItem::Tuple(_))
+                    {
+                        j += 1;
+                    }
+                }
+                let run = &emitted[i..j];
                 if let StreamItem::Tuple(_) = item {
-                    self.metrics.op_add(name, builtin::N_TUPLES_SUBMITTED, 1);
+                    self.metrics
+                        .op_add(name, builtin::N_TUPLES_SUBMITTED, run.len() as i64);
                     self.metrics.add(
                         MetricKey::OperatorPort(
                             name.clone(),
-                            *port,
+                            port,
                             builtin::N_TUPLES_SUBMITTED.into(),
                         ),
-                        1,
+                        run.len() as i64,
                     );
                 }
-                if *port < slot.exported_ports.len() && slot.exported_ports[*port] {
-                    out.exported.push(ExportedItem {
-                        op: name.clone(),
-                        port: *port,
-                        item: item.clone(),
-                    });
-                }
-                if *port < slot.local_routes.len() {
-                    for &(to_slot, to_port) in &slot.local_routes[*port] {
-                        local.push((to_slot, to_port, item.clone()));
+                let exported = port < slot.exported_ports.len() && slot.exported_ports[port];
+                let routed = port < slot.local_routes.len();
+                for (_, it) in run {
+                    if exported {
+                        out.exported.push(ExportedItem {
+                            op: name.clone(),
+                            port,
+                            item: it.clone(),
+                        });
                     }
-                    if !slot.remote_routes[*port].is_empty() {
-                        let payload = codec::encode(item);
-                        for dest in &slot.remote_routes[*port] {
-                            out.remote.push(RemoteDelivery {
-                                dest: dest.clone(),
-                                payload: payload.clone(),
-                            });
+                    if routed {
+                        for &(to_slot, to_port) in &slot.local_routes[port] {
+                            local.push((to_slot, to_port, it.clone()));
                         }
                     }
                 }
+                if routed && !slot.remote_routes[port].is_empty() {
+                    let payload = if run.len() > 1 {
+                        self.codec.encode_tuple_run(
+                            run.len(),
+                            run.iter().map(|(_, it)| match it {
+                                StreamItem::Tuple(t) => t,
+                                StreamItem::Punct(_) => unreachable!("runs hold only tuples"),
+                            }),
+                        )
+                    } else {
+                        self.codec.encode_item(item)
+                    };
+                    for dest in &slot.remote_routes[port] {
+                        out.remote.push(RemoteDelivery {
+                            dest: dest.clone(),
+                            payload: payload.clone(),
+                            items: run.len() as u32,
+                        });
+                    }
+                }
+                i = j;
             }
         }
         for (to_slot, to_port, item) in local {
@@ -451,10 +620,11 @@ impl PeRuntime {
     /// Snapshots every operator's recoverable state (plus the container's
     /// final-punct tracking, the per-port input queues, and the metric
     /// store) into a versioned [`PeCheckpoint`]. Queues are captured in
-    /// wire encoding (format v2), so tuples in flight *inside* the
-    /// container at snapshot time survive a restore; tuples delivered after
-    /// the snapshot are replayed from the sender-side upstream-backup
-    /// buffers instead.
+    /// wire encoding (format v2) at batch granularity — one blob per port,
+    /// with runs of consecutive tuples coalesced into batch frames — so
+    /// tuples in flight *inside* the container at snapshot time survive a
+    /// restore; tuples delivered after the snapshot are replayed from the
+    /// sender-side upstream-backup buffers instead.
     pub fn checkpoint(&self, now: SimTime) -> PeCheckpoint {
         PeCheckpoint {
             format_version: CKPT_FORMAT_VERSION,
@@ -473,12 +643,7 @@ impl PeRuntime {
             queues: self
                 .slots
                 .iter()
-                .map(|slot| {
-                    slot.queues
-                        .iter()
-                        .map(|q| q.iter().map(codec::encode).collect())
-                        .collect()
-                })
+                .map(|slot| slot.queues.iter().map(codec::encode_queue).collect())
                 .collect(),
             metrics: self.metrics.snapshot(),
         }
@@ -551,11 +716,9 @@ impl PeRuntime {
                     slot.queues.len()
                 )));
             }
-            for (queue, port_items) in slot.queues.iter_mut().zip(q_ckpt) {
+            for (queue, blob) in slot.queues.iter_mut().zip(q_ckpt) {
                 queue.clear();
-                for bytes in port_items {
-                    queue.push_back(codec::decode(bytes.clone())?);
-                }
+                queue.extend(codec::decode_queue(blob.clone())?);
             }
         }
         self.metrics = MetricStore::new();
@@ -710,7 +873,11 @@ mod tests {
         let mut pe0 = PeRuntime::build(&adl, 0, &registry(), SimRng::new(1)).unwrap();
         let mut pe1 = PeRuntime::build(&adl, 1, &registry(), SimRng::new(2)).unwrap();
         let out0 = pe0.step(SimTime::ZERO, SimDuration::from_millis(100), 10_000);
-        assert_eq!(out0.remote.len(), 3);
+        // Consecutive same-port tuples coalesce into batch payloads, so the
+        // delivery count is below the tuple count but the item total matches.
+        let items: u32 = out0.remote.iter().map(|d| d.items).sum();
+        assert_eq!(items, 3);
+        assert!(out0.remote.len() <= 3);
         assert!(out0
             .remote
             .iter()

@@ -176,10 +176,23 @@ impl ChannelKey {
 #[derive(Clone, Debug)]
 pub enum BackupItem {
     /// An intra-job delivery in wire encoding (replayed via `receive`, so
-    /// byte-accounting metrics match the original delivery).
+    /// byte-accounting metrics match the original delivery). The payload may
+    /// be a whole batch frame carrying a run of tuples.
     Remote(RemoteDelivery),
     /// A cross-job import (replayed via `inject` on the importing operator).
     Import { op: String, item: StreamItem },
+}
+
+impl BackupItem {
+    /// Tuples (or punctuations) this delivery carries. Batched remote
+    /// payloads count every tuple, keeping the upstream-backup counters
+    /// tuple-granular regardless of how the transport frames them.
+    pub fn items(&self) -> u64 {
+        match self {
+            BackupItem::Remote(d) => d.items as u64,
+            BackupItem::Import { .. } => 1,
+        }
+    }
 }
 
 /// A buffered delivery plus the quantum it originally landed in; replay
@@ -253,26 +266,46 @@ impl UpstreamBackup {
     /// the emission is a duplicate (position at or below the high-water
     /// mark) and must be suppressed — not delivered, not re-buffered.
     pub fn advance(&mut self, key: &ChannelKey) -> bool {
-        let pos = self.pos.entry(key.clone()).or_insert(0);
-        *pos += 1;
-        let hwm = self.hwm.entry(key.clone()).or_insert(0);
-        if *pos <= *hwm {
-            self.stats.suppressed += 1;
-            true
-        } else {
-            *hwm = *pos;
-            false
-        }
+        self.advance_n(key, 1) == 1
     }
 
-    /// Retains one delivery for a receiver slot until a checkpoint covers it.
+    /// Advances a channel's position for a delivery carrying `n` tuples (a
+    /// batch frame) and returns how many of them — always a prefix of the
+    /// run — duplicate traffic the channel already carried (`n` means the
+    /// whole delivery is suppressed). Positions and the suppressed counter
+    /// stay tuple-granular. A replayed run can *straddle* the high-water
+    /// mark: re-execution after restore starts from checkpointed queues,
+    /// so its quantum schedule batches the same tuple sequence at
+    /// different boundaries than the crashed incarnation did. The caller
+    /// must drop exactly the duplicated prefix and deliver the tail.
+    pub fn advance_n(&mut self, key: &ChannelKey, n: u64) -> u64 {
+        let pos = self.pos.entry(key.clone()).or_insert(0);
+        let before = *pos;
+        *pos += n;
+        let after = *pos;
+        let hwm = self.hwm.entry(key.clone()).or_insert(0);
+        let dup = if after <= *hwm {
+            n
+        } else {
+            hwm.saturating_sub(before)
+        };
+        self.stats.suppressed += dup;
+        if after > *hwm {
+            *hwm = after;
+        }
+        dup
+    }
+
+    /// Retains one delivery for a receiver slot until a checkpoint covers
+    /// it. Counters advance by the delivery's tuple count.
     pub fn buffer(&mut self, slot: (JobId, usize), delivered_at: SimTime, item: BackupItem) {
+        let n = item.items();
         self.buffers
             .entry(slot)
             .or_default()
             .push(BackupEntry { delivered_at, item });
-        self.stats.buffered += 1;
-        self.current += 1;
+        self.stats.buffered += n;
+        self.current += n;
         self.stats.peak_buffered = self.stats.peak_buffered.max(self.current);
     }
 
@@ -285,9 +318,12 @@ impl UpstreamBackup {
     /// slot: the checkpoint taken at `upto` captured their effects.
     pub fn trim(&mut self, slot: (JobId, usize), upto: SimTime) {
         if let Some(buf) = self.buffers.get_mut(&slot) {
-            let before = buf.len();
+            let removed: u64 = buf
+                .iter()
+                .filter(|e| e.delivered_at <= upto)
+                .map(|e| e.item.items())
+                .sum();
             buf.retain(|e| e.delivered_at > upto);
-            let removed = (before - buf.len()) as u64;
             self.stats.trimmed += removed;
             self.current -= removed;
             if buf.is_empty() {
@@ -300,7 +336,7 @@ impl UpstreamBackup {
     /// into, and the new incarnation re-accumulates from scratch).
     pub fn drop_receiver(&mut self, slot: (JobId, usize)) {
         if let Some(buf) = self.buffers.remove(&slot) {
-            self.current -= buf.len() as u64;
+            self.current -= buf.iter().map(|e| e.item.items()).sum::<u64>();
         }
     }
 
@@ -343,7 +379,7 @@ impl UpstreamBackup {
         let mut removed = 0u64;
         self.buffers.retain(|(j, _), buf| {
             if *j == job {
-                removed += buf.len() as u64;
+                removed += buf.iter().map(|e| e.item.items()).sum::<u64>();
                 false
             } else {
                 true

@@ -90,6 +90,26 @@ impl StorageModel {
     pub fn restore_latency(&self, bytes: usize) -> SimDuration {
         Self::latency(self.restore_op_ms, self.restore_bytes_per_ms, bytes)
     }
+
+    /// Builder: write-path cost (fixed per-op latency, throughput).
+    pub fn with_write(mut self, op_ms: u64, bytes_per_ms: u64) -> Self {
+        self.write_op_ms = op_ms;
+        self.write_bytes_per_ms = bytes_per_ms;
+        self
+    }
+
+    /// Builder: restore-path cost (fixed per-op latency, throughput).
+    pub fn with_restore(mut self, op_ms: u64, bytes_per_ms: u64) -> Self {
+        self.restore_op_ms = op_ms;
+        self.restore_bytes_per_ms = bytes_per_ms;
+        self
+    }
+
+    /// Builder: finite byte budget (turns on sealed-generation eviction).
+    pub fn with_budget(mut self, bytes: usize) -> Self {
+        self.budget_bytes = bytes;
+        self
+    }
 }
 
 /// Per-kernel checkpointing policy.
@@ -141,6 +161,31 @@ impl CheckpointPolicy {
         self.every_quanta > 0
     }
 
+    /// Builder: drop the last stateful operator's blob on every restore
+    /// (harness fault-injection knob; never enable outside tests).
+    pub fn lossy(mut self, lossy: bool) -> Self {
+        self.lossy_restore = lossy;
+        self
+    }
+
+    /// Builder: sender-side upstream backup for exactly-once recovery.
+    pub fn upstream_backup(mut self, on: bool) -> Self {
+        self.upstream_backup = on;
+        self
+    }
+
+    /// Builder: chain compaction bound (`1` disables deltas).
+    pub fn full_every(mut self, n: u32) -> Self {
+        self.full_every = n;
+        self
+    }
+
+    /// Builder: storage cost model for the simulated checkpoint service.
+    pub fn storage(mut self, storage: StorageModel) -> Self {
+        self.storage = storage;
+        self
+    }
+
     /// The wall-clock period between snapshots under a given quantum.
     pub fn period(&self, quantum: SimDuration) -> SimDuration {
         SimDuration::from_millis(quantum.as_millis() * self.every_quanta as u64)
@@ -155,8 +200,9 @@ pub struct PeDelta {
     pub taken_at: SimTime,
     /// Per operator slot: `Some` when dirty since the previous snapshot.
     pub ops: Vec<Option<OpCheckpoint>>,
-    /// Input queues at snapshot time (same layout as [`PeCheckpoint`]).
-    pub queues: Vec<Vec<Vec<Bytes>>>,
+    /// Input queues at snapshot time (same layout as [`PeCheckpoint`]: one
+    /// batch-granular blob per port).
+    pub queues: Vec<Vec<Bytes>>,
     pub metrics: Vec<(Arc<sps_engine::MetricKey>, i64)>,
 }
 
@@ -173,7 +219,6 @@ impl PeDelta {
             .queues
             .iter()
             .flat_map(|op| op.iter())
-            .flat_map(|port| port.iter())
             .map(Bytes::len)
             .sum();
         blobs + queues
@@ -314,10 +359,7 @@ impl CheckpointStore {
     /// A store compacting each chain after `full_every` snapshots, with the
     /// default (instant, unbounded) storage model.
     pub fn with_full_every(full_every: u32) -> Self {
-        CheckpointStore::for_policy(&CheckpointPolicy {
-            full_every,
-            ..Default::default()
-        })
+        CheckpointStore::for_policy(&CheckpointPolicy::default().full_every(full_every))
     }
 
     /// A store configured from the full checkpoint policy.
@@ -865,10 +907,7 @@ mod tests {
                     blob: None,
                 },
             ],
-            queues: vec![
-                vec![queued.iter().map(|b| Bytes::from_static(b)).collect()],
-                vec![vec![]],
-            ],
+            queues: vec![vec![Bytes::from(queued.concat())], vec![Bytes::new()]],
             metrics: vec![],
         }
     }
@@ -884,14 +923,11 @@ mod tests {
 
     /// A store with a finite byte budget (instant writes).
     fn budgeted(full_every: u32, budget: usize) -> CheckpointStore {
-        CheckpointStore::for_policy(&CheckpointPolicy {
-            full_every,
-            storage: StorageModel {
-                budget_bytes: budget,
-                ..Default::default()
-            },
-            ..Default::default()
-        })
+        CheckpointStore::for_policy(
+            &CheckpointPolicy::default()
+                .full_every(full_every)
+                .storage(StorageModel::default().with_budget(budget)),
+        )
     }
 
     #[test]
@@ -1062,13 +1098,9 @@ mod tests {
 
     #[test]
     fn async_save_commits_at_write_latency() {
-        let mut s = CheckpointStore::for_policy(&CheckpointPolicy {
-            storage: StorageModel {
-                write_op_ms: 250,
-                ..Default::default()
-            },
-            ..Default::default()
-        });
+        let mut s = CheckpointStore::for_policy(
+            &CheckpointPolicy::default().storage(StorageModel::default().with_write(250, 0)),
+        );
         let none = BTreeSet::new();
         let t0 = SimTime::from_secs(1);
         let commit_at = s.begin_save(JobId(1), 0, ckpt(1), vec![], 10, t0);
@@ -1106,13 +1138,9 @@ mod tests {
 
     #[test]
     fn abort_inflight_drops_pending_writes() {
-        let mut s = CheckpointStore::for_policy(&CheckpointPolicy {
-            storage: StorageModel {
-                write_op_ms: 100,
-                ..Default::default()
-            },
-            ..Default::default()
-        });
+        let mut s = CheckpointStore::for_policy(
+            &CheckpointPolicy::default().storage(StorageModel::default().with_write(100, 0)),
+        );
         let t = SimTime::from_secs(1);
         s.begin_save(JobId(1), 0, ckpt(1), vec![], 10, t);
         s.begin_save(JobId(1), 1, ckpt(1), vec![], 10, t);

@@ -1110,6 +1110,7 @@ impl Kernel {
         };
         let checkpointable = pe_is_checkpointable(&info.adl, to_adl);
         let ub = self.upstream_backup_enabled();
+        let mut delivery = delivery;
         if ub {
             let key = ChannelKey::Intra {
                 job,
@@ -1118,8 +1119,26 @@ impl Kernel {
                 op: delivery.dest.op.clone(),
                 port: delivery.dest.port,
             };
-            if self.backup.advance(&key) {
-                return; // replay duplicate: this tuple already went through
+            let dup = self.backup.advance_n(&key, delivery.items as u64);
+            if dup == delivery.items as u64 {
+                return; // replay duplicate: this delivery already went through
+            }
+            if dup > 0 {
+                // The run straddles the high-water mark: its first `dup`
+                // tuples already went through pre-crash. Deliver only the
+                // tail, so the receiver sees each tuple exactly once.
+                match sps_engine::codec::split_batch_payload(delivery.payload.clone(), dup as usize)
+                {
+                    Ok(payload) => {
+                        delivery.payload = payload;
+                        delivery.items -= dup as u32;
+                    }
+                    Err(e) => {
+                        self.trace
+                            .push(self.now, "transport", format!("replay split failed: {e}"));
+                        return;
+                    }
+                }
             }
         }
         let now = self.now;
@@ -1260,7 +1279,7 @@ impl Kernel {
                             let _ = proc.runtime.inject(op, 0, item.clone());
                         }
                     }
-                    injected += 1;
+                    injected += entries[idx].item.items();
                     idx += 1;
                 }
                 g += quantum;
@@ -1962,11 +1981,7 @@ mod tests {
             Cluster::with_hosts(2),
             OperatorRegistry::with_builtins(),
             RuntimeConfig {
-                checkpoint: crate::ckpt::CheckpointPolicy {
-                    every_quanta: 5,
-                    lossy_restore: true,
-                    ..Default::default()
-                },
+                checkpoint: crate::ckpt::CheckpointPolicy::every(5).lossy(true),
                 ..RuntimeConfig::default()
             },
         );
@@ -2016,15 +2031,9 @@ mod tests {
     fn write_latency_defers_commit_and_trim() {
         let mut k = storage_kernel(
             2,
-            crate::ckpt::CheckpointPolicy {
-                every_quanta: 5,
-                upstream_backup: true,
-                storage: crate::ckpt::StorageModel {
-                    write_op_ms: 250,
-                    ..Default::default()
-                },
-                ..Default::default()
-            },
+            crate::ckpt::CheckpointPolicy::every(5)
+                .upstream_backup(true)
+                .storage(crate::ckpt::StorageModel::default().with_write(250, 0)),
         );
         let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
         run(&mut k, 5); // t = 500 ms: snapshots issued, commit at 750 ms
@@ -2054,14 +2063,8 @@ mod tests {
     fn restore_latency_delays_promotion() {
         let mut k = storage_kernel(
             2,
-            crate::ckpt::CheckpointPolicy {
-                every_quanta: 5,
-                storage: crate::ckpt::StorageModel {
-                    restore_op_ms: 300,
-                    ..Default::default()
-                },
-                ..Default::default()
-            },
+            crate::ckpt::CheckpointPolicy::every(5)
+                .storage(crate::ckpt::StorageModel::default().with_restore(300, 0)),
         );
         let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
         run(&mut k, 10); // t = 1 s, two snapshot rounds committed
@@ -2088,14 +2091,8 @@ mod tests {
     fn budget_eviction_reclaims_crashed_slot_and_reports_evicted() {
         let mut k = storage_kernel(
             2,
-            crate::ckpt::CheckpointPolicy {
-                every_quanta: 2,
-                storage: crate::ckpt::StorageModel {
-                    budget_bytes: 1,
-                    ..Default::default()
-                },
-                ..Default::default()
-            },
+            crate::ckpt::CheckpointPolicy::every(2)
+                .storage(crate::ckpt::StorageModel::default().with_budget(1)),
         );
         let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
         run(&mut k, 10);
@@ -2127,11 +2124,7 @@ mod tests {
     /// them — the faulted run converges to the fault-free twin exactly.
     #[test]
     fn snapshot_instant_delivery_is_neither_lost_nor_duplicated() {
-        let policy = crate::ckpt::CheckpointPolicy {
-            every_quanta: 5,
-            upstream_backup: true,
-            ..Default::default()
-        };
+        let policy = crate::ckpt::CheckpointPolicy::every(5).upstream_backup(true);
         let mut k = storage_kernel(2, policy);
         let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
         run(&mut k, 10); // kill lands exactly on a snapshot boundary

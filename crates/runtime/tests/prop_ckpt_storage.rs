@@ -33,7 +33,7 @@ fn ckpt(at_secs: u64, weight: usize) -> PeCheckpoint {
             finals_seen: vec![false],
             blob: Some(w.finish()),
         }],
-        queues: vec![vec![vec![]]],
+        queues: vec![vec![bytes::Bytes::new()]],
         metrics: vec![],
     }
 }
@@ -56,14 +56,11 @@ proptest! {
         budget in 1usize..2_000,
         protected_mask in 0usize..16,
     ) {
-        let mut store = CheckpointStore::for_policy(&CheckpointPolicy {
-            full_every,
-            storage: StorageModel {
-                budget_bytes: budget,
-                ..StorageModel::default()
-            },
-            ..CheckpointPolicy::default()
-        });
+        let mut store = CheckpointStore::for_policy(
+            &CheckpointPolicy::default()
+                .full_every(full_every)
+                .storage(StorageModel::default().with_budget(budget)),
+        );
         let protected: BTreeSet<(JobId, usize)> = (0..4)
             .filter(|s| protected_mask & (1 << s) != 0)
             .map(slot_key)
@@ -134,10 +131,8 @@ proptest! {
         saves in arb_saves(),
         full_every in 1u32..5,
     ) {
-        let mut store = CheckpointStore::for_policy(&CheckpointPolicy {
-            full_every,
-            ..CheckpointPolicy::default()
-        });
+        let mut store =
+            CheckpointStore::for_policy(&CheckpointPolicy::default().full_every(full_every));
         for (tick, &(slot, weight)) in saves.iter().enumerate() {
             let (job, adl) = slot_key(slot);
             store.save(job, adl, ckpt(tick as u64 + 1, weight), vec![], tick as u64);

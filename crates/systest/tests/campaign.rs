@@ -318,11 +318,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
         seed: 7,
         check_determinism: false,
         max_failures: 1,
-        checkpoint: CheckpointPolicy {
-            every_quanta: 10,
-            lossy_restore: true,
-            ..CheckpointPolicy::default()
-        },
+        checkpoint: CheckpointPolicy::every(10).lossy(true),
         ..Default::default()
     };
     let report = run_campaign(&sc, &config);
@@ -339,11 +335,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
     assert!(!f.shrunk.events.is_empty());
 
     // 1-minimality under the same lossy regime.
-    let opts = CheckpointPolicy {
-        every_quanta: 10,
-        lossy_restore: true,
-        ..CheckpointPolicy::default()
-    };
+    let opts = CheckpointPolicy::every(10).lossy(true);
     let oracles = default_oracles(false, true);
     // Candidates compare against the baseline keyed by the *original*
     // plan's horizon — the same floor-keyed entry the shrink walk used.

@@ -45,10 +45,7 @@ fn zero_storage_model_is_byte_invisible() {
     let explicit = cfg(
         0xC0FFEE,
         3,
-        CheckpointPolicy {
-            storage: StorageModel::default(),
-            ..CheckpointPolicy::every(10)
-        },
+        CheckpointPolicy::every(10).storage(StorageModel::default()),
     );
     assert_eq!(
         render(&run_campaign(&sc, &plain)),
@@ -63,10 +60,7 @@ fn write_and_restore_latency_pass_the_oracles() {
     // latency delays Up promotions. The recovery/convergence/state oracles
     // must absorb both without violations.
     for sc in [scenario::live(), scenario::trend()] {
-        let policy = CheckpointPolicy {
-            storage: slow_storage(),
-            ..CheckpointPolicy::every(10)
-        };
+        let policy = CheckpointPolicy::every(10).storage(slow_storage());
         let report = run_campaign(&sc, &cfg(7, 3, policy));
         assert_eq!(
             report.plans_failed,
@@ -84,13 +78,7 @@ fn finite_budget_evictions_pass_the_oracles() {
     // every compaction; fresh restarts from evicted chains are a legitimate
     // recovery mode (FreshReason::Evicted), not an oracle violation.
     let sc = scenario::live();
-    let policy = CheckpointPolicy {
-        storage: StorageModel {
-            budget_bytes: 16_384,
-            ..slow_storage()
-        },
-        ..CheckpointPolicy::every(5)
-    };
+    let policy = CheckpointPolicy::every(5).storage(slow_storage().with_budget(16_384));
     let report = run_campaign(&sc, &cfg(7, 3, policy));
     assert_eq!(
         report.plans_failed,
@@ -106,13 +94,7 @@ fn storage_model_reports_are_byte_identical_across_jobs() {
     // model: pending-write queues and eviction order are part of kernel
     // state, not coordinator state, so sharding cannot reorder them.
     let sc = scenario::trend();
-    let policy = CheckpointPolicy {
-        storage: StorageModel {
-            budget_bytes: 32_768,
-            ..slow_storage()
-        },
-        ..CheckpointPolicy::every(10)
-    };
+    let policy = CheckpointPolicy::every(10).storage(slow_storage().with_budget(32_768));
     let run = |jobs| {
         render(&run_campaign(
             &sc,

@@ -60,11 +60,7 @@ fn tap_counts(world: &World, taps: &[&str]) -> BTreeMap<(JobId, String), i64> {
 }
 
 fn ub_policy() -> CheckpointPolicy {
-    CheckpointPolicy {
-        every_quanta: 10,
-        upstream_backup: true,
-        ..CheckpointPolicy::default()
-    }
+    CheckpointPolicy::every(10).upstream_backup(true)
 }
 
 /// Checkpoints land at every 10th quantum (t = k·1000 ms at the 100 ms

@@ -15,7 +15,20 @@ use std::time::{Duration, Instant};
 pub use std::hint::black_box;
 
 /// How many timed iterations a benchmark runs (after one warm-up call).
+/// `BENCH_ITERS` overrides it (CI runs a reduced budget); the number only
+/// scales measurement cost, never what is measured.
 const DEFAULT_ITERS: u64 = 30;
+
+fn iters() -> u64 {
+    static ITERS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *ITERS.get_or_init(|| {
+        std::env::var("BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_ITERS)
+    })
+}
 
 /// Top-level benchmark driver.
 #[derive(Default)]
@@ -162,13 +175,14 @@ pub struct Bencher {
 
 impl Bencher {
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let n = iters();
         black_box(routine()); // warm-up
         let start = Instant::now();
-        for _ in 0..DEFAULT_ITERS {
+        for _ in 0..n {
             black_box(routine());
         }
         self.elapsed += start.elapsed();
-        self.iters += DEFAULT_ITERS;
+        self.iters += n;
     }
 
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
@@ -177,7 +191,7 @@ impl Bencher {
         R: FnMut(I) -> O,
     {
         black_box(routine(setup())); // warm-up
-        for _ in 0..DEFAULT_ITERS {
+        for _ in 0..iters() {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
