@@ -10,7 +10,9 @@
 //!   crates on the digest path ([`DIGEST_PATH_CRATES`]), unless the site
 //!   feeds a sorting adapter within two lines or carries an allow.
 //! - **R2 `ambient-authority`** — no `Instant::now`, `SystemTime`,
-//!   `thread_rng`, or `std::thread::spawn` anywhere in the workspace,
+//!   `thread_rng`, `rand::random`, or `std::thread::spawn` anywhere in the
+//!   workspace (the metastore's replicated follower choice is the canonical
+//!   seeded-draw site the `rand::random` matcher protects),
 //!   outside [`AMBIENT_ALLOWED_FILES`] (the deterministic harness pool) or
 //!   an annotated allow.
 //! - **R3 `ckpt-contract`** — an `impl Operator` whose type has mutable

@@ -4,7 +4,7 @@
 //! | id  | rule               | scope                | fires on |
 //! |-----|--------------------|----------------------|----------|
 //! | R1  | `unordered-iter`   | digest-path crates   | iteration over `HashMap`/`HashSet` |
-//! | R2  | `ambient-authority`| every scanned crate  | `Instant::now`, `SystemTime::now`, `thread_rng`, `thread::spawn` |
+//! | R2  | `ambient-authority`| every scanned crate  | `Instant::now`, `SystemTime::now`, `thread_rng`, `rand::random`, `thread::spawn` |
 //! | R3  | `ckpt-contract`    | every scanned crate  | stateful `impl Operator` without `checkpoint` + `restore` |
 //! | R4  | `float-digest`     | digest-path crates   | `f32`/`f64` in digest/state-encode contexts without a bit-preserving encoding |
 //! | R5  | `batch-contract`   | every scanned crate  | `impl Operator` overriding `on_batch` without `on_tuple` coherence |
@@ -377,6 +377,11 @@ fn check_ambient_authority(toks: &[Tok]) -> Vec<Finding> {
             Some("`SystemTime` reads the wall clock; simulation code must use SimTime")
         } else if t.text == "thread_rng" {
             Some("`thread_rng()` is ambient randomness; use a seeded SimRng stream")
+        } else if path2("rand", "random") {
+            Some(
+                "`rand::random()` is ambient randomness; metastore follower choice and \
+                 every other draw must come from a seeded SimRng stream",
+            )
         } else if path2("thread", "spawn") {
             Some(
                 "`thread::spawn` introduces scheduling nondeterminism; route parallelism \

@@ -1,0 +1,18 @@
+//! R2 fixture: a metastore that reaches for ambient authority — wall-clock
+//! op stamps and unseeded follower choice — instead of simulated time and
+//! a seeded SimRng stream.
+
+pub struct BadMetastore {
+    log: Vec<(u64, String)>,
+    followers: usize,
+}
+
+impl BadMetastore {
+    pub fn apply(&mut self, op: String) {
+        let stamp = std::time::SystemTime::now();
+        let _ = stamp;
+        self.log.push((0, op));
+        let follower = rand::random::<usize>() % self.followers;
+        let _ = follower;
+    }
+}

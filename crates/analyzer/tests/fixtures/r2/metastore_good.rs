@@ -1,0 +1,18 @@
+//! R2 fixture: the sanctioned shape — op stamps arrive as simulated time
+//! and follower choice comes from a seeded, private RNG stream.
+
+pub struct GoodMetastore {
+    log: Vec<(u64, String)>,
+    followers: usize,
+    rng_state: u64,
+}
+
+impl GoodMetastore {
+    pub fn apply(&mut self, now_quanta: u64, op: String) {
+        self.log.push((now_quanta, op));
+        // Seeded draw: a pure function of the store's own stream state.
+        self.rng_state = self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let follower = (self.rng_state >> 33) as usize % self.followers;
+        let _ = follower;
+    }
+}

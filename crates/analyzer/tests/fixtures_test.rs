@@ -62,6 +62,28 @@ fn r2_good_and_allowed_are_clean() {
 }
 
 #[test]
+fn r2_metastore_bad_flags_wall_clock_and_unseeded_follower_choice() {
+    assert_eq!(
+        rule_lines("fixtures/r2/metastore_bad.rs"),
+        vec![
+            (rules::R2_AMBIENT_AUTHORITY, 12), // SystemTime::now op stamp
+            (rules::R2_AMBIENT_AUTHORITY, 15), // rand::random follower pick
+        ]
+    );
+    let d = &fixture_diags("fixtures/r2/metastore_bad.rs")[1];
+    assert!(
+        d.message.contains("seeded SimRng"),
+        "message must point at the sanctioned alternative: {}",
+        d.message
+    );
+}
+
+#[test]
+fn r2_metastore_good_is_clean() {
+    assert_eq!(rule_lines("fixtures/r2/metastore_good.rs"), vec![]);
+}
+
+#[test]
 fn r3_bad_flags_missing_contract_at_impl_line() {
     assert_eq!(
         rule_lines("fixtures/r3/bad.rs"),

@@ -62,7 +62,8 @@
 
 use orca_harness::{
     default_oracles, evaluate, run_campaign_cached, scenario, BaselineCache, BaselineSource,
-    CampaignConfig, CampaignReport, CheckpointPolicy, FaultPlan, Scenario, StorageModel,
+    CampaignConfig, CampaignReport, CheckpointPolicy, FaultPlan, MetastoreKind, Scenario,
+    StorageModel, WorldPolicy,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -82,6 +83,8 @@ struct Args {
     upstream_backup: Option<bool>,
     ckpt_write_latency: Option<u64>,
     ckpt_budget: Option<usize>,
+    control_faults: Option<bool>,
+    metastore: Option<MetastoreKind>,
     jobs: usize,
     timing: bool,
     baseline_cache: bool,
@@ -92,6 +95,23 @@ impl Args {
     /// The checkpoint interval in effect for campaign (non-replay) runs.
     fn interval(&self) -> u32 {
         self.checkpoint_interval.unwrap_or(0)
+    }
+
+    /// Whether campaign (non-replay) runs inject control-plane faults.
+    fn control(&self) -> bool {
+        self.control_faults == Some(true)
+    }
+
+    /// The metastore in effect for campaign (non-replay) runs: an explicit
+    /// `--metastore` wins; otherwise control-fault campaigns default to the
+    /// replicated store (recovery should exercise log replay) and everything
+    /// else stays on the zero-cost in-memory store.
+    fn metastore_kind(&self) -> MetastoreKind {
+        match self.metastore {
+            Some(kind) => kind,
+            None if self.control() => MetastoreKind::Replicated,
+            None => MetastoreKind::Memory,
+        }
     }
 }
 
@@ -108,6 +128,8 @@ fn parse_args() -> Result<Args, String> {
         upstream_backup: None,
         ckpt_write_latency: None,
         ckpt_budget: None,
+        control_faults: None,
+        metastore: None,
         jobs: 0,
         timing: false,
         baseline_cache: true,
@@ -167,6 +189,20 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("{e}"))?,
                 );
             }
+            "--control-faults" => {
+                args.control_faults = Some(match value("--control-faults")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--control-faults {other}: expected on|off")),
+                });
+            }
+            "--metastore" => {
+                args.metastore = Some(
+                    value("--metastore")?
+                        .parse()
+                        .map_err(|e| format!("bad --metastore: {e}"))?,
+                );
+            }
             "--no-determinism" => args.check_determinism = false,
             "--replay" => args.replay = true,
             "--help" | "-h" => {
@@ -174,8 +210,10 @@ fn parse_args() -> Result<Args, String> {
                     "usage: campaign [--plans N] [--seed S] [--app NAME] [--jobs N] \
                      [--broken-oracle convergence] [--checkpoint-interval QUANTA] \
                      [--lossy-restore] [--upstream-backup on|off] \
-                     [--ckpt-write-latency MS] [--ckpt-budget BYTES] [--no-determinism] \
-                     [--timing] [--baseline-cache on|off] [--bench-json PATH] [--replay]"
+                     [--ckpt-write-latency MS] [--ckpt-budget BYTES] \
+                     [--control-faults on|off] [--metastore memory|replicated] \
+                     [--no-determinism] [--timing] [--baseline-cache on|off] \
+                     [--bench-json PATH] [--replay]"
                         .to_string(),
                 )
             }
@@ -247,6 +285,8 @@ fn campaign_config(args: &Args) -> CampaignConfig {
                     .with_write(args.ckpt_write_latency.unwrap_or(0), 0)
                     .with_budget(args.ckpt_budget.unwrap_or(0)),
             ),
+        metastore: args.metastore_kind(),
+        control_faults: args.control(),
         jobs: args.jobs,
         ..Default::default()
     }
@@ -270,6 +310,8 @@ struct PolicySpec {
     ub: Option<bool>,
     write_latency: Option<u64>,
     budget: Option<usize>,
+    ctrl: Option<bool>,
+    metastore: Option<MetastoreKind>,
 }
 
 /// Strictly parses one `HARNESS_*` env var, erroring on malformed values
@@ -303,6 +345,8 @@ fn env_spec() -> Result<PolicySpec, String> {
         ub: env_bool("HARNESS_UB")?,
         write_latency: env_parse("HARNESS_CKPT_LAT")?,
         budget: env_parse("HARNESS_CKPT_BUDGET")?,
+        ctrl: env_bool("HARNESS_CTRL")?,
+        metastore: env_parse("HARNESS_META")?,
     })
 }
 
@@ -315,6 +359,8 @@ fn flags_spec(args: &Args) -> PolicySpec {
         ub: args.upstream_backup,
         write_latency: args.ckpt_write_latency,
         budget: args.ckpt_budget,
+        ctrl: args.control_faults,
+        metastore: args.metastore,
     }
 }
 
@@ -403,6 +449,31 @@ fn resolve_policy(env: PolicySpec, flags: PolicySpec) -> Result<CheckpointPolicy
         ))
 }
 
+/// Merges the control-plane knobs the same way: contradictions rejected,
+/// and — mirroring the campaign default — an unspecified metastore falls
+/// back to replicated exactly when control faults are on.
+fn resolve_control(env: PolicySpec, flags: PolicySpec) -> Result<(bool, MetastoreKind), String> {
+    let ctrl = pick(
+        "HARNESS_CTRL",
+        "--control-faults",
+        env.ctrl,
+        flags.ctrl,
+        false,
+    )?;
+    let metastore = pick(
+        "HARNESS_META",
+        "--metastore",
+        env.metastore,
+        flags.metastore,
+        if ctrl {
+            MetastoreKind::Replicated
+        } else {
+            MetastoreKind::Memory
+        },
+    )?;
+    Ok((ctrl, metastore))
+}
+
 /// Replays one plan from `HARNESS_APP` / `HARNESS_SEED` / `HARNESS_PLAN`
 /// (plus optional `HARNESS_CKPT` / `HARNESS_LOSSY` / `HARNESS_UB` /
 /// `HARNESS_CKPT_LAT` / `HARNESS_CKPT_BUDGET` policy capture). Environment
@@ -420,9 +491,12 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
     let plan = FaultPlan::decode(
         &std::env::var("HARNESS_PLAN").map_err(|_| "replay needs HARNESS_PLAN")?,
     )?;
-    let opts = resolve_policy(env_spec()?, flags_spec(args))?;
+    let env = env_spec()?;
+    let flags = flags_spec(args);
+    let opts = resolve_policy(env, flags)?;
+    let (ctrl, metastore) = resolve_control(env, flags)?;
     let sc = scenario::by_name(&app).ok_or_else(|| format!("unknown app `{app}`"))?;
-    let oracles = default_oracles(args.broken_convergence, opts.enabled());
+    let oracles = default_oracles(args.broken_convergence, opts.enabled(), ctrl);
     // The baseline is fetched through the cache at the point of use: one
     // computation for the whole replay (the determinism re-run hits the
     // entry the first run populated).
@@ -433,7 +507,10 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
         &plan,
         &oracles,
         args.check_determinism,
-        opts,
+        WorldPolicy {
+            checkpoint: opts,
+            metastore,
+        },
         BaselineSource::new(&cache, plan.horizon()),
     );
     println!(
@@ -479,6 +556,22 @@ fn print_report(args: &Args, report: &CampaignReport) {
             report.ub.suppressed,
             report.ub.trimmed,
             report.ub.peak_buffered
+        );
+    }
+    // Same convention for the control-plane counters: folded in plan-index
+    // order, omitted entirely when no control fault fired so legacy output
+    // (and the memory-vs-replicated differential diff) stays byte-identical.
+    if report.control.any() {
+        println!(
+            "  control-plane orca_crashes={} orca_recoveries={} notifications_replayed={} \
+             sam_restarts={} meta_ops_replayed={} hc_partitions={} false_declarations={}",
+            report.control.orca_crashes,
+            report.control.orca_recoveries,
+            report.control.notifications_replayed,
+            report.control.sam_restarts,
+            report.control.meta_ops_replayed,
+            report.control.hc_partitions,
+            report.control.false_declarations
         );
     }
     for f in &report.failures {
@@ -744,6 +837,8 @@ mod tests {
                 "HARNESS_UB" => spec.ub = Some(v == "1"),
                 "HARNESS_CKPT_LAT" => spec.write_latency = Some(v.parse().unwrap()),
                 "HARNESS_CKPT_BUDGET" => spec.budget = Some(v.parse().unwrap()),
+                "HARNESS_CTRL" => spec.ctrl = Some(v == "1"),
+                "HARNESS_META" => spec.metastore = Some(v.parse().unwrap()),
                 _ => {}
             }
         }
@@ -764,11 +859,74 @@ mod tests {
                     .with_budget(16_384),
             ),
         ] {
-            let line = reproducer_line(&sc, 123, &plan, opts);
+            let line = reproducer_line(&sc, 123, &plan, WorldPolicy::checkpointed(opts), false);
             let resolved = resolve_policy(spec_from_line(&line), PolicySpec::default())
                 .expect("captured policy must resolve");
             assert_eq!(resolved, opts, "round-trip mismatch for line `{line}`");
         }
+    }
+
+    #[test]
+    fn control_capture_round_trips_through_replay_resolution() {
+        let sc = scenario::by_name("trend").unwrap();
+        let plan = FaultPlan::decode("1000:co,2000:rs,3000:ps:1500").unwrap();
+        for (policy, ctrl) in [
+            (
+                WorldPolicy {
+                    checkpoint: CheckpointPolicy::default(),
+                    metastore: MetastoreKind::Replicated,
+                },
+                true,
+            ),
+            (
+                WorldPolicy {
+                    checkpoint: CheckpointPolicy::every(10),
+                    metastore: MetastoreKind::Memory,
+                },
+                true,
+            ),
+            (
+                WorldPolicy {
+                    checkpoint: CheckpointPolicy::default(),
+                    metastore: MetastoreKind::Replicated,
+                },
+                false,
+            ),
+        ] {
+            let line = reproducer_line(&sc, 123, &plan, policy, ctrl);
+            let spec = spec_from_line(&line);
+            let (got_ctrl, got_meta) =
+                resolve_control(spec, PolicySpec::default()).expect("must resolve");
+            assert_eq!(got_ctrl, ctrl, "line `{line}`");
+            assert_eq!(got_meta, policy.metastore, "line `{line}`");
+            assert!(line.contains(&format!("HARNESS_PLAN={}", plan.encode())));
+        }
+        // The campaign's "control faults default to the replicated store"
+        // rule holds on replay when neither side pins the metastore.
+        let ctrl_only = PolicySpec {
+            ctrl: Some(true),
+            ..PolicySpec::default()
+        };
+        assert_eq!(
+            resolve_control(ctrl_only, PolicySpec::default()).unwrap(),
+            (true, MetastoreKind::Replicated)
+        );
+        assert_eq!(
+            resolve_control(PolicySpec::default(), PolicySpec::default()).unwrap(),
+            (false, MetastoreKind::Memory)
+        );
+        // Contradictions are rejected, naming both sides.
+        let env = PolicySpec {
+            metastore: Some(MetastoreKind::Memory),
+            ..PolicySpec::default()
+        };
+        let flags = PolicySpec {
+            metastore: Some(MetastoreKind::Replicated),
+            ..PolicySpec::default()
+        };
+        let err = resolve_control(env, flags).unwrap_err();
+        assert!(err.contains("HARNESS_META=memory"), "got: {err}");
+        assert!(err.contains("--metastore replicated"), "got: {err}");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! conflate transport loss with the storage effect this sweep isolates.
 
 use orca_harness::{
-    plan_seeds, scenario, settled_world, CheckpointPolicy, FaultPlan, StorageModel,
+    plan_seeds, scenario, settled_world, CheckpointPolicy, FaultPlan, StorageModel, WorldPolicy,
 };
 use sps_sim::SimRng;
 use std::process::ExitCode;
@@ -166,7 +166,8 @@ fn run_point(app: &str, interval: u32, budget: usize, args: &Args) -> Result<Poi
     let mut point = Point::default();
     for plan_seed in plan_seeds(args.seed, args.plans) {
         let plan = FaultPlan::generate(&mut SimRng::new(plan_seed), &sc.plan_spec());
-        let (world, _, _) = settled_world(&sc, plan_seed, &plan, opts, None);
+        let (world, _, _) =
+            settled_world(&sc, plan_seed, &plan, WorldPolicy::checkpointed(opts), None);
         let kernel = &world.kernel;
         let restart_delay_ms = kernel.config.restart_delay.as_millis();
         for rec in kernel.restart_log() {

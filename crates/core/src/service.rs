@@ -1100,6 +1100,13 @@ impl OrcaService {
 
 impl Controller for OrcaService {
     fn on_quantum(&mut self, kernel: &mut Kernel) {
+        // A crashed ORCA service does nothing until its recovery completes:
+        // its internal queue freezes intact and SAM keeps queueing its
+        // notifications durably — the backlog is replayed on the first pull
+        // after recovery.
+        if kernel.orca_is_down(self.core.orca_id) {
+            return;
+        }
         if !self.started {
             self.started = true;
             let start = OrcaStartContext {

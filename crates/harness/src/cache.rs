@@ -23,8 +23,8 @@
 
 use crate::oracle::BaselineSummary;
 use crate::runner::compute_baseline;
-use crate::scenario::Scenario;
-use sps_runtime::{CheckpointPolicy, StorageModel};
+use crate::scenario::{Scenario, WorldPolicy};
+use sps_runtime::{MetastoreKind, StorageModel};
 use sps_sim::{fnv1a, SimTime, FNV_OFFSET};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -71,15 +71,20 @@ pub struct BaselineKey {
     /// (shifting when trims and coverage land) and a finite budget changes
     /// sealing/eviction, all of which perturb execution even fault-free.
     pub storage: StorageModel,
+    /// Metastore backing, captured for completeness: it is required to be
+    /// execution-invisible fault-free (the differential identity gate), so
+    /// keying on it is belt-and-braces rather than load-bearing.
+    pub metastore: MetastoreKind,
 }
 
 impl BaselineKey {
     pub fn new(
         scenario: &Scenario,
         seed: u64,
-        opts: CheckpointPolicy,
+        policy: WorldPolicy,
         horizon_floor: Option<SimTime>,
     ) -> Self {
+        let opts = policy.checkpoint;
         BaselineKey {
             scenario: scenario.name,
             seed,
@@ -89,6 +94,7 @@ impl BaselineKey {
             upstream_backup: opts.upstream_backup,
             full_every: opts.full_every,
             storage: opts.storage,
+            metastore: policy.metastore,
         }
     }
 
@@ -114,7 +120,8 @@ impl BaselineKey {
         h = fnv1a(h, &self.storage.write_bytes_per_ms.to_le_bytes());
         h = fnv1a(h, &self.storage.restore_op_ms.to_le_bytes());
         h = fnv1a(h, &self.storage.restore_bytes_per_ms.to_le_bytes());
-        fnv1a(h, &(self.storage.budget_bytes as u64).to_le_bytes())
+        h = fnv1a(h, &(self.storage.budget_bytes as u64).to_le_bytes());
+        fnv1a(h, self.metastore.as_str().as_bytes())
     }
 }
 
@@ -235,7 +242,7 @@ impl BaselineCache {
         }
     }
 
-    /// The fault-free baseline for `(scenario, seed, opts, horizon_floor)`,
+    /// The fault-free baseline for `(scenario, seed, policy, horizon_floor)`,
     /// memoized. A miss simulates the baseline world via
     /// [`compute_baseline`] *outside* the lock, so a slow baseline never
     /// serializes unrelated workers.
@@ -243,12 +250,12 @@ impl BaselineCache {
         &self,
         scenario: &Scenario,
         seed: u64,
-        opts: CheckpointPolicy,
+        policy: WorldPolicy,
         horizon_floor: Option<SimTime>,
     ) -> Arc<BaselineSummary> {
         self.get_or_insert_with(
-            BaselineKey::new(scenario, seed, opts, horizon_floor),
-            || compute_baseline(scenario, seed, opts, horizon_floor),
+            BaselineKey::new(scenario, seed, policy, horizon_floor),
+            || compute_baseline(scenario, seed, policy, horizon_floor),
         )
     }
 
@@ -319,6 +326,7 @@ mod tests {
             upstream_backup: false,
             full_every: 8,
             storage: StorageModel::default(),
+            metastore: MetastoreKind::Memory,
         }
     }
 
@@ -468,6 +476,10 @@ mod tests {
                     budget_bytes: 16_384,
                     ..StorageModel::default()
                 },
+                ..base.clone()
+            },
+            BaselineKey {
+                metastore: MetastoreKind::Replicated,
                 ..base.clone()
             },
         ] {

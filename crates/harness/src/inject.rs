@@ -86,6 +86,38 @@ impl FaultInjector {
                         .push(format!("[{now}] {} -> {name} already up", event.action));
                 }
             }
+            FaultAction::CrashOrchestrator => {
+                // Every registered orchestrator loses its process; unmanaged
+                // scenarios (no orca) record the no-op so the plan replay
+                // trace stays complete.
+                let orcas = kernel.sam.orchestrators();
+                if orcas.is_empty() {
+                    self.fired
+                        .push(format!("[{now}] {} -> no orchestrator", event.action));
+                    return;
+                }
+                for orca in orcas {
+                    if kernel.crash_orchestrator(orca) {
+                        self.fired
+                            .push(format!("[{now}] {} -> {orca}", event.action));
+                    } else {
+                        self.fired
+                            .push(format!("[{now}] {} -> {orca} already down", event.action));
+                    }
+                }
+            }
+            FaultAction::RestartSam => {
+                if kernel.restart_sam() {
+                    self.fired.push(format!("[{now}] {}", event.action));
+                } else {
+                    self.fired
+                        .push(format!("[{now}] {} -> already restarting", event.action));
+                }
+            }
+            FaultAction::PartitionSamHc { duration_ms } => {
+                kernel.partition_sam_hc(sps_sim::SimDuration::from_millis(duration_ms as u64));
+                self.fired.push(format!("[{now}] {}", event.action));
+            }
         }
     }
 }

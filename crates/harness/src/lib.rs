@@ -43,8 +43,8 @@ pub mod shrink;
 pub use cache::{BaselineCache, BaselineKey, CacheStats, DEFAULT_BASELINE_CAPACITY};
 pub use inject::{FaultInjector, Janitor};
 pub use oracle::{
-    default_oracles, BaselineSummary, ConvergenceOracle, NotificationOracle, Oracle, OracleCtx,
-    RecoveryOracle, StatePreservationOracle, Violation,
+    default_oracles, BaselineSummary, ControlPlaneOracle, ConvergenceOracle, NotificationOracle,
+    Oracle, OracleCtx, RecoveryOracle, StatePreservationOracle, Violation,
 };
 pub use plan::{FaultAction, FaultEvent, FaultPlan, PlanSpec};
 pub use pool::indexed_pool;
@@ -53,6 +53,6 @@ pub use runner::{
     reproducer_line, run_campaign, run_campaign_cached, run_plan, settled_world, BaselineSource,
     CampaignConfig, CampaignFailure, CampaignReport, PlanOutcome,
 };
-pub use scenario::{by_name, Built, Scenario};
+pub use scenario::{by_name, Built, Scenario, WorldPolicy};
 pub use shrink::shrink;
-pub use sps_runtime::{CheckpointPolicy, StorageModel, UbStats};
+pub use sps_runtime::{CheckpointPolicy, ControlStats, MetastoreKind, StorageModel, UbStats};

@@ -345,11 +345,61 @@ impl Oracle for StatePreservationOracle {
     }
 }
 
+/// Control-plane recovery (active when the campaign injects control faults):
+/// after the settle phase every injected control-plane outage must be fully
+/// healed and must not have corrupted kernel metadata.
+///
+/// 1. **SAM availability** — the restart window closed; the manager answers
+///    drains again.
+/// 2. **Orchestrator liveness** — no registered ORCA is still inside a
+///    crash-recovery window.
+/// 3. **No false death declarations** — injected SAM↔HC partitions are
+///    always shorter than the liveness deadline, so a host declared dead on
+///    heartbeat staleness is an oracle violation, not modelled behavior.
+/// 4. **Metastore integrity** — replaying the durable op log reproduces the
+///    live tables bit for bit (trivially true for the in-memory store).
+pub struct ControlPlaneOracle;
+
+impl Oracle for ControlPlaneOracle {
+    fn name(&self) -> &'static str {
+        "control-plane"
+    }
+
+    fn check(&self, ctx: &OracleCtx<'_>) -> Result<(), String> {
+        let kernel = &ctx.world.kernel;
+        if !kernel.sam.is_available() {
+            return Err("SAM still unavailable after settle".into());
+        }
+        for orca in kernel.sam.orchestrators() {
+            if kernel.orca_is_down(orca) {
+                return Err(format!("orchestrator {orca} still down after settle"));
+            }
+        }
+        let stats = kernel.control_stats();
+        if stats.false_declarations != 0 {
+            return Err(format!(
+                "{} host(s) falsely declared dead: every injected partition \
+                 is shorter than the liveness deadline",
+                stats.false_declarations
+            ));
+        }
+        if !kernel.sam.metastore_verify() {
+            return Err("metastore log replay does not reproduce the live tables".into());
+        }
+        Ok(())
+    }
+}
+
 /// The standard oracle set; `broken_convergence` swaps in the deliberately
-/// broken 1-quantum convergence bound (shrinking demo), and
-/// `state_preservation` adds the checkpoint-recovery oracle (meaningful
-/// only when runs execute with checkpointing enabled).
-pub fn default_oracles(broken_convergence: bool, state_preservation: bool) -> Vec<Box<dyn Oracle>> {
+/// broken 1-quantum convergence bound (shrinking demo), `state_preservation`
+/// adds the checkpoint-recovery oracle (meaningful only when runs execute
+/// with checkpointing enabled), and `control_plane` adds the control-plane
+/// recovery oracle (meaningful when campaigns inject control faults).
+pub fn default_oracles(
+    broken_convergence: bool,
+    state_preservation: bool,
+    control_plane: bool,
+) -> Vec<Box<dyn Oracle>> {
     let mut oracles: Vec<Box<dyn Oracle>> = vec![
         Box::new(RecoveryOracle),
         Box::new(ConvergenceOracle {
@@ -359,6 +409,9 @@ pub fn default_oracles(broken_convergence: bool, state_preservation: bool) -> Ve
     ];
     if state_preservation {
         oracles.push(Box::new(StatePreservationOracle));
+    }
+    if control_plane {
+        oracles.push(Box::new(ControlPlaneOracle));
     }
     oracles
 }

@@ -21,6 +21,17 @@ pub enum FaultAction {
     KillHost { host_slot: u8 },
     /// Bring the host at `host_slot` back up.
     ReviveHost { host_slot: u8 },
+    /// Control plane: crash every registered ORCA service mid-adaptation.
+    /// Each skips its quanta until recovery, then replays its durably
+    /// queued notification backlog.
+    CrashOrchestrator,
+    /// Control plane: restart SAM. Drains go unavailable for the restart
+    /// window; recovery rebuilds the tables from the metastore log.
+    RestartSam,
+    /// Control plane: SAM stops seeing host heartbeats for `duration_ms`.
+    /// Generated durations are bounded below the liveness deadline, so a
+    /// correct SAM declares no host dead.
+    PartitionSamHc { duration_ms: u32 },
 }
 
 /// A fault action bound to an absolute simulation time.
@@ -56,6 +67,10 @@ pub struct PlanSpec {
     /// window (needed by scenarios whose adaptation logic never retries a
     /// failed placement).
     pub revive_all: bool,
+    /// When true, the incident mix includes control-plane faults (ORCA
+    /// crash, SAM restart, SAM/HC partition). Off by default: the draw
+    /// sequence with this off is byte-identical to pre-control-fault plans.
+    pub control_faults: bool,
 }
 
 impl fmt::Display for FaultAction {
@@ -64,6 +79,9 @@ impl fmt::Display for FaultAction {
             FaultAction::KillPe { job_slot, pe_slot } => write!(f, "kp:{job_slot}:{pe_slot}"),
             FaultAction::KillHost { host_slot } => write!(f, "kh:{host_slot}"),
             FaultAction::ReviveHost { host_slot } => write!(f, "rh:{host_slot}"),
+            FaultAction::CrashOrchestrator => write!(f, "co"),
+            FaultAction::RestartSam => write!(f, "rs"),
+            FaultAction::PartitionSamHc { duration_ms } => write!(f, "ps:{duration_ms}"),
         }
     }
 }
@@ -78,13 +96,11 @@ fn hosts_down_at(events: &[FaultEvent], t: SimTime) -> Vec<u8> {
             break;
         }
         match e.action {
-            FaultAction::KillHost { host_slot } => {
-                if !down.contains(&host_slot) {
-                    down.push(host_slot);
-                }
+            FaultAction::KillHost { host_slot } if !down.contains(&host_slot) => {
+                down.push(host_slot);
             }
             FaultAction::ReviveHost { host_slot } => down.retain(|&h| h != host_slot),
-            FaultAction::KillPe { .. } => {}
+            _ => {}
         }
     }
     down
@@ -118,8 +134,15 @@ impl FaultPlan {
                 },
             });
         };
+        // With control faults off, the weight vector (and therefore the
+        // whole draw sequence) is byte-identical to pre-control-fault plans.
+        let weights: &[f64] = if spec.control_faults {
+            &[40.0, 25.0, 15.0, 20.0, 10.0, 8.0, 7.0]
+        } else {
+            &[40.0, 25.0, 15.0, 20.0]
+        };
         for t in times {
-            match rng.pick_weighted(&[40.0, 25.0, 15.0, 20.0]) {
+            match rng.pick_weighted(weights) {
                 // Plain PE kill.
                 0 => kill_pe(rng, &mut events, t),
                 // Host kill, usually paired with a revive.
@@ -159,7 +182,7 @@ impl FaultPlan {
                     }
                 }
                 // Kill-during-restart: the same slot dies again mid-spawn.
-                _ => {
+                3 => {
                     let (job_slot, pe_slot) = (
                         rng.gen_range(0, JOB_SLOTS) as u8,
                         rng.gen_range(0, PE_SLOTS) as u8,
@@ -171,6 +194,24 @@ impl FaultPlan {
                         });
                     }
                 }
+                // Control plane: ORCA crash / SAM restart / SAM–HC
+                // partition (reached only when `spec.control_faults`).
+                4 => events.push(FaultEvent {
+                    at: SimTime::from_millis(t),
+                    action: FaultAction::CrashOrchestrator,
+                }),
+                5 => events.push(FaultEvent {
+                    at: SimTime::from_millis(t),
+                    action: FaultAction::RestartSam,
+                }),
+                _ => events.push(FaultEvent {
+                    at: SimTime::from_millis(t),
+                    // Bounded well below the 6 s liveness deadline so the
+                    // partition never triggers a false host declaration.
+                    action: FaultAction::PartitionSamHc {
+                        duration_ms: rng.gen_range(500, 4001) as u32,
+                    },
+                }),
             }
         }
         // Stable sort: simultaneous events keep their generation order.
@@ -178,9 +219,18 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
-    /// Last event time, if any.
+    /// Time the plan's last effect lands: the last event time, extended to
+    /// the end of any partition window still open then.
     pub fn horizon(&self) -> Option<SimTime> {
-        self.events.iter().map(|e| e.at).max()
+        self.events
+            .iter()
+            .map(|e| match e.action {
+                FaultAction::PartitionSamHc { duration_ms } => {
+                    e.at + SimDuration::from_millis(duration_ms as u64)
+                }
+                _ => e.at,
+            })
+            .max()
     }
 
     /// Compact, shell-safe encoding: `millis:action[,millis:action…]`; the
@@ -223,6 +273,14 @@ impl FaultPlan {
                 },
                 (Some("kh"), 3) => FaultAction::KillHost { host_slot: num(2)? },
                 (Some("rh"), 3) => FaultAction::ReviveHost { host_slot: num(2)? },
+                (Some("co"), 2) => FaultAction::CrashOrchestrator,
+                (Some("rs"), 2) => FaultAction::RestartSam,
+                (Some("ps"), 3) => FaultAction::PartitionSamHc {
+                    duration_ms: fields
+                        .get(2)
+                        .and_then(|f| f.parse().ok())
+                        .ok_or_else(|| err("missing/invalid duration"))?,
+                },
                 _ => return Err(err("unknown action")),
             };
             events.push(FaultEvent {
@@ -254,7 +312,24 @@ mod tests {
             max_hosts_down: 1,
             restart_delay: SimDuration::from_secs(2),
             revive_all: true,
+            control_faults: false,
         }
+    }
+
+    fn control_spec() -> PlanSpec {
+        PlanSpec {
+            control_faults: true,
+            ..spec()
+        }
+    }
+
+    fn is_control(a: &FaultAction) -> bool {
+        matches!(
+            a,
+            FaultAction::CrashOrchestrator
+                | FaultAction::RestartSam
+                | FaultAction::PartitionSamHc { .. }
+        )
     }
 
     #[test]
@@ -284,7 +359,7 @@ mod tests {
                         assert!(down <= 1, "seed {seed}: >1 host down in {plan:?}");
                     }
                     FaultAction::ReviveHost { .. } => down = down.saturating_sub(1),
-                    FaultAction::KillPe { .. } => {}
+                    _ => {}
                 }
             }
             // revive_all: every kill has its revive.
@@ -309,6 +384,54 @@ mod tests {
         assert!(FaultPlan::decode("1000:xx:0").is_err());
         assert!(FaultPlan::decode("abc:kp:0:1").is_err());
         assert!(FaultPlan::decode("1000:kp:0").is_err());
+        assert!(FaultPlan::decode("1000:ps").is_err());
+        assert!(FaultPlan::decode("1000:ps:abc").is_err());
+        assert!(FaultPlan::decode("1000:co:1").is_err());
+    }
+
+    #[test]
+    fn control_actions_encode_and_roundtrip() {
+        let plan = FaultPlan::decode("1000:co,2000:rs,3000:ps:1500").unwrap();
+        assert_eq!(plan.encode(), "1000:co,2000:rs,3000:ps:1500");
+        assert_eq!(plan.events[0].action, FaultAction::CrashOrchestrator);
+        assert_eq!(plan.events[1].action, FaultAction::RestartSam);
+        assert_eq!(
+            plan.events[2].action,
+            FaultAction::PartitionSamHc { duration_ms: 1500 }
+        );
+        // The horizon covers the partition's full window, not just its start.
+        assert_eq!(plan.horizon(), Some(SimTime::from_millis(4500)));
+    }
+
+    /// With the knob off, no control action is ever generated; with it on,
+    /// the mix reaches all three, and every partition stays bounded below
+    /// the 6 s liveness deadline.
+    #[test]
+    fn control_fault_generation_is_gated_and_bounded() {
+        let mut saw = [false; 3];
+        for seed in 0..200u64 {
+            let plain = FaultPlan::generate(&mut SimRng::new(seed), &spec());
+            assert!(
+                plain.events.iter().all(|e| !is_control(&e.action)),
+                "seed {seed}: control action without the knob: {plain:?}"
+            );
+            let ctrl = FaultPlan::generate(&mut SimRng::new(seed), &control_spec());
+            for e in &ctrl.events {
+                match e.action {
+                    FaultAction::CrashOrchestrator => saw[0] = true,
+                    FaultAction::RestartSam => saw[1] = true,
+                    FaultAction::PartitionSamHc { duration_ms } => {
+                        saw[2] = true;
+                        assert!(
+                            (500..=4000).contains(&duration_ms),
+                            "seed {seed}: {duration_ms}"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(saw, [true; 3], "200 seeds must reach every control action");
     }
 
     #[test]

@@ -7,12 +7,12 @@ use crate::inject::{FaultInjector, Janitor};
 use crate::oracle::{default_oracles, BaselineSummary, Oracle, OracleCtx, Violation};
 use crate::plan::FaultPlan;
 use crate::pool::indexed_pool;
-use crate::scenario::{Built, Scenario};
+use crate::scenario::{Built, Scenario, WorldPolicy};
 use crate::shrink::shrink_failures;
 use orca::OrcaService;
 use rand::RngCore;
 use sps_engine::metrics::builtin;
-use sps_runtime::{CheckpointPolicy, PeStatus, UbStats, World};
+use sps_runtime::{CheckpointPolicy, ControlStats, MetastoreKind, PeStatus, UbStats, World};
 use sps_sim::{fnv1a, DigestWriter, SimRng, FNV_OFFSET};
 
 /// Campaign-wide knobs.
@@ -33,6 +33,14 @@ pub struct CampaignConfig {
     /// is compared against a fault-free baseline of the same seed; the
     /// `lossy_restore` knob is the state-oracle shrinking demo.
     pub checkpoint: CheckpointPolicy,
+    /// Metastore backing for every world the campaign builds (`--metastore`).
+    /// With control faults off this must be execution-invisible: campaign
+    /// stdout is byte-identical for `Memory` and `Replicated`.
+    pub metastore: MetastoreKind,
+    /// Include control-plane faults (orchestrator crash, SAM restart,
+    /// SAM↔HC partition) in the generated plan mix and add the
+    /// control-plane recovery oracle (`--control-faults`).
+    pub control_faults: bool,
     /// Worker threads for plan evaluation and failure shrinking (`--jobs` /
     /// `HARNESS_JOBS`). Plans are sharded across workers and the report is
     /// folded in plan-index order, so every `CampaignReport` field is
@@ -49,7 +57,19 @@ impl Default for CampaignConfig {
             broken_convergence: false,
             max_failures: 3,
             checkpoint: CheckpointPolicy::default(),
+            metastore: MetastoreKind::default(),
+            control_faults: false,
             jobs: 1,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The durable-state policy every world of this campaign is built with.
+    pub fn policy(&self) -> WorldPolicy {
+        WorldPolicy {
+            checkpoint: self.checkpoint,
+            metastore: self.metastore,
         }
     }
 }
@@ -64,6 +84,9 @@ pub struct PlanOutcome {
     /// Upstream-backup transport counters of the settled world (all zero
     /// when the feature is off).
     pub ub: UbStats,
+    /// Control-plane fault/recovery counters of the settled world (all zero
+    /// when no control fault fired).
+    pub control: ControlStats,
 }
 
 /// A failing plan, minimized.
@@ -99,6 +122,9 @@ pub struct CampaignReport {
     /// Upstream-backup counters summed over every plan's primary run, in
     /// plan-index order (all zero when the feature is off).
     pub ub: UbStats,
+    /// Control-plane counters summed over every plan's primary run, in
+    /// plan-index order (all zero when no control fault fired anywhere).
+    pub control: ControlStats,
 }
 
 impl CampaignReport {
@@ -125,6 +151,23 @@ impl CampaignReport {
                 self.ub.suppressed,
                 self.ub.trimmed,
                 self.ub.peak_buffered
+            ));
+        }
+        // Likewise only rendered when a control-plane fault actually fired,
+        // so control-faults-off reports (any metastore) stay byte-identical
+        // to earlier releases.
+        if self.control.any() {
+            out.push_str(&format!(
+                "  control-plane: orca_crashes={} orca_recoveries={} \
+                 notifications_replayed={} sam_restarts={} \
+                 meta_ops_replayed={} hc_partitions={} false_declarations={}\n",
+                self.control.orca_crashes,
+                self.control.orca_recoveries,
+                self.control.notifications_replayed,
+                self.control.sam_restarts,
+                self.control.meta_ops_replayed,
+                self.control.hc_partitions,
+                self.control.false_declarations
             ));
         }
         for f in &self.failures {
@@ -205,13 +248,13 @@ pub fn settled_world(
     scenario: &Scenario,
     seed: u64,
     plan: &FaultPlan,
-    opts: CheckpointPolicy,
+    policy: WorldPolicy,
     horizon_floor: Option<sps_sim::SimTime>,
 ) -> (World, Option<usize>, Option<usize>) {
     let Built {
         mut world,
         orca_idx,
-    } = (scenario.build)(seed, opts);
+    } = (scenario.build)(seed, policy);
     if scenario.janitor {
         world.add_controller(Box::new(Janitor::default()));
     }
@@ -254,10 +297,10 @@ pub fn settled_world(
 pub fn compute_baseline(
     scenario: &Scenario,
     seed: u64,
-    opts: CheckpointPolicy,
+    policy: WorldPolicy,
     horizon: Option<sps_sim::SimTime>,
 ) -> BaselineSummary {
-    let (world, _, _) = settled_world(scenario, seed, &FaultPlan::default(), opts, horizon);
+    let (world, _, _) = settled_world(scenario, seed, &FaultPlan::default(), policy, horizon);
     let kernel = &world.kernel;
     let mut summary = BaselineSummary::default();
     let stable_before = sps_sim::SimTime::ZERO + scenario.warmup;
@@ -302,23 +345,23 @@ impl<'a> BaselineSource<'a> {
 ///
 /// When checkpointing is on, the fault-free baseline the state oracle
 /// compares against is fetched through `baseline` at the point of use,
-/// keyed by `(scenario, seed, baseline.floor, opts)`.
+/// keyed by `(scenario, seed, baseline.floor, policy)`.
 pub fn run_plan(
     scenario: &Scenario,
     seed: u64,
     plan: &FaultPlan,
     oracles: &[Box<dyn Oracle>],
-    opts: CheckpointPolicy,
+    policy: WorldPolicy,
     baseline: BaselineSource<'_>,
 ) -> PlanOutcome {
     // Fetch (or compute) the baseline before simulating the faulted world so
     // a cache miss is attributable to this plan in `--timing` accounting.
-    let baseline = opts.enabled().then(|| {
+    let baseline = policy.checkpoint.enabled().then(|| {
         baseline
             .cache
-            .get_or_compute(scenario, seed, opts, baseline.floor)
+            .get_or_compute(scenario, seed, policy, baseline.floor)
     });
-    let (world, orca_idx, quanta_to_quiesce) = settled_world(scenario, seed, plan, opts, None);
+    let (world, orca_idx, quanta_to_quiesce) = settled_world(scenario, seed, plan, policy, None);
 
     // The run digest covers the kernel trace *and* the application-visible
     // state (SRM snapshots, sink taps), so the determinism replay catches
@@ -336,7 +379,7 @@ pub fn run_plan(
         orca_idx,
         quanta_to_quiesce,
         convergence_bound: scenario.convergence_bound,
-        opts,
+        opts: policy.checkpoint,
         baseline: baseline.as_deref(),
         exact_taps: scenario.exact_taps,
     };
@@ -354,6 +397,7 @@ pub fn run_plan(
         quanta_to_quiesce,
         violations,
         ub: world.kernel.ub_stats(),
+        control: world.kernel.control_stats(),
     }
 }
 
@@ -370,13 +414,13 @@ pub fn evaluate(
     plan: &FaultPlan,
     oracles: &[Box<dyn Oracle>],
     check_determinism: bool,
-    opts: CheckpointPolicy,
+    policy: WorldPolicy,
     baseline: BaselineSource<'_>,
 ) -> (u64, Vec<Violation>) {
-    let outcome = run_plan(scenario, seed, plan, oracles, opts, baseline);
+    let outcome = run_plan(scenario, seed, plan, oracles, policy, baseline);
     let mut violations = outcome.violations;
     if check_determinism {
-        let replay = run_plan(scenario, seed, plan, oracles, opts, baseline);
+        let replay = run_plan(scenario, seed, plan, oracles, policy, baseline);
         if replay.digest != outcome.digest {
             violations.push(Violation {
                 oracle: "determinism",
@@ -391,13 +435,16 @@ pub fn evaluate(
 }
 
 /// Renders the one-line environment reproducer for a failing plan,
-/// capturing the checkpoint policy so replays run under the same regime.
+/// capturing the checkpoint policy, metastore backing, and control-fault
+/// regime so replays run under the same configuration.
 pub fn reproducer_line(
     scenario: &Scenario,
     plan_seed: u64,
     plan: &FaultPlan,
-    opts: CheckpointPolicy,
+    policy: WorldPolicy,
+    control_faults: bool,
 ) -> String {
+    let opts = policy.checkpoint;
     let mut line = format!("HARNESS_APP={} HARNESS_SEED={plan_seed}", scenario.name);
     if opts.enabled() {
         line.push_str(&format!(" HARNESS_CKPT={}", opts.every_quanta));
@@ -418,6 +465,21 @@ pub fn reproducer_line(
             " HARNESS_CKPT_BUDGET={}",
             opts.storage.budget_bytes
         ));
+    }
+    // Control-plane knobs, omitted at their defaults so pre-control
+    // reproducer lines are reproduced verbatim. The metastore default is
+    // what replay resolution would pick for this line: replicated when
+    // control faults are on, memory otherwise.
+    if control_faults {
+        line.push_str(" HARNESS_CTRL=1");
+    }
+    let replay_default = if control_faults {
+        MetastoreKind::Replicated
+    } else {
+        MetastoreKind::Memory
+    };
+    if policy.metastore != replay_default {
+        line.push_str(&format!(" HARNESS_META={}", policy.metastore.as_str()));
     }
     line.push_str(&format!(" HARNESS_PLAN={}", plan.encode()));
     line
@@ -446,6 +508,8 @@ pub(crate) struct PlanEval {
     /// Upstream-backup counters of the primary run (the determinism replay
     /// is excluded so the report reflects one execution per plan).
     pub ub: UbStats,
+    /// Control-plane counters of the primary run, same convention.
+    pub control: ControlStats,
 }
 
 /// Evaluates one indexed plan: generation, baseline, execution, oracles.
@@ -456,24 +520,33 @@ fn evaluate_plan(
     plan_seed: u64,
     cache: &BaselineCache,
 ) -> PlanEval {
-    let opts = cfg.checkpoint;
-    let oracles = default_oracles(cfg.broken_convergence, opts.enabled());
+    let policy = cfg.policy();
+    let oracles = default_oracles(
+        cfg.broken_convergence,
+        policy.checkpoint.enabled(),
+        cfg.control_faults,
+    );
     // Independent per-plan stream: seeds world RNG and plan sampling.
-    let plan = FaultPlan::generate(&mut SimRng::new(plan_seed), &scenario.plan_spec());
+    let plan = FaultPlan::generate(
+        &mut SimRng::new(plan_seed),
+        &scenario.plan_spec_with(cfg.control_faults),
+    );
     // The state oracle compares against the fault-free run of the same
     // seed, memoized by `(scenario, seed, horizon floor, opts)`: the
     // determinism replay and the shrink phase hit the entry this fetch
     // populates instead of re-simulating the baseline world.
     let floor = plan.horizon();
     let baseline = BaselineSource::new(cache, floor);
-    // Inlined [`evaluate`] so the primary run's upstream-backup counters can
-    // be kept (the determinism replay would double them).
-    let outcome = run_plan(scenario, plan_seed, &plan, &oracles, opts, baseline);
+    // Inlined [`evaluate`] so the primary run's upstream-backup and
+    // control-plane counters can be kept (the determinism replay would
+    // double them).
+    let outcome = run_plan(scenario, plan_seed, &plan, &oracles, policy, baseline);
     let digest = outcome.digest;
     let ub = outcome.ub;
+    let control = outcome.control;
     let mut violations = outcome.violations;
     if cfg.check_determinism {
-        let replay = run_plan(scenario, plan_seed, &plan, &oracles, opts, baseline);
+        let replay = run_plan(scenario, plan_seed, &plan, &oracles, policy, baseline);
         if replay.digest != digest {
             violations.push(Violation {
                 oracle: "determinism",
@@ -490,6 +563,7 @@ fn evaluate_plan(
         digest,
         violations,
         ub,
+        control,
     }
 }
 
@@ -531,10 +605,12 @@ pub fn run_campaign_cached(
     let mut digest = FNV_OFFSET;
     let mut plans_failed = 0usize;
     let mut ub = UbStats::default();
+    let mut control = ControlStats::default();
     let mut to_shrink: Vec<PlanEval> = Vec::new();
     for eval in evals {
         digest = fnv1a(digest, &eval.digest.to_le_bytes());
         ub.absorb(&eval.ub);
+        control.merge(&eval.control);
         if eval.violations.is_empty() {
             continue;
         }
@@ -558,5 +634,6 @@ pub fn run_campaign_cached(
         failures,
         failures_truncated,
         ub,
+        control,
     }
 }

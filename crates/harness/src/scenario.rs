@@ -14,8 +14,26 @@ use orca_apps::trend::{trend_app, TrendOrca, TrendParams};
 use orca_apps::SharedStores;
 use sps_model::compiler::{compile, CompileOptions};
 use sps_model::logical::{AppModelBuilder, CompositeGraphBuilder, OperatorInvocation};
-use sps_runtime::{CheckpointPolicy, Cluster, Kernel, RuntimeConfig, World};
+use sps_runtime::{CheckpointPolicy, Cluster, Kernel, MetastoreKind, RuntimeConfig, World};
 use sps_sim::{SimDuration, SimTime};
+
+/// Durable-state knobs a campaign threads into every world it builds: the
+/// checkpoint policy (data plane) and the metastore backing (control plane).
+/// Plain `Copy` data so scenarios stay shareable across campaign workers.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct WorldPolicy {
+    pub checkpoint: CheckpointPolicy,
+    pub metastore: MetastoreKind,
+}
+
+impl WorldPolicy {
+    pub fn checkpointed(ckpt: CheckpointPolicy) -> Self {
+        WorldPolicy {
+            checkpoint: ckpt,
+            ..WorldPolicy::default()
+        }
+    }
+}
 
 /// A freshly built world plus the controller index of its ORCA service (if
 /// the scenario is orchestrated).
@@ -41,8 +59,8 @@ pub struct Scenario {
     /// Attach the harness [`crate::Janitor`] as the recovery policy.
     pub janitor: bool,
     pub max_incidents: usize,
-    /// Builds the world from a campaign seed and the checkpoint policy.
-    pub build: fn(u64, CheckpointPolicy) -> Built,
+    /// Builds the world from a campaign seed and the durable-state policy.
+    pub build: fn(u64, WorldPolicy) -> Built,
     /// Sink operators to include in determinism artifacts, by name.
     pub taps: &'static [&'static str],
     /// Subset of `taps` whose counts are *structurally exact* under
@@ -68,6 +86,12 @@ const _: () = {
 impl Scenario {
     /// Plan-generation envelope derived from this scenario's shape.
     pub fn plan_spec(&self) -> PlanSpec {
+        self.plan_spec_with(false)
+    }
+
+    /// Like [`Scenario::plan_spec`], with the control-plane fault mix
+    /// (orchestrator crash, SAM restart, SAM↔HC partition) switched on.
+    pub fn plan_spec_with(&self, control_faults: bool) -> PlanSpec {
         PlanSpec {
             hosts: self.hosts,
             window: (
@@ -81,14 +105,16 @@ impl Scenario {
             max_hosts_down: 1,
             restart_delay: RuntimeConfig::default().restart_delay,
             revive_all: true,
+            control_faults,
         }
     }
 }
 
-fn config(seed: u64, ckpt: CheckpointPolicy) -> RuntimeConfig {
+fn config(seed: u64, policy: WorldPolicy) -> RuntimeConfig {
     RuntimeConfig {
         seed,
-        checkpoint: ckpt,
+        checkpoint: policy.checkpoint,
+        metastore: policy.metastore,
         ..RuntimeConfig::default()
     }
 }
@@ -97,12 +123,12 @@ fn config(seed: u64, ckpt: CheckpointPolicy) -> RuntimeConfig {
 /// no orchestrator — the population the `live` tap-streaming module
 /// watches). The campaign seed perturbs the source rates so every plan seed
 /// also explores a different workload.
-fn build_live(seed: u64, ckpt: CheckpointPolicy) -> Built {
+fn build_live(seed: u64, policy: WorldPolicy) -> Built {
     let stores = SharedStores::new();
     let mut kernel = Kernel::new(
         Cluster::with_hosts(2),
         orca_apps::registry(&stores),
-        config(seed, ckpt),
+        config(seed, policy),
     );
     let rate_a = 18.0 + (seed % 5) as f64;
     let rate_b = 27.0 + ((seed >> 3) % 5) as f64;
@@ -135,12 +161,12 @@ fn build_live(seed: u64, ckpt: CheckpointPolicy) -> Built {
 
 /// `sentiment`: §5.1 drift-adaptation app; the orchestrator reacts to
 /// metrics, so PE recovery falls to the janitor.
-fn build_sentiment(seed: u64, ckpt: CheckpointPolicy) -> Built {
+fn build_sentiment(seed: u64, policy: WorldPolicy) -> Built {
     let stores = SharedStores::new();
     let kernel = Kernel::new(
         Cluster::with_hosts(3),
         orca_apps::registry(&stores),
-        config(seed, ckpt),
+        config(seed, policy),
     );
     let mut world = World::new(kernel);
     let params = SentimentParams {
@@ -163,12 +189,12 @@ fn build_sentiment(seed: u64, ckpt: CheckpointPolicy) -> Built {
 
 /// `social`: §5.3 dynamic composition (C1/C2/C3); jobs come and go under
 /// the dependency manager while faults land.
-fn build_social(seed: u64, ckpt: CheckpointPolicy) -> Built {
+fn build_social(seed: u64, policy: WorldPolicy) -> Built {
     let stores = SharedStores::new();
     let kernel = Kernel::new(
         Cluster::with_hosts(4),
         orca_apps::registry(&stores),
-        config(seed, ckpt),
+        config(seed, policy),
     );
     let mut world = World::new(kernel);
     // Seeded variant of `composition_descriptor`: the campaign seed drives
@@ -194,12 +220,12 @@ fn build_social(seed: u64, ckpt: CheckpointPolicy) -> Built {
 
 /// `trend`: §5.2 replica failover — the orchestrator itself is the recovery
 /// policy (no janitor).
-fn build_trend(seed: u64, ckpt: CheckpointPolicy) -> Built {
+fn build_trend(seed: u64, policy: WorldPolicy) -> Built {
     let stores = SharedStores::new();
     let kernel = Kernel::new(
         Cluster::with_hosts(4),
         orca_apps::registry(&stores),
-        config(seed, ckpt),
+        config(seed, policy),
     );
     let mut world = World::new(kernel);
     let service = OrcaService::submit(

@@ -13,8 +13,7 @@ use crate::pool::indexed_pool;
 use crate::runner::{
     evaluate, reproducer_line, BaselineSource, CampaignConfig, CampaignFailure, PlanEval,
 };
-use crate::scenario::Scenario;
-use sps_runtime::CheckpointPolicy;
+use crate::scenario::{Scenario, WorldPolicy};
 
 /// Minimizes `plan` while it keeps failing under the given oracle set.
 ///
@@ -29,7 +28,7 @@ pub fn shrink(
     plan: &FaultPlan,
     oracles: &[Box<dyn Oracle>],
     check_determinism: bool,
-    opts: CheckpointPolicy,
+    policy: WorldPolicy,
     baseline: BaselineSource<'_>,
 ) -> FaultPlan {
     let still_fails = |candidate: &FaultPlan| -> bool {
@@ -39,7 +38,7 @@ pub fn shrink(
             candidate,
             oracles,
             check_determinism,
-            opts,
+            policy,
             baseline,
         )
         .1
@@ -73,10 +72,14 @@ pub(crate) fn shrink_failures(
     failing: Vec<PlanEval>,
     cache: &BaselineCache,
 ) -> Vec<CampaignFailure> {
-    let opts = cfg.checkpoint;
+    let policy = cfg.policy();
     indexed_pool(failing.len(), cfg.jobs, |i| {
         let eval = &failing[i];
-        let oracles = default_oracles(cfg.broken_convergence, opts.enabled());
+        let oracles = default_oracles(
+            cfg.broken_convergence,
+            policy.checkpoint.enabled(),
+            cfg.control_faults,
+        );
         // The determinism replay doubles every shrink candidate's cost;
         // only pay for it when the failure actually is a divergence.
         let det_shrink =
@@ -87,12 +90,18 @@ pub(crate) fn shrink_failures(
             &eval.plan,
             &oracles,
             det_shrink,
-            opts,
+            policy,
             // Original plan's horizon: every candidate hits the same
             // floor-keyed baseline entry phase 1 computed.
             BaselineSource::new(cache, eval.plan.horizon()),
         );
-        let reproducer = reproducer_line(scenario, eval.plan_seed, &shrunk, opts);
+        let reproducer = reproducer_line(
+            scenario,
+            eval.plan_seed,
+            &shrunk,
+            policy,
+            cfg.control_faults,
+        );
         CampaignFailure {
             plan_seed: eval.plan_seed,
             original: eval.plan.clone(),

@@ -12,6 +12,7 @@ use crate::ckpt::{CheckpointPolicy, CheckpointStore};
 use crate::cluster::{Cluster, PeProcess, PeStatus};
 use crate::error::RuntimeError;
 use crate::ids::{JobId, OrcaId, PeId};
+use crate::metastore::MetastoreKind;
 use crate::sam::{CrashReason, JobInfo, JobStatus, OrcaNotification, Sam};
 use crate::srm::Srm;
 use sps_engine::metrics::builtin;
@@ -40,6 +41,16 @@ pub struct RuntimeConfig {
     pub restart_delay: SimDuration,
     /// Checkpoint/restore policy (off by default — the seed behavior).
     pub checkpoint: CheckpointPolicy,
+    /// Which metastore implementation backs SAM's durable state (in-memory
+    /// by default — the seed behavior, byte-identical).
+    pub metastore: MetastoreKind,
+    /// How stale a host's heartbeat may grow before SAM declares the host
+    /// dead and crashes its PEs (§2.2's failure detection deadline). Only
+    /// hosts SAM has heard from at least once are candidates.
+    pub liveness_deadline: SimDuration,
+    /// How long a crashed control-plane component (ORCA service, SAM) stays
+    /// down before its recovery completes.
+    pub control_restart_delay: SimDuration,
 }
 
 impl Default for RuntimeConfig {
@@ -51,7 +62,49 @@ impl Default for RuntimeConfig {
             seed: 0x5EED,
             restart_delay: SimDuration::from_secs(2),
             checkpoint: CheckpointPolicy::default(),
+            metastore: MetastoreKind::Memory,
+            liveness_deadline: SimDuration::from_secs(6),
+            control_restart_delay: SimDuration::from_secs(2),
         }
+    }
+}
+
+/// Control-plane fault/recovery counters (campaign-report hooks). All zero
+/// on a fault-free run — the report renders them only when any moved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControlStats {
+    /// `CrashOrchestrator` faults taken.
+    pub orca_crashes: u64,
+    /// ORCA recoveries completed (down window expired).
+    pub orca_recoveries: u64,
+    /// Notifications found durably queued at ORCA recovery — the backlog
+    /// the revived service replays on its next pull.
+    pub notifications_replayed: u64,
+    /// `RestartSam` recoveries completed.
+    pub sam_restarts: u64,
+    /// Metastore log ops replayed across SAM recoveries.
+    pub meta_ops_replayed: u64,
+    /// `PartitionSamHc` faults taken.
+    pub hc_partitions: u64,
+    /// Hosts SAM declared dead on heartbeat staleness while they were in
+    /// fact up. The campaign's control-plane oracle requires zero: injected
+    /// partitions are always shorter than the liveness deadline.
+    pub false_declarations: u64,
+}
+
+impl ControlStats {
+    pub fn any(&self) -> bool {
+        *self != ControlStats::default()
+    }
+
+    pub fn merge(&mut self, other: &ControlStats) {
+        self.orca_crashes += other.orca_crashes;
+        self.orca_recoveries += other.orca_recoveries;
+        self.notifications_replayed += other.notifications_replayed;
+        self.sam_restarts += other.sam_restarts;
+        self.meta_ops_replayed += other.meta_ops_replayed;
+        self.hc_partitions += other.hc_partitions;
+        self.false_declarations += other.false_declarations;
     }
 }
 
@@ -179,6 +232,17 @@ pub struct Kernel {
     /// keyed by the replacement PE id → snapshot time the restore rewound
     /// to. Consumed when the PE is promoted `Starting` → `Up`.
     pending_replay: BTreeMap<PeId, SimTime>,
+    /// Crashed ORCA services → when their recovery completes. While down, a
+    /// service skips its quantum entirely; SAM keeps queueing its
+    /// notifications durably.
+    orca_down: BTreeMap<OrcaId, SimTime>,
+    /// Active `RestartSam` window: SAM serves again (after metastore
+    /// recovery) once this time passes.
+    sam_down_until: Option<SimTime>,
+    /// Active `PartitionSamHc` window: host heartbeats do not reach SAM
+    /// until this time passes.
+    hc_partition_until: Option<SimTime>,
+    control_stats: ControlStats,
 }
 
 /// A PE slot is checkpointable iff every operator fused into it opted in
@@ -199,9 +263,13 @@ impl Kernel {
         Kernel {
             now: SimTime::ZERO,
             rng: SimRng::new(config.seed),
+            // The replicated store's RNG is a separate seeded stream, never
+            // a fork of the kernel's live RNG: building (or running) it must
+            // not perturb the simulation's draw sequence, so the fault-free
+            // campaign digest is identical across store kinds.
+            sam: Sam::with_store(config.metastore, config.seed ^ 0x4d45_5441),
             config,
             cluster,
-            sam: Sam::new(),
             srm,
             broker: Broker::new(),
             registry,
@@ -213,6 +281,10 @@ impl Kernel {
             restart_log: Vec::new(),
             backup: UpstreamBackup::new(),
             pending_replay: BTreeMap::new(),
+            orca_down: BTreeMap::new(),
+            sam_down_until: None,
+            hc_partition_until: None,
+            control_stats: ControlStats::default(),
         }
     }
 
@@ -735,6 +807,9 @@ impl Kernel {
             })
             .collect();
         self.srm.set_host_status(host_name, false);
+        // A down host sends no heartbeats; forget its last one so the
+        // liveness deadline never "detects" a failure SAM already handled.
+        self.sam.clear_heartbeat(host_name);
         self.trace.push(
             self.now,
             "srm",
@@ -755,9 +830,193 @@ impl Kernel {
             .ok_or_else(|| RuntimeError::Invalid(format!("unknown host {host_name}")))?;
         host.up = true;
         self.srm.set_host_status(host_name, true);
+        // An immediate heartbeat: the revived host must get a full deadline
+        // of grace even if a partition window is still open.
+        let now = self.now;
+        self.sam.record_heartbeat(host_name, now);
         self.trace
             .push(self.now, "srm", format!("host {host_name} up"));
         Ok(())
+    }
+
+    // ---- control-plane faults (§3: the middleware itself is crashable) -----
+
+    /// Crashes a registered ORCA service: it skips its quanta until the
+    /// recovery completes at `now + control_restart_delay`. SAM keeps
+    /// queueing the service's notifications durably throughout; on recovery
+    /// the backlog is replayed into the service's next pull. Returns false
+    /// for an unknown orchestrator.
+    pub fn crash_orchestrator(&mut self, orca: OrcaId) -> bool {
+        if !self.sam.orchestrators().contains(&orca) {
+            return false;
+        }
+        let until = self.now + self.config.control_restart_delay;
+        self.orca_down.insert(orca, until);
+        self.control_stats.orca_crashes += 1;
+        self.trace.push(
+            self.now,
+            "faults",
+            format!("orchestrator {orca} crashed, recovery at {until}"),
+        );
+        true
+    }
+
+    /// Whether an ORCA service is inside a crash window (its controller
+    /// must skip its quantum).
+    pub fn orca_is_down(&self, orca: OrcaId) -> bool {
+        self.orca_down.contains_key(&orca)
+    }
+
+    /// Restarts SAM: the daemon goes unavailable (drains return empty — the
+    /// explicit Unavailable path) until `now + control_restart_delay`, when
+    /// the metastore recovers (a logging store replays its op log,
+    /// digest-verified) and SAM serves again. Returns false if a restart
+    /// window is already open.
+    pub fn restart_sam(&mut self) -> bool {
+        if self.sam_down_until.is_some() {
+            return false;
+        }
+        let until = self.now + self.config.control_restart_delay;
+        self.sam_down_until = Some(until);
+        self.sam.begin_restart();
+        self.trace.push(
+            self.now,
+            "faults",
+            format!("SAM restarting, recovery at {until}"),
+        );
+        true
+    }
+
+    /// Partitions SAM from the host controllers for `duration`: heartbeats
+    /// stop arriving, and the liveness deadline starts running down against
+    /// every host's last recorded heartbeat. Injected partitions are
+    /// bounded below the deadline, so a correct SAM declares nobody dead.
+    pub fn partition_sam_hc(&mut self, duration: SimDuration) {
+        let until = self.now + duration;
+        // Overlapping partitions extend, never shorten, the window.
+        if self.hc_partition_until.is_none_or(|t| t < until) {
+            self.hc_partition_until = Some(until);
+        }
+        self.control_stats.hc_partitions += 1;
+        self.trace.push(
+            self.now,
+            "faults",
+            format!("SAM/HC partition until {until}"),
+        );
+    }
+
+    pub fn control_stats(&self) -> ControlStats {
+        self.control_stats
+    }
+
+    /// SAM's failure-detection verdict on a heartbeat-stale host: crash its
+    /// PEs with `HostFailure`. The host process itself keeps running (it is
+    /// merely unreachable), which is exactly why a declaration before the
+    /// deadline is a *false* one — counted, and required zero by the
+    /// control-plane oracle.
+    fn declare_host_dead(&mut self, host_name: &str) {
+        self.sam.clear_heartbeat(host_name);
+        let Some(host) = self.cluster.host_mut(host_name) else {
+            return;
+        };
+        let victims: Vec<PeId> = host
+            .processes
+            .values_mut()
+            .filter(|p| matches!(p.status, PeStatus::Up | PeStatus::Starting))
+            .map(|p| {
+                p.status = PeStatus::Crashed;
+                p.pe_id
+            })
+            .collect();
+        self.control_stats.false_declarations += 1;
+        self.trace.push(
+            self.now,
+            "sam",
+            format!(
+                "host {host_name} declared dead on heartbeat staleness \
+                 ({} PEs crashed)",
+                victims.len()
+            ),
+        );
+        for pe in victims {
+            self.notify_pe_failure(pe, CrashReason::HostFailure);
+        }
+    }
+
+    /// Expires control-fault windows and runs the heartbeat/liveness
+    /// machinery for one quantum. On a fault-free run this records
+    /// heartbeats (volatile, traceless, RNG-free) and nothing else — the
+    /// campaign digest does not move.
+    fn control_plane_quantum(&mut self) {
+        // ORCA recoveries: the service resumes next quantum; its durable
+        // notification backlog is what it replays.
+        let recovered: Vec<OrcaId> = self
+            .orca_down
+            .iter()
+            .filter(|(_, &until)| self.now >= until)
+            .map(|(&o, _)| o)
+            .collect();
+        for orca in recovered {
+            self.orca_down.remove(&orca);
+            let backlog = self.sam.notifications_pending(orca) as u64;
+            self.control_stats.orca_recoveries += 1;
+            self.control_stats.notifications_replayed += backlog;
+            self.trace.push(
+                self.now,
+                "faults",
+                format!("orchestrator {orca} recovered, replaying {backlog} notifications"),
+            );
+        }
+
+        // SAM recovery: the metastore rebuilds (and verifies) its tables.
+        if self.sam_down_until.is_some_and(|until| self.now >= until) {
+            self.sam_down_until = None;
+            let rec = self.sam.complete_restart();
+            self.control_stats.sam_restarts += 1;
+            self.control_stats.meta_ops_replayed += rec.ops_replayed;
+            self.trace.push(
+                self.now,
+                "faults",
+                format!("SAM recovered, {} metastore ops replayed", rec.ops_replayed),
+            );
+        }
+
+        // Partition expiry.
+        if self
+            .hc_partition_until
+            .is_some_and(|until| self.now >= until)
+        {
+            self.hc_partition_until = None;
+            self.trace
+                .push(self.now, "faults", "SAM/HC partition healed".to_string());
+        }
+
+        // Heartbeats: every up host's controller pings SAM each quantum,
+        // unless the partition swallows them.
+        if self.hc_partition_until.is_none() {
+            let now = self.now;
+            let names: Vec<String> = self
+                .cluster
+                .hosts()
+                .filter(|h| h.up)
+                .map(|h| h.name.clone())
+                .collect();
+            for name in names {
+                self.sam.record_heartbeat(&name, now);
+            }
+        }
+
+        // Failure detection: hosts whose last heartbeat outlived the
+        // deadline. Unreachable on the fault-free path (heartbeats land
+        // every quantum) and under generated plans (partition durations are
+        // bounded below the deadline) — a declaration here is a modeling
+        // bug the oracle catches via `false_declarations`.
+        let stale = self
+            .sam
+            .stale_hosts(self.now, self.config.liveness_deadline);
+        for host in stale {
+            self.declare_host_dead(&host);
+        }
     }
 
     /// Schedules a fault injection at an absolute simulation time.
@@ -927,6 +1186,9 @@ impl Kernel {
     pub fn quantum(&mut self) {
         self.now += self.config.quantum;
 
+        // Control-plane recovery windows, heartbeats, and failure detection.
+        self.control_plane_quantum();
+
         // Scheduled fault injections.
         while let Some((t, _)) = self.scheduled_kills.first() {
             if *t > self.now {
@@ -1072,6 +1334,14 @@ impl Kernel {
                 };
                 let ub = self.upstream_backup_enabled();
                 for commit in self.ckpt.poll_commits(self.now, &protected) {
+                    if commit.accepted {
+                        // The commit lands in the metastore's checkpoint
+                        // index too, so a recovered SAM can prove which
+                        // commits it knew about. The snapshot chain itself
+                        // stays authoritative in the CheckpointStore.
+                        self.sam
+                            .record_ckpt_commit(commit.job, commit.adl_index, commit.taken_at);
+                    }
                     if commit.accepted && ub {
                         // Commit acks the buffered gap: the snapshot covers
                         // every delivery at or before `taken_at`.
@@ -2188,6 +2458,174 @@ mod tests {
         // cancel_job wipes the rest.
         k.cancel_job(job).unwrap();
         assert!(k.srm.query_jobs(&[job]).is_empty());
+    }
+
+    /// A SAM/HC partition that outlives the liveness deadline: SAM declares
+    /// the (actually healthy) hosts dead, crashes their PEs with
+    /// `HostFailure`, and counts the false declarations. Generated plans
+    /// bound partitions below the deadline, so this path is reached only by
+    /// deliberately over-long partitions like this one.
+    #[test]
+    fn over_deadline_partition_falsely_declares_hosts() {
+        let mut k = kernel(2);
+        let orca = k.sam.register_orchestrator();
+        let job = k.submit_job(pipeline_adl("P", 10.0), Some(orca)).unwrap();
+        run(&mut k, 5);
+        // Partition for 7 s > the 6 s default deadline.
+        k.partition_sam_hc(SimDuration::from_secs(7));
+        run(&mut k, 61); // past the deadline, partition still open
+        let stats = k.control_stats();
+        assert_eq!(stats.hc_partitions, 1);
+        assert_eq!(stats.false_declarations, 2, "both hosts declared");
+        // The hosts themselves are still up — only their PEs were crashed.
+        assert!(k.cluster.hosts().all(|h| h.up));
+        for idx in 0..3 {
+            let pe = k.pe_id_of(job, idx).unwrap();
+            assert_eq!(k.pe_status(pe), Some(PeStatus::Crashed));
+        }
+        // Every crash was pushed to the owner as a HostFailure.
+        let notes = k.sam.drain_notifications(orca);
+        assert_eq!(notes.len(), 3);
+        assert!(notes.iter().all(|n| matches!(
+            n,
+            OrcaNotification::PeFailure {
+                reason: CrashReason::HostFailure,
+                ..
+            }
+        )));
+        // The partition heals and fresh heartbeats resume: no re-declaration.
+        run(&mut k, 20);
+        assert_eq!(k.control_stats().false_declarations, 2);
+    }
+
+    /// A partition bounded below the deadline declares nobody dead — the
+    /// property generated `ps:` faults rely on.
+    #[test]
+    fn under_deadline_partition_is_harmless() {
+        let mut k = kernel(2);
+        let job = k.submit_job(pipeline_adl("P", 10.0), None).unwrap();
+        run(&mut k, 5);
+        k.partition_sam_hc(SimDuration::from_secs(4));
+        run(&mut k, 100);
+        assert_eq!(k.control_stats().false_declarations, 0);
+        let pe = k.pe_id_of(job, 0).unwrap();
+        assert_eq!(k.pe_status(pe), Some(PeStatus::Up));
+    }
+
+    /// ORCA crash window: notifications pushed while the service is down
+    /// stay durably queued, and recovery reports the backlog it replays.
+    #[test]
+    fn orca_crash_window_preserves_backlog() {
+        let mut k = kernel(2);
+        let orca = k.sam.register_orchestrator();
+        let job = k.submit_job(pipeline_adl("P", 10.0), Some(orca)).unwrap();
+        assert!(!k.crash_orchestrator(OrcaId(99)), "unknown orca refused");
+        assert!(k.crash_orchestrator(orca));
+        assert!(k.orca_is_down(orca));
+        let pe = k.pe_id_of(job, 0).unwrap();
+        k.kill_pe(pe).unwrap();
+        assert_eq!(k.sam.notifications_pending(orca), 1);
+        run(&mut k, 21); // past the 2 s control restart delay
+        assert!(!k.orca_is_down(orca));
+        let stats = k.control_stats();
+        assert_eq!(stats.orca_crashes, 1);
+        assert_eq!(stats.orca_recoveries, 1);
+        assert_eq!(stats.notifications_replayed, 1);
+        assert_eq!(k.sam.drain_notifications(orca).len(), 1);
+    }
+
+    /// SAM restart on the replicated metastore: drains go unavailable for
+    /// the window, recovery replays the op log (digest-verified inside the
+    /// store), and notification conservation holds throughout.
+    #[test]
+    fn sam_restart_replays_the_metastore_log() {
+        let mut k = Kernel::new(
+            Cluster::with_hosts(2),
+            OperatorRegistry::with_builtins(),
+            RuntimeConfig {
+                metastore: MetastoreKind::Replicated,
+                ..RuntimeConfig::default()
+            },
+        );
+        let orca = k.sam.register_orchestrator();
+        let job = k.submit_job(pipeline_adl("P", 10.0), Some(orca)).unwrap();
+        run(&mut k, 5);
+        let pe = k.pe_id_of(job, 0).unwrap();
+        k.kill_pe(pe).unwrap();
+        assert!(k.restart_sam());
+        assert!(!k.restart_sam(), "window already open");
+        assert!(!k.sam.is_available());
+        assert!(k.sam.drain_notifications(orca).is_empty(), "unavailable");
+        run(&mut k, 21);
+        assert!(k.sam.is_available());
+        let stats = k.control_stats();
+        assert_eq!(stats.sam_restarts, 1);
+        assert!(stats.meta_ops_replayed > 0);
+        // Nothing pushed was lost or double-drained.
+        let pending = k.sam.notifications_pending(orca) as u64;
+        assert_eq!(
+            k.sam.notifications_pushed(orca),
+            k.sam.notifications_drained(orca) + pending
+        );
+        assert_eq!(k.sam.drain_notifications(orca).len(), pending as usize);
+        assert!(k.sam.metastore_verify());
+    }
+
+    /// The replicated store is a pure drop-in: a fault-free run produces a
+    /// bit-identical trace digest under either store kind.
+    #[test]
+    fn fault_free_trace_digest_identical_across_stores() {
+        let drive = |kind: MetastoreKind| {
+            let mut k = Kernel::new(
+                Cluster::with_hosts(2),
+                OperatorRegistry::with_builtins(),
+                RuntimeConfig {
+                    metastore: kind,
+                    checkpoint: crate::ckpt::CheckpointPolicy::every(5),
+                    ..RuntimeConfig::default()
+                },
+            );
+            let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+            run(&mut k, 30);
+            let pe = k.pe_id_of(job, 2).unwrap();
+            k.kill_pe(pe).unwrap();
+            k.restart_pe(pe).unwrap();
+            run(&mut k, 30);
+            k.trace.digest()
+        };
+        assert_eq!(
+            drive(MetastoreKind::Memory),
+            drive(MetastoreKind::Replicated)
+        );
+    }
+
+    /// Durable checkpoint commits land in the metastore's index and survive
+    /// a SAM restart.
+    #[test]
+    fn ckpt_commits_recorded_in_metastore() {
+        let mut k = Kernel::new(
+            Cluster::with_hosts(2),
+            OperatorRegistry::with_builtins(),
+            RuntimeConfig {
+                metastore: MetastoreKind::Replicated,
+                checkpoint: crate::ckpt::CheckpointPolicy::every(5),
+                ..RuntimeConfig::default()
+            },
+        );
+        let job = k.submit_job(pipeline_adl("P", 50.0), None).unwrap();
+        run(&mut k, 10);
+        let indexed = k.sam.ckpt_commit(job, 2);
+        assert!(indexed.is_some());
+        assert_eq!(indexed, k.checkpoint_coverage(job, 2));
+        k.restart_sam();
+        run(&mut k, 21);
+        // Later commits keep advancing the index; the restart lost nothing
+        // and the recovered index still agrees with the authoritative store.
+        let after = k.sam.ckpt_commit(job, 2);
+        assert!(after >= indexed, "index survives restart: {after:?}");
+        assert_eq!(after, k.checkpoint_coverage(job, 2));
+        k.cancel_job(job).unwrap();
+        assert_eq!(k.sam.ckpt_commit(job, 2), None);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod cluster;
 pub mod error;
 pub mod ids;
 pub mod kernel;
+pub mod metastore;
 pub mod sam;
 pub mod srm;
 pub mod world;
@@ -34,7 +35,12 @@ pub use cluster::{Cluster, Host, PeProcess, PeStatus};
 pub use error::RuntimeError;
 pub use ids::{JobId, OrcaId, PeId};
 pub use kernel::{
-    CrashRecord, FreshReason, Kernel, KillTarget, RestartRecord, RestoreOutcome, RuntimeConfig,
+    ControlStats, CrashRecord, FreshReason, Kernel, KillTarget, RestartRecord, RestoreOutcome,
+    RuntimeConfig,
+};
+pub use metastore::{
+    build_metastore, MemoryMetastore, MetaOp, MetaRecovery, MetaStats, MetaTables, Metastore,
+    MetastoreKind, ReplicatedMetastore,
 };
 pub use sam::{CrashReason, JobInfo, JobStatus, OrcaNotification, Sam};
 pub use srm::{MetricSnapshot, Srm};

@@ -6,13 +6,24 @@
 //! orchestrators and their associated jobs, and pushes PE-failure
 //! notifications to the orchestrator owning the crashed PE.
 //!
+//! As of the control-plane fault-tolerance work, SAM itself is crashable: all
+//! durable state lives behind the [`Metastore`] trait (every mutation is a
+//! logged [`MetaOp`]), and this struct keeps only volatile daemon state — the
+//! availability flag for an in-progress restart and the host-heartbeat table
+//! the liveness deadline is judged against. A `RestartSam` fault flips
+//! `available` off, drops nothing durable, and recovery rebuilds the tables
+//! from the store's log.
+//!
 //! This module holds SAM's bookkeeping; the RPC-like coordination with the
 //! cluster and broker lives in [`crate::kernel::Kernel`].
 
 use crate::ids::{JobId, OrcaId, PeId};
+use crate::metastore::{
+    build_metastore, MetaOp, MetaRecovery, MetaStats, Metastore, MetastoreKind,
+};
 use sps_model::adl::Adl;
-use sps_sim::SimTime;
-use std::collections::{BTreeMap, VecDeque};
+use sps_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// Job lifecycle state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,38 +84,111 @@ pub enum OrcaNotification {
     },
 }
 
-/// SAM daemon state.
-#[derive(Default)]
+/// SAM daemon: durable tables behind the metastore, volatile state here.
 pub struct Sam {
-    next_job: u64,
-    next_pe: u64,
-    next_orca: u64,
-    jobs: BTreeMap<JobId, JobInfo>,
-    pe_index: BTreeMap<PeId, (JobId, usize)>,
-    orca_queues: BTreeMap<OrcaId, VecDeque<OrcaNotification>>,
-    /// host → owning job for exclusive host pools (§4.3).
-    exclusive_hosts: BTreeMap<String, JobId>,
-    /// Delivery accounting per orchestrator (campaign-oracle hooks): how
-    /// many notifications were ever enqueued and how many were drained.
-    pushed: BTreeMap<OrcaId, u64>,
-    drained: BTreeMap<OrcaId, u64>,
+    store: Box<dyn Metastore>,
+    /// False while a `RestartSam` fault window is active: drains return
+    /// empty (the Unavailable path) instead of panicking or serving stale
+    /// queues; pushes keep landing in the durable store.
+    available: bool,
+    /// host → last heartbeat SAM saw through HC. Volatile on purpose: a real
+    /// SAM rebuilds its liveness view from fresh heartbeats after a restart,
+    /// so it is not part of the metastore.
+    host_liveness: BTreeMap<String, SimTime>,
+}
+
+impl Default for Sam {
+    fn default() -> Self {
+        Sam::new()
+    }
 }
 
 impl Sam {
+    /// In-memory store — the zero-cost default, byte-identical to the
+    /// pre-metastore SAM.
     pub fn new() -> Self {
-        Self::default()
+        Sam::with_store(MetastoreKind::Memory, 0)
+    }
+
+    /// `seed` feeds only the replicated store's private RNG stream; the
+    /// memory store ignores it.
+    pub fn with_store(kind: MetastoreKind, seed: u64) -> Self {
+        Sam {
+            store: build_metastore(kind, seed),
+            available: true,
+            host_liveness: BTreeMap::new(),
+        }
+    }
+
+    fn tables(&self) -> &crate::metastore::MetaTables {
+        self.store.tables()
+    }
+
+    // ---- availability / restart (control-plane faults) ---------------------
+
+    /// Whether SAM is serving. False only inside a `RestartSam` window.
+    pub fn is_available(&self) -> bool {
+        self.available
+    }
+
+    /// Enters the restart window: the daemon is down, drains go unavailable.
+    pub fn begin_restart(&mut self) {
+        self.available = false;
+    }
+
+    /// Completes the restart: the store recovers (a logging store replays
+    /// its op log and digest-verifies the replay) and SAM serves again.
+    pub fn complete_restart(&mut self) -> MetaRecovery {
+        let rec = self.store.recover();
+        self.available = true;
+        rec
+    }
+
+    pub fn metastore_kind(&self) -> MetastoreKind {
+        self.store.kind()
+    }
+
+    pub fn metastore_stats(&self) -> MetaStats {
+        self.store.stats()
+    }
+
+    /// Oracle hook: does replaying the store's log reproduce its tables?
+    pub fn metastore_verify(&self) -> bool {
+        self.store.verify()
+    }
+
+    // ---- host liveness (HC heartbeats, §2.2) -------------------------------
+
+    /// Records a heartbeat relayed by a host controller.
+    pub fn record_heartbeat(&mut self, host: &str, now: SimTime) {
+        self.host_liveness.insert(host.to_string(), now);
+    }
+
+    /// Forgets a host's heartbeat state (host decommissioned or declared).
+    pub fn clear_heartbeat(&mut self, host: &str) {
+        self.host_liveness.remove(host);
+    }
+
+    /// Hosts whose last heartbeat is older than `deadline`. Only hosts SAM
+    /// has ever heard from are candidates — an unknown host is not stale.
+    pub fn stale_hosts(&self, now: SimTime, deadline: SimDuration) -> Vec<String> {
+        self.host_liveness
+            .iter()
+            .filter(|(_, &last)| now.since(last) > deadline)
+            .map(|(h, _)| h.clone())
+            .collect()
     }
 
     // ---- id allocation -----------------------------------------------------
 
     pub fn alloc_job_id(&mut self) -> JobId {
-        self.next_job += 1;
-        JobId(self.next_job)
+        self.store.apply(MetaOp::AllocJobId);
+        JobId(self.tables().next_job)
     }
 
     pub fn alloc_pe_id(&mut self) -> PeId {
-        self.next_pe += 1;
-        PeId(self.next_pe)
+        self.store.apply(MetaOp::AllocPeId);
+        PeId(self.tables().next_pe)
     }
 
     // ---- orchestrator registry ---------------------------------------------
@@ -112,76 +196,89 @@ impl Sam {
     /// Registers a new orchestrator as a manageable entity; SAM will queue
     /// failure notifications for jobs it owns.
     pub fn register_orchestrator(&mut self) -> OrcaId {
-        let id = OrcaId(self.next_orca);
-        self.next_orca += 1;
-        self.orca_queues.insert(id, VecDeque::new());
-        id
+        self.store.apply(MetaOp::RegisterOrchestrator);
+        OrcaId(self.tables().next_orca - 1)
     }
 
     pub fn push_notification(&mut self, orca: OrcaId, n: OrcaNotification) {
-        if let Some(q) = self.orca_queues.get_mut(&orca) {
-            q.push_back(n);
-            *self.pushed.entry(orca).or_insert(0) += 1;
+        // Unknown orchestrator: silently dropped, uncounted, unlogged.
+        if self.tables().orca_queues.contains_key(&orca) {
+            self.store.apply(MetaOp::PushNotification(orca, n));
         }
     }
 
     /// The ORCA service pulls its pending notifications (the simulated
-    /// SAM→ORCA RPC).
+    /// SAM→ORCA RPC). While a restart window is active this is the explicit
+    /// Unavailable path: the call returns empty without draining or counting
+    /// anything, and the queued notifications stay durable for after
+    /// recovery.
     pub fn drain_notifications(&mut self, orca: OrcaId) -> Vec<OrcaNotification> {
+        if !self.available {
+            return Vec::new();
+        }
         let out: Vec<OrcaNotification> = self
+            .tables()
             .orca_queues
-            .get_mut(&orca)
-            .map(|q| q.drain(..).collect())
+            .get(&orca)
+            .map(|q| q.iter().cloned().collect())
             .unwrap_or_default();
         if !out.is_empty() {
-            *self.drained.entry(orca).or_insert(0) += out.len() as u64;
+            self.store.apply(MetaOp::DrainNotifications(orca));
         }
         out
     }
 
     /// Notifications ever enqueued for an orchestrator.
     pub fn notifications_pushed(&self, orca: OrcaId) -> u64 {
-        self.pushed.get(&orca).copied().unwrap_or(0)
+        self.tables().pushed.get(&orca).copied().unwrap_or(0)
     }
 
     /// Notifications an orchestrator has drained so far.
     pub fn notifications_drained(&self, orca: OrcaId) -> u64 {
-        self.drained.get(&orca).copied().unwrap_or(0)
+        self.tables().drained.get(&orca).copied().unwrap_or(0)
     }
 
     /// Currently queued, undelivered notifications for an orchestrator.
     pub fn notifications_pending(&self, orca: OrcaId) -> usize {
-        self.orca_queues.get(&orca).map(VecDeque::len).unwrap_or(0)
+        self.tables()
+            .orca_queues
+            .get(&orca)
+            .map(|q| q.len())
+            .unwrap_or(0)
     }
 
     /// Total notifications ever enqueued across all orchestrators.
     pub fn total_notifications_pushed(&self) -> u64 {
-        self.pushed.values().sum()
+        self.tables().pushed.values().sum()
+    }
+
+    /// Registered orchestrator ids, in registration order.
+    pub fn orchestrators(&self) -> Vec<OrcaId> {
+        self.tables().orca_queues.keys().copied().collect()
     }
 
     // ---- job / PE tables ---------------------------------------------------
 
     pub fn insert_job(&mut self, info: JobInfo) {
-        for (idx, &pe) in info.pe_ids.iter().enumerate() {
-            self.pe_index.insert(pe, (info.id, idx));
-        }
-        self.jobs.insert(info.id, info);
+        self.store.apply(MetaOp::InsertJob(info));
     }
 
     pub fn job(&self, id: JobId) -> Option<&JobInfo> {
-        self.jobs.get(&id)
+        self.tables().jobs.get(&id)
     }
 
-    pub fn job_mut(&mut self, id: JobId) -> Option<&mut JobInfo> {
-        self.jobs.get_mut(&id)
+    /// Updates a job's lifecycle status through the op log.
+    pub fn set_job_status(&mut self, id: JobId, status: JobStatus) {
+        self.store.apply(MetaOp::SetJobStatus(id, status));
     }
 
     pub fn jobs(&self) -> impl Iterator<Item = &JobInfo> {
-        self.jobs.values()
+        self.tables().jobs.values()
     }
 
     pub fn running_jobs(&self) -> Vec<JobId> {
-        self.jobs
+        self.tables()
+            .jobs
             .values()
             .filter(|j| j.status == JobStatus::Running)
             .map(|j| j.id)
@@ -190,44 +287,59 @@ impl Sam {
 
     /// Resolves a PE id to its `(job, ADL PE index)`.
     pub fn pe_lookup(&self, pe: PeId) -> Option<(JobId, usize)> {
-        self.pe_index.get(&pe).copied()
+        self.tables().pe_index.get(&pe).copied()
     }
 
     pub fn remove_job(&mut self, id: JobId) -> Option<JobInfo> {
-        let info = self.jobs.remove(&id)?;
-        for pe in &info.pe_ids {
-            self.pe_index.remove(pe);
-        }
-        // Release exclusive host reservations.
-        self.exclusive_hosts.retain(|_, owner| *owner != id);
+        let info = self.tables().jobs.get(&id).cloned()?;
+        // The op also releases the job's exclusive host reservations and
+        // forgets its checkpoint-commit index entries.
+        self.store.apply(MetaOp::RemoveJob(id));
         Some(info)
     }
 
     /// Re-points a job's ADL index at a replacement PE id (restart).
     pub fn replace_pe(&mut self, job: JobId, adl_index: usize, new_pe: PeId) {
-        if let Some(info) = self.jobs.get_mut(&job) {
-            if let Some(slot) = info.pe_ids.get_mut(adl_index) {
-                self.pe_index.remove(slot);
-                *slot = new_pe;
-                self.pe_index.insert(new_pe, (job, adl_index));
-            }
-        }
+        self.store.apply(MetaOp::ReplacePe {
+            job,
+            adl_index,
+            new_pe,
+        });
     }
 
     // ---- exclusive host reservations ----------------------------------------
 
     pub fn reserve_host(&mut self, host: &str, job: JobId) {
-        self.exclusive_hosts.insert(host.to_string(), job);
+        self.store.apply(MetaOp::ReserveHost(host.to_string(), job));
     }
 
     /// Drops a reservation (submission rollback).
     pub fn unreserve_host(&mut self, host: &str) {
-        self.exclusive_hosts.remove(host);
+        self.store.apply(MetaOp::ReleaseHost(host.to_string()));
     }
 
     /// `None` = unreserved; `Some(job)` = reserved for that job only.
     pub fn host_reservation(&self, host: &str) -> Option<JobId> {
-        self.exclusive_hosts.get(host).copied()
+        self.tables().exclusive_hosts.get(host).copied()
+    }
+
+    // ---- checkpoint-commit index --------------------------------------------
+
+    /// Records a durable checkpoint commit in the metastore log. The
+    /// authoritative snapshot chain stays in [`crate::ckpt::CheckpointStore`];
+    /// this index exists so a recovered SAM can prove which commits it knew
+    /// about (the replay digest covers it).
+    pub fn record_ckpt_commit(&mut self, job: JobId, adl_index: usize, taken_at: SimTime) {
+        self.store.apply(MetaOp::RecordCkptCommit {
+            job,
+            adl_index,
+            taken_at,
+        });
+    }
+
+    /// Commit time of the newest known checkpoint for `(job, adl_index)`.
+    pub fn ckpt_commit(&self, job: JobId, adl_index: usize) -> Option<SimTime> {
+        self.tables().ckpt_commits.get(&(job, adl_index)).copied()
     }
 }
 
@@ -285,7 +397,7 @@ mod tests {
         assert_eq!(sam.job(id).unwrap().app_name, "A");
         assert_eq!(sam.pe_lookup(pe), Some((id, 0)));
         assert_eq!(sam.running_jobs(), vec![id]);
-        sam.job_mut(id).unwrap().status = JobStatus::Cancelled;
+        sam.set_job_status(id, JobStatus::Cancelled);
         assert!(sam.running_jobs().is_empty());
         let removed = sam.remove_job(id).unwrap();
         assert_eq!(removed.id, id);
@@ -383,5 +495,91 @@ mod tests {
             CrashReason::OperatorFault("x".into()).class(),
             "operatorFault"
         );
+    }
+
+    /// Pins the Unavailable path: drains inside a restart window return
+    /// empty without counting, pushes stay durable, and conservation
+    /// (`pushed == drained + pending`) holds through recovery.
+    #[test]
+    fn drain_during_restart_window_is_unavailable_not_stale() {
+        for kind in [MetastoreKind::Memory, MetastoreKind::Replicated] {
+            let mut sam = Sam::with_store(kind, 11);
+            let o = sam.register_orchestrator();
+            let n = OrcaNotification::PeFailure {
+                job: JobId(1),
+                pe: PeId(1),
+                adl_index: 0,
+                reason: CrashReason::Killed,
+                detected_at: SimTime::ZERO,
+            };
+            sam.push_notification(o, n.clone());
+            sam.begin_restart();
+            assert!(!sam.is_available());
+            // The Unavailable path: empty, no drained-counter movement.
+            assert!(sam.drain_notifications(o).is_empty());
+            assert_eq!(sam.notifications_drained(o), 0);
+            // Pushes during the window land durably.
+            sam.push_notification(o, n.clone());
+            assert_eq!(sam.notifications_pending(o), 2);
+            sam.complete_restart();
+            assert!(sam.is_available());
+            assert_eq!(sam.drain_notifications(o), vec![n.clone(), n.clone()]);
+            assert_eq!(
+                sam.notifications_pushed(o),
+                sam.notifications_drained(o) + sam.notifications_pending(o) as u64
+            );
+            assert!(sam.metastore_verify(), "{kind:?} replay must verify");
+        }
+    }
+
+    /// The same call script against both stores materializes identical
+    /// state — the byte-identity claim behind the memory default.
+    #[test]
+    fn facade_behaves_identically_across_stores() {
+        let drive = |kind: MetastoreKind| {
+            let mut sam = Sam::with_store(kind, 3);
+            let o = sam.register_orchestrator();
+            let info = job_info(&mut sam, Some(o));
+            let (id, pe) = (info.id, info.pe_ids[0]);
+            sam.insert_job(info);
+            sam.reserve_host("h1", id);
+            sam.push_notification(
+                o,
+                OrcaNotification::PeFailure {
+                    job: id,
+                    pe,
+                    adl_index: 0,
+                    reason: CrashReason::HostFailure,
+                    detected_at: SimTime::from_secs(4),
+                },
+            );
+            let drained = sam.drain_notifications(o).len();
+            sam.record_ckpt_commit(id, 0, SimTime::from_secs(9));
+            (
+                drained,
+                sam.notifications_pushed(o),
+                sam.host_reservation("h1"),
+                sam.ckpt_commit(id, 0),
+            )
+        };
+        assert_eq!(
+            drive(MetastoreKind::Memory),
+            drive(MetastoreKind::Replicated)
+        );
+    }
+
+    #[test]
+    fn heartbeats_drive_staleness() {
+        let mut sam = Sam::new();
+        let deadline = SimDuration::from_secs(6);
+        sam.record_heartbeat("h1", SimTime::from_secs(1));
+        sam.record_heartbeat("h2", SimTime::from_secs(9));
+        // h1 is 9s stale at t=10; h2 is fresh; h3 was never heard from.
+        assert_eq!(
+            sam.stale_hosts(SimTime::from_secs(10), deadline),
+            vec!["h1".to_string()]
+        );
+        sam.clear_heartbeat("h1");
+        assert!(sam.stale_hosts(SimTime::from_secs(10), deadline).is_empty());
     }
 }

@@ -7,7 +7,7 @@
 
 use orca_harness::{
     default_oracles, evaluate, reproducer_line, run_campaign, scenario, BaselineCache,
-    BaselineSource, CampaignConfig, CheckpointPolicy, FaultPlan,
+    BaselineSource, CampaignConfig, CheckpointPolicy, FaultPlan, WorldPolicy,
 };
 use sps_sim::SimRng;
 
@@ -99,7 +99,7 @@ fn generated_plans_actually_perturb_the_system() {
     // The trace digest of a faulted run must differ from the fault-free
     // baseline of the same seed — i.e. campaigns exercise real failures.
     let sc = scenario::trend();
-    let oracles = default_oracles(false, false);
+    let oracles = default_oracles(false, false, false);
     let seed = 0xDEAD_BEEF_u64;
     let opts = CheckpointPolicy::default();
     let plan = FaultPlan::generate(&mut SimRng::new(seed), &sc.plan_spec());
@@ -111,7 +111,7 @@ fn generated_plans_actually_perturb_the_system() {
         &plan,
         &oracles,
         false,
-        opts,
+        WorldPolicy::checkpointed(opts),
         BaselineSource::new(&cache, None),
     );
     assert!(violations.is_empty(), "{violations:?}");
@@ -121,7 +121,7 @@ fn generated_plans_actually_perturb_the_system() {
         &FaultPlan::default(),
         &oracles,
         false,
-        opts,
+        WorldPolicy::checkpointed(opts),
         BaselineSource::new(&cache, None),
     );
     assert_ne!(faulted, baseline, "plan {} left no mark", plan.encode());
@@ -156,7 +156,7 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
     assert!(!f.shrunk.events.is_empty());
 
     // The reproducer round-trips and still fails.
-    let oracles = default_oracles(true, false);
+    let oracles = default_oracles(true, false, false);
     let opts = CheckpointPolicy::default();
     let decoded = FaultPlan::decode(&f.shrunk.encode()).unwrap();
     assert_eq!(decoded, f.shrunk);
@@ -167,7 +167,7 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
         &decoded,
         &oracles,
         false,
-        opts,
+        WorldPolicy::checkpointed(opts),
         BaselineSource::new(&cache, None),
     );
     assert!(!violations.is_empty(), "shrunk plan no longer fails");
@@ -181,7 +181,7 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
             &smaller,
             &oracles,
             false,
-            opts,
+            WorldPolicy::checkpointed(opts),
             BaselineSource::new(&cache, None),
         );
         assert!(
@@ -211,7 +211,7 @@ fn broken_oracle_shrinks_to_a_minimal_reproducible_plan() {
 fn assert_stateful_recovery(app: &str, seed: u64, plan: &str) {
     let sc = scenario::by_name(app).unwrap();
     let opts = CheckpointPolicy::every(10);
-    let oracles = default_oracles(false, true);
+    let oracles = default_oracles(false, true, false);
     let plan = FaultPlan::decode(plan).unwrap();
     let cache = BaselineCache::new();
     let (digest_a, violations) = evaluate(
@@ -220,7 +220,7 @@ fn assert_stateful_recovery(app: &str, seed: u64, plan: &str) {
         &plan,
         &oracles,
         true,
-        opts,
+        WorldPolicy::checkpointed(opts),
         BaselineSource::new(&cache, plan.horizon()),
     );
     assert!(
@@ -241,7 +241,7 @@ fn assert_stateful_recovery(app: &str, seed: u64, plan: &str) {
         &plan,
         &oracles,
         false,
-        opts,
+        WorldPolicy::checkpointed(opts),
         BaselineSource::new(&cache, plan.horizon()),
     );
     assert_eq!(digest_a, digest_b);
@@ -287,7 +287,7 @@ fn restored_state_actually_differs_from_fresh_restarts() {
     let sc = scenario::trend();
     let seed = 31u64;
     let plan = FaultPlan::decode("8000:kp:0:1").unwrap();
-    let oracles = default_oracles(false, false);
+    let oracles = default_oracles(false, false, false);
     let cache = BaselineCache::new();
     let (fresh, _) = evaluate(
         &sc,
@@ -295,7 +295,7 @@ fn restored_state_actually_differs_from_fresh_restarts() {
         &plan,
         &oracles,
         false,
-        CheckpointPolicy::default(),
+        WorldPolicy::default(),
         BaselineSource::new(&cache, None),
     );
     let (restored, _) = evaluate(
@@ -304,7 +304,7 @@ fn restored_state_actually_differs_from_fresh_restarts() {
         &plan,
         &oracles,
         false,
-        CheckpointPolicy::every(10),
+        WorldPolicy::checkpointed(CheckpointPolicy::every(10)),
         BaselineSource::new(&cache, None),
     );
     assert_ne!(fresh, restored, "checkpoint restore left no trace");
@@ -336,7 +336,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
 
     // 1-minimality under the same lossy regime.
     let opts = CheckpointPolicy::every(10).lossy(true);
-    let oracles = default_oracles(false, true);
+    let oracles = default_oracles(false, true, false);
     // Candidates compare against the baseline keyed by the *original*
     // plan's horizon — the same floor-keyed entry the shrink walk used.
     let cache = BaselineCache::new();
@@ -346,7 +346,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
         &f.shrunk,
         &oracles,
         false,
-        opts,
+        WorldPolicy::checkpointed(opts),
         BaselineSource::new(&cache, f.original.horizon()),
     );
     assert!(!violations.is_empty(), "shrunk plan no longer fails");
@@ -358,7 +358,7 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
             &smaller,
             &oracles,
             false,
-            opts,
+            WorldPolicy::checkpointed(opts),
             BaselineSource::new(&cache, f.original.horizon()),
         );
         assert!(
@@ -370,7 +370,13 @@ fn lossy_restore_is_caught_and_shrinks_to_minimal_reproducer() {
     // The reproducer captures the checkpoint policy.
     assert_eq!(
         f.reproducer,
-        reproducer_line(&sc, f.plan_seed, &f.shrunk, opts)
+        reproducer_line(
+            &sc,
+            f.plan_seed,
+            &f.shrunk,
+            WorldPolicy::checkpointed(opts),
+            false
+        )
     );
     assert!(f.reproducer.contains("HARNESS_CKPT=10"));
     assert!(f.reproducer.contains("HARNESS_LOSSY=1"));

@@ -11,7 +11,7 @@ use orca_apps::live::stream_taps;
 use orca_apps::trend::{trend_app, TrendOrca, TrendParams};
 use orca_apps::SharedStores;
 use orca_harness::{
-    scenario, Built, CheckpointPolicy, FaultInjector, FaultPlan, Janitor, Scenario,
+    scenario, Built, CheckpointPolicy, FaultInjector, FaultPlan, Janitor, Scenario, WorldPolicy,
 };
 use sps_runtime::{Cluster, Kernel, KillTarget, RuntimeConfig, World};
 use sps_sim::{SimDuration, SimTime};
@@ -132,7 +132,7 @@ fn run_app_scenario_opts(
     let Built {
         mut world,
         orca_idx: _,
-    } = (sc.build)(seed, opts);
+    } = (sc.build)(seed, WorldPolicy::checkpointed(opts));
     if sc.janitor {
         world.add_controller(Box::new(Janitor::default()));
     }
@@ -215,7 +215,7 @@ fn checkpointed_runs_reproduce_bit_identically() {
 fn live_tap_streaming_reproduces_bit_identically() {
     fn streamed(seed: u64) -> (String, u64) {
         let sc = scenario::live();
-        let Built { mut world, .. } = (sc.build)(seed, CheckpointPolicy::default());
+        let Built { mut world, .. } = (sc.build)(seed, WorldPolicy::default());
         world.add_controller(Box::new(Janitor::default()));
         world.run_for(sc.warmup);
         world.add_controller(Box::new(FaultInjector::new(

@@ -8,7 +8,7 @@
 //! baseline, not merely bounded by it.
 
 use orca_harness::{
-    scenario, Built, CheckpointPolicy, FaultInjector, FaultPlan, Janitor, Scenario,
+    scenario, Built, CheckpointPolicy, FaultInjector, FaultPlan, Janitor, Scenario, WorldPolicy,
 };
 use sps_engine::metrics::builtin;
 use sps_runtime::{JobId, UbStats, World};
@@ -24,7 +24,7 @@ fn settled(
     opts: CheckpointPolicy,
     horizon_floor: Option<SimTime>,
 ) -> World {
-    let Built { mut world, .. } = (sc.build)(seed, opts);
+    let Built { mut world, .. } = (sc.build)(seed, WorldPolicy::checkpointed(opts));
     if sc.janitor {
         world.add_controller(Box::new(Janitor::default()));
     }
